@@ -1,0 +1,44 @@
+# Standard targets for the lockdown reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench cover figures figures-full examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# Regenerate every figure at 5% scale into results/.
+figures:
+	$(GO) run ./cmd/lockdown -scale 0.05 -out results
+
+# Paper-scale run (minutes; ~2 GB RAM).
+figures-full:
+	$(GO) run ./cmd/lockdown -scale 1.0 -out results_full
+
+examples:
+	$(GO) run ./examples/packets
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/subpopulations
+	$(GO) run ./examples/socialmedia
+	$(GO) run ./examples/gaming
+	$(GO) run ./examples/counterfactual
+
+clean:
+	rm -rf results results_full

@@ -1,0 +1,193 @@
+// Command lockdown runs the full reproduction end to end: it generates the
+// synthetic campus workload (or a scaled-down version), streams it through
+// the measurement pipeline, computes every figure and headline result from
+// the paper, and writes CSV series plus an ASCII report.
+//
+// Usage:
+//
+//	lockdown [-scale 0.05] [-seed 1] [-out results/] [-quiet]
+//	         [-logs dataset/]   ingest a tracegen dataset instead of generating
+//	         [-shards N]        parallelize ingest across N pipeline shards
+//	         [-yoy]             also simulate the counterfactual baseline year
+//	         [-cpuprofile f]    write a CPU profile
+//
+// Scale 1.0 reproduces paper-scale population counts (~32k peak devices,
+// tens of millions of flows; allow several minutes and ~2 GB RAM). The
+// default 0.05 runs in ~20 seconds and preserves every trend.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/anonymize"
+	"repro/internal/core"
+	"repro/internal/devclass"
+	"repro/internal/experiments"
+	"repro/internal/logsink"
+	"repro/internal/packet"
+	"repro/internal/trace"
+	"repro/internal/universe"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "population scale (1.0 = paper scale)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "results", "output directory for CSVs and report")
+	logs := flag.String("logs", "", "ingest a tracegen dataset directory instead of generating live")
+	shards := flag.Int("shards", 1, "pipeline shards (0 = GOMAXPROCS; >1 parallelizes ingest)")
+	yoy := flag.Bool("yoy", false, "also simulate the counterfactual baseline year (doubles runtime)")
+	quiet := flag.Bool("quiet", false, "suppress the terminal report")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockdown:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lockdown:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if err := run(*scale, *seed, *out, *logs, *shards, *yoy, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "lockdown:", err)
+		os.Exit(1)
+	}
+}
+
+// ingestPipeline abstracts Pipeline and ShardedPipeline for the harness.
+type ingestPipeline interface {
+	trace.Sink
+	DeviceID(m packet.MAC) anonymize.DeviceID
+	Finalize() *core.Dataset
+}
+
+func run(scale float64, seed int64, outDir, logsDir string, shards int, yoy, quiet bool) error {
+	start := time.Now()
+	reg, err := universe.New()
+	if err != nil {
+		return err
+	}
+	var pipe ingestPipeline
+	if shards == 1 {
+		pipe, err = core.NewPipeline(reg, core.Options{})
+	} else {
+		pipe, err = core.NewShardedPipeline(reg, core.Options{}, shards)
+	}
+	if err != nil {
+		return err
+	}
+	truth := map[anonymize.DeviceID]devclass.Type{}
+	if logsDir != "" {
+		fmt.Fprintf(os.Stderr, "replaying dataset from %s...\n", logsDir)
+		if err := logsink.Replay(logsDir, pipe); err != nil {
+			return err
+		}
+		// Ground truth for the accuracy experiment: rebuild the same
+		// population the dataset was generated from (same scale/seed).
+		cfg := trace.DefaultConfig()
+		cfg.Scale = scale
+		cfg.Seed = seed
+		gen, err := trace.New(cfg, reg)
+		if err != nil {
+			return err
+		}
+		for _, d := range gen.Devices() {
+			truth[pipe.DeviceID(d.MAC)] = d.Kind.TruthType()
+		}
+	} else {
+		cfg := trace.DefaultConfig()
+		cfg.Scale = scale
+		cfg.Seed = seed
+		gen, err := trace.New(cfg, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "generating %d devices over 121 days (scale %.3g)...\n", len(gen.Devices()), scale)
+		if err := gen.Run(pipe); err != nil {
+			return err
+		}
+		for _, d := range gen.Devices() {
+			truth[pipe.DeviceID(d.MAC)] = d.Kind.TruthType()
+		}
+	}
+	ds := pipe.Finalize()
+	fmt.Fprintf(os.Stderr, "pipeline: %d flows, %d devices, %s processed in %v\n",
+		ds.Stats.FlowsProcessed, len(ds.Devices), siBytes(float64(ds.Stats.BytesProcessed)), time.Since(start).Round(time.Second))
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	res := results{
+		scale:       scale,
+		fig1:        experiments.Fig1(ds),
+		fig2:        experiments.Fig2(ds),
+		fig3:        experiments.Fig3(ds),
+		fig4:        experiments.Fig4(ds),
+		fig5:        experiments.Fig5(ds),
+		fig6:        experiments.Fig6(ds),
+		fig7:        experiments.Fig7(ds),
+		fig8:        experiments.Fig8(ds),
+		head:        experiments.Headline(ds),
+		pop:         experiments.Population(ds),
+		acc:         experiments.Accuracy(ds, truth, 100, seed),
+		cdnAblate:   experiments.CDNAblation(ds),
+		iotSweep:    experiments.IoTThresholdSweep(ds, truth, []float64{0.25, 0.5, 0.75, 1.0}),
+		workPlay:    experiments.WorkLeisure(ds),
+		zoomWknd:    experiments.ZoomWeekend(ds),
+		convergence: experiments.DiurnalConvergence(ds),
+		stats:       ds.Stats,
+	}
+	if yoy && logsDir == "" {
+		fmt.Fprintln(os.Stderr, "simulating counterfactual baseline year...")
+		cfg := trace.DefaultConfig()
+		cfg.Scale = scale
+		cfg.Seed = seed
+		cfg.NoPandemic = true
+		baseGen, err := trace.New(cfg, reg)
+		if err != nil {
+			return err
+		}
+		basePipe, err := core.NewPipeline(reg, core.Options{})
+		if err != nil {
+			return err
+		}
+		if err := baseGen.Run(basePipe); err != nil {
+			return err
+		}
+		y := experiments.YearOverYear(ds, basePipe.Finalize())
+		res.yoy = &y
+	}
+	if err := res.writeCSVs(outDir); err != nil {
+		return err
+	}
+	reportPath := filepath.Join(outDir, "report.txt")
+	f, err := os.Create(reportPath)
+	if err != nil {
+		return err
+	}
+	if err := res.report(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if !quiet {
+		if err := res.report(os.Stdout); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s and per-figure CSVs to %s/ in %v total\n",
+		reportPath, outDir, time.Since(start).Round(time.Second))
+	return nil
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseDays(t *testing.T) {
+	from, to, err := parseDays("0:121")
+	if err != nil || from != 0 || to != 121 {
+		t.Errorf("parseDays(0:121) = %d, %d, %v", from, to, err)
+	}
+	from, to, err = parseDays("10:11")
+	if err != nil || from != 10 || to != 11 {
+		t.Errorf("parseDays(10:11) = %d, %d, %v", from, to, err)
+	}
+	for _, bad := range []string{"", "10", "a:b", "10:", ":11", "1:2:3"} {
+		if _, _, err := parseDays(bad); err == nil {
+			t.Errorf("parseDays(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"time"
+
+	"repro/internal/campus"
+	"repro/internal/dhcp"
+	"repro/internal/dnssim"
+	"repro/internal/dnswire"
+	"repro/internal/flow"
+	"repro/internal/httplog"
+	"repro/internal/packet"
+	"repro/internal/packetize"
+	"repro/internal/pcap"
+	"repro/internal/trace"
+)
+
+// maxPcapFlowBytes caps each direction of a flow when materializing
+// packets. A faithful capture of an elephant flow is gigabytes of payload;
+// pcap mode exists to exercise the packet → flow path, so large flows are
+// truncated (the count of truncations is reported).
+const maxPcapFlowBytes = 4 << 20
+
+// pcapSink lowers generated flows to wire-format packets, including real
+// RFC 1035 query/response payloads for DNS log entries. HTTP metadata has
+// no packet representation (its flows are already in the conn stream); the
+// conn-level ground truth is what cmd/flowmeter reconstructs.
+type pcapSink struct {
+	w         *pcap.Writer
+	macs      map[netip.Addr]packet.MAC
+	resolver  netip.Addr
+	truncated int64
+	dnsID     uint16
+	warned    bool
+}
+
+func (s *pcapSink) Lease(l dhcp.Lease) { s.macs[l.Addr] = l.MAC }
+
+func (s *pcapSink) Flow(r flow.Record) {
+	mac, ok := s.macs[r.OrigAddr]
+	if !ok {
+		mac = packetize.GatewayMAC
+	}
+	if r.OrigBytes > maxPcapFlowBytes {
+		r.OrigBytes = maxPcapFlowBytes
+		s.truncated++
+	}
+	if r.RespBytes > maxPcapFlowBytes {
+		r.RespBytes = maxPcapFlowBytes
+		s.truncated++
+	}
+	if err := packetize.Emit(r, mac, func(ts time.Time, frame []byte) error {
+		return s.w.WritePacket(ts, frame)
+	}); err != nil && !s.warned {
+		fmt.Fprintln(os.Stderr, "tracegen: packetize:", err)
+		s.warned = true
+	}
+}
+
+// DNS materializes a resolver log entry as a query/response packet pair.
+func (s *pcapSink) DNS(e dnssim.Entry) {
+	mac, ok := s.macs[e.Client]
+	if !ok {
+		mac = packetize.GatewayMAC
+	}
+	s.dnsID++
+	qtype := dnswire.TypeA
+	if e.Answer.Is6() && !e.Answer.Is4In6() {
+		qtype = dnswire.TypeAAAA
+	}
+	query := &dnswire.Message{ID: s.dnsID, Name: e.Query, QType: qtype}
+	resp := &dnswire.Message{
+		ID: s.dnsID, Response: true, Name: e.Query, QType: qtype,
+		Answers: []dnswire.Answer{{Addr: e.Answer, TTL: uint32(e.TTL.Seconds())}},
+	}
+	qb, err := query.Encode()
+	if err != nil {
+		s.warn(err)
+		return
+	}
+	rb, err := resp.Encode()
+	if err != nil {
+		s.warn(err)
+		return
+	}
+	sport := uint16(30000 + s.dnsID%30000)
+	emit := func(ts time.Time, payload []byte, up bool) {
+		eth := &packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+		ip := &packet.IPv4{Protocol: packet.ProtoUDP, TTL: 64}
+		udp := &packet.UDP{}
+		if up {
+			eth.Src, eth.Dst = mac, packetize.GatewayMAC
+			ip.Src, ip.Dst = e.Client, s.resolver
+			udp.SrcPort, udp.DstPort = sport, 53
+		} else {
+			eth.Src, eth.Dst = packetize.GatewayMAC, mac
+			ip.Src, ip.Dst = s.resolver, e.Client
+			udp.SrcPort, udp.DstPort = 53, sport
+		}
+		frame, err := packet.Serialize(payload, eth, ip, udp)
+		if err != nil {
+			s.warn(err)
+			return
+		}
+		s.warn(s.w.WritePacket(ts, frame))
+	}
+	emit(e.Time, qb, true)
+	emit(e.Time.Add(12*time.Millisecond), rb, false)
+}
+
+func (s *pcapSink) HTTPMeta(httplog.Entry) {}
+
+func (s *pcapSink) warn(err error) {
+	if err != nil && !s.warned {
+		fmt.Fprintln(os.Stderr, "tracegen: pcap:", err)
+		s.warned = true
+	}
+}
+
+func runPcap(gen *trace.Generator, path string, from, to campus.Day, start time.Time) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := pcap.NewWriter(f)
+	sink := &pcapSink{w: w, macs: make(map[netip.Addr]packet.MAC), resolver: gen.Resolver()}
+	if err := gen.RunDays(sink, from, to); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d packets for days [%d,%d) to %s in %v (%d flow directions truncated to %s)\n",
+		w.Count(), from, to, path, time.Since(start).Round(time.Millisecond),
+		sink.truncated, "4MB")
+	return nil
+}

@@ -1,0 +1,12 @@
+// Package lockdownrepro is a from-scratch Go reproduction of "Locked-In
+// during Lock-Down: Undergraduate Life on the Internet in a Pandemic"
+// (Ukani, Mirian, Snoeren — ACM IMC 2021): the campus passive-measurement
+// pipeline the study ran on, every analysis in its evaluation, and a
+// calibrated synthetic campus workload standing in for the unreleasable
+// residential-network capture.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for paper-vs-
+// measured results. The benchmarks in bench_test.go regenerate every
+// figure.
+package lockdownrepro

@@ -1,0 +1,50 @@
+// Quickstart: generate a small synthetic campus dataset, run it through the
+// measurement pipeline, and print the headline results of the paper —
+// twenty lines of code from nothing to §4.1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+	"repro/internal/universe"
+)
+
+func main() {
+	// The universe is the synthetic Internet: services, domains, IPs.
+	reg, err := universe.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 1% scale campus: ~150 students, ~350 devices, four months.
+	cfg := trace.DefaultConfig()
+	cfg.Scale = 0.01
+	gen, err := trace.New(cfg, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The pipeline implements trace.Sink, so the generator streams
+	// directly into it — no intermediate files needed.
+	pipe, err := core.NewPipeline(reg, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gen.Run(pipe); err != nil {
+		log.Fatal(err)
+	}
+	ds := pipe.Finalize()
+
+	head := experiments.Headline(ds)
+	pop := experiments.Population(ds)
+	fmt.Printf("devices observed:        %d\n", len(ds.Devices))
+	fmt.Printf("post-shutdown users:     %d (paper: 6,522 at full scale)\n", head.PostShutdownUsers)
+	fmt.Printf("traffic growth Feb→Apr/May: %+.0f%% (paper: +58%%)\n", head.TrafficGrowth*100)
+	fmt.Printf("distinct-site growth:    %+.0f%% (paper: +34%%)\n", head.DistinctSiteGrowth*100)
+	fmt.Printf("international devices:   %d (%.0f%% of identified; paper: 18%%)\n",
+		pop.International, pop.IntlShare*100)
+}

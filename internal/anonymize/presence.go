@@ -1,0 +1,143 @@
+package anonymize
+
+import "repro/internal/campus"
+
+// MinResidentDays is the presence threshold separating residents from
+// campus visitors: the study discards devices that appear on the network
+// for fewer than 14 days (§3).
+const MinResidentDays = 14
+
+// PresenceTracker records which days each device was active, supporting
+// the visitor filter and the post-shutdown-user definition.
+type PresenceTracker struct {
+	days map[DeviceID]*dayBitmap
+}
+
+// dayBitmap is a bitset over the study's days (121 < 128 bits).
+type dayBitmap struct {
+	bits [2]uint64
+}
+
+func (b *dayBitmap) set(d campus.Day) {
+	if d < 0 || int(d) >= campus.NumDays {
+		return
+	}
+	b.bits[d/64] |= 1 << (uint(d) % 64)
+}
+
+func (b *dayBitmap) get(d campus.Day) bool {
+	if d < 0 || int(d) >= campus.NumDays {
+		return false
+	}
+	return b.bits[d/64]&(1<<(uint(d)%64)) != 0
+}
+
+func (b *dayBitmap) count() int {
+	return popcount(b.bits[0]) + popcount(b.bits[1])
+}
+
+func (b *dayBitmap) anyAtOrAfter(d campus.Day) bool {
+	if d < 0 {
+		d = 0
+	}
+	if int(d) >= campus.NumDays {
+		return false
+	}
+	word := int(d) / 64
+	bit := uint(d) % 64
+	if b.bits[word]>>bit != 0 {
+		return true
+	}
+	for w := word + 1; w < len(b.bits); w++ {
+		if b.bits[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// NewPresenceTracker returns an empty tracker.
+func NewPresenceTracker() *PresenceTracker {
+	return &PresenceTracker{days: make(map[DeviceID]*dayBitmap)}
+}
+
+// Observe marks the device active on the given study day.
+func (p *PresenceTracker) Observe(dev DeviceID, day campus.Day) {
+	b := p.days[dev]
+	if b == nil {
+		b = &dayBitmap{}
+		p.days[dev] = b
+	}
+	b.set(day)
+}
+
+// DaysSeen returns the number of distinct days the device was active.
+func (p *PresenceTracker) DaysSeen(dev DeviceID) int {
+	if b := p.days[dev]; b != nil {
+		return b.count()
+	}
+	return 0
+}
+
+// ActiveOn reports whether the device was active on the given day.
+func (p *PresenceTracker) ActiveOn(dev DeviceID, day campus.Day) bool {
+	if b := p.days[dev]; b != nil {
+		return b.get(day)
+	}
+	return false
+}
+
+// Resident reports whether the device passes the visitor filter (present at
+// least MinResidentDays distinct days).
+func (p *PresenceTracker) Resident(dev DeviceID) bool {
+	return p.DaysSeen(dev) >= MinResidentDays
+}
+
+// PostShutdownUser reports whether the device is in the paper's analysis
+// population: a resident that remained active into the online term (§4:
+// "6,522 devices in total remained on campus after the shutdown"). Devices
+// whose owners left during the academic break are not post-shutdown users —
+// they did not remain on campus.
+func (p *PresenceTracker) PostShutdownUser(dev DeviceID) bool {
+	b := p.days[dev]
+	if b == nil {
+		return false
+	}
+	onlineDay, _ := campus.DayOf(campus.BreakEnd)
+	return b.count() >= MinResidentDays && b.anyAtOrAfter(onlineDay)
+}
+
+// Devices returns the number of devices tracked.
+func (p *PresenceTracker) Devices() int { return len(p.days) }
+
+// CountResidents returns how many devices pass the visitor filter.
+func (p *PresenceTracker) CountResidents() int {
+	n := 0
+	for _, b := range p.days {
+		if b.count() >= MinResidentDays {
+			n++
+		}
+	}
+	return n
+}
+
+// CountPostShutdown returns the size of the post-shutdown population.
+func (p *PresenceTracker) CountPostShutdown() int {
+	onlineDay, _ := campus.DayOf(campus.BreakEnd)
+	n := 0
+	for _, b := range p.days {
+		if b.count() >= MinResidentDays && b.anyAtOrAfter(onlineDay) {
+			n++
+		}
+	}
+	return n
+}

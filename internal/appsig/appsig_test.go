@@ -1,0 +1,274 @@
+package appsig
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2020, time.April, 6, 14, 0, 0, 0, time.UTC)
+
+func testMatcher() *Matcher {
+	return NewMatcher([]netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")})
+}
+
+func TestMatcherDomains(t *testing.T) {
+	m := testMatcher()
+	cases := []struct {
+		domain string
+		want   string
+		ok     bool
+	}{
+		{"zoom.us", AppZoom, true},
+		{"us04web.zoom.us", AppZoom, true},
+		{"facebook.com", AppFacebook, true},
+		{"static.xx.fbcdn.net", AppFacebook, true},
+		{"facebook.net", AppFacebook, true},
+		{"instagram.com", AppInstagram, true},
+		{"scontent.cdninstagram.com", AppInstagram, true},
+		{"tiktokcdn.com", AppTikTok, true},
+		{"v16.tiktokv.com", AppTikTok, true},
+		{"steamcontent.com", AppSteam, true},
+		{"cdn.steamstatic.com", AppSteam, true},
+		{"npns.srv.nintendo.net", AppNintendo, true},
+		{"atum.hac.lp1.d4c.nintendo.net", AppNintendo, true},
+		{"netflix.com", "", false},
+		{"notfacebook.com", "", false},
+		{"", "", false},
+	}
+	server := netip.MustParseAddr("198.51.100.1") // not in zoom list
+	for _, c := range cases {
+		got, ok := m.App(c.domain, server)
+		if got != c.want || ok != c.ok {
+			t.Errorf("App(%q) = %q,%v want %q,%v", c.domain, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestMatcherZoomIPFallback(t *testing.T) {
+	m := testMatcher()
+	// Unlabeled flow into the published Zoom range.
+	got, ok := m.App("", netip.MustParseAddr("203.0.113.77"))
+	if !ok || got != AppZoom {
+		t.Errorf("IP fallback = %q,%v", got, ok)
+	}
+	// Labeled non-Zoom domain wins over IP list membership.
+	got, ok = m.App("facebook.com", netip.MustParseAddr("203.0.113.77"))
+	if !ok || got != AppFacebook {
+		t.Errorf("domain precedence = %q,%v", got, ok)
+	}
+	// Outside the range, unlabeled: no match.
+	if _, ok := m.App("", netip.MustParseAddr("198.51.100.1")); ok {
+		t.Error("non-zoom IP matched")
+	}
+}
+
+func TestIsInstagramOnly(t *testing.T) {
+	if !IsInstagramOnly("instagram.com") || !IsInstagramOnly("scontent.cdninstagram.com") {
+		t.Error("instagram domains not recognized")
+	}
+	if IsInstagramOnly("facebook.com") || IsInstagramOnly("fbcdn.net") || IsInstagramOnly("myinstagram.com.evil.example") {
+		t.Error("non-instagram domain matched")
+	}
+}
+
+func TestClassifyNintendo(t *testing.T) {
+	if ClassifyNintendo("npns.srv.nintendo.net") != NintendoGameplayTraffic {
+		t.Error("push domain not gameplay")
+	}
+	if ClassifyNintendo("atum.hac.lp1.d4c.nintendo.net") != NintendoOtherTraffic {
+		t.Error("download domain not other")
+	}
+	if ClassifyNintendo("facebook.com") != NotNintendo || ClassifyNintendo("") != NotNintendo {
+		t.Error("non-nintendo misclassified")
+	}
+}
+
+func collectSessions() (*[]Session, func(Session)) {
+	out := &[]Session{}
+	return out, func(s Session) { *out = append(*out, s) }
+}
+
+func TestStitcherMergesOverlappingDomains(t *testing.T) {
+	out, emit := collectSessions()
+	st := NewStitcher(0, emit)
+	// One Facebook session: overlapping flows to three domains.
+	st.Add(1, AppFacebook, "facebook.com", t0, 5*time.Minute, 1000)
+	st.Add(1, AppFacebook, "facebook.net", t0.Add(time.Minute), 2*time.Minute, 500)
+	st.Add(1, AppFacebook, "fbcdn.net", t0.Add(4*time.Minute), 3*time.Minute, 2000)
+	st.Flush()
+	if len(*out) != 1 {
+		t.Fatalf("%d sessions, want 1", len(*out))
+	}
+	s := (*out)[0]
+	if s.App != AppFacebook || s.Flows != 3 || s.Bytes != 3500 {
+		t.Errorf("session = %+v", s)
+	}
+	if !s.Start.Equal(t0) || !s.End.Equal(t0.Add(7*time.Minute)) {
+		t.Errorf("bounds = %v..%v", s.Start, s.End)
+	}
+	if s.Duration() != 7*time.Minute {
+		t.Errorf("duration = %v", s.Duration())
+	}
+}
+
+func TestStitcherSplitsNonOverlapping(t *testing.T) {
+	out, emit := collectSessions()
+	st := NewStitcher(0, emit)
+	st.Add(1, AppTikTok, "tiktok.com", t0, time.Minute, 100)
+	st.Add(1, AppTikTok, "tiktok.com", t0.Add(10*time.Minute), time.Minute, 100)
+	st.Flush()
+	if len(*out) != 2 {
+		t.Fatalf("%d sessions, want 2", len(*out))
+	}
+}
+
+func TestStitcherGapTolerance(t *testing.T) {
+	out, emit := collectSessions()
+	st := NewStitcher(2*time.Minute, emit)
+	st.Add(1, AppTikTok, "tiktok.com", t0, time.Minute, 100)
+	st.Add(1, AppTikTok, "tiktokcdn.com", t0.Add(2*time.Minute), time.Minute, 100)
+	st.Flush()
+	if len(*out) != 1 {
+		t.Fatalf("%d sessions, want 1 with gap tolerance", len(*out))
+	}
+	if (*out)[0].Duration() != 3*time.Minute {
+		t.Errorf("duration = %v", (*out)[0].Duration())
+	}
+}
+
+func TestInstagramHeuristic(t *testing.T) {
+	out, emit := collectSessions()
+	st := NewStitcher(0, emit)
+	// Session touching only shared domains → Facebook.
+	st.Add(1, AppFacebook, "facebook.com", t0, time.Minute, 10)
+	st.Add(1, AppFacebook, "fbcdn.net", t0.Add(30*time.Second), time.Minute, 10)
+	// Later session includes Instagram-only content → whole session
+	// Instagram despite shared-domain flows.
+	st.Add(1, AppFacebook, "fbcdn.net", t0.Add(time.Hour), 2*time.Minute, 10)
+	st.Add(1, AppInstagram, "instagram.com", t0.Add(time.Hour+time.Minute), time.Minute, 10)
+	st.Flush()
+	if len(*out) != 2 {
+		t.Fatalf("%d sessions, want 2", len(*out))
+	}
+	if (*out)[0].App != AppFacebook {
+		t.Errorf("session 1 = %s", (*out)[0].App)
+	}
+	if (*out)[1].App != AppInstagram {
+		t.Errorf("session 2 = %s", (*out)[1].App)
+	}
+}
+
+func TestStitcherFamiliesIndependent(t *testing.T) {
+	out, emit := collectSessions()
+	st := NewStitcher(0, emit)
+	// Interleaved TikTok and Facebook flows: one session each.
+	st.Add(1, AppFacebook, "facebook.com", t0, 10*time.Minute, 1)
+	st.Add(1, AppTikTok, "tiktok.com", t0.Add(time.Minute), 2*time.Minute, 1)
+	st.Add(1, AppTikTok, "tiktokcdn.com", t0.Add(2*time.Minute), 2*time.Minute, 1)
+	st.Add(1, AppFacebook, "fbcdn.net", t0.Add(5*time.Minute), 2*time.Minute, 1)
+	st.Flush()
+	if len(*out) != 2 {
+		t.Fatalf("%d sessions, want 2 (one per family)", len(*out))
+	}
+	apps := map[string]int{}
+	for _, s := range *out {
+		apps[s.App]++
+	}
+	if apps[AppFacebook] != 1 || apps[AppTikTok] != 1 {
+		t.Errorf("apps = %v", apps)
+	}
+}
+
+func TestStitcherDevicesIndependent(t *testing.T) {
+	out, emit := collectSessions()
+	st := NewStitcher(0, emit)
+	st.Add(1, AppSteam, "steamcontent.com", t0, time.Minute, 1)
+	st.Add(2, AppSteam, "steamcontent.com", t0.Add(30*time.Second), time.Minute, 1)
+	if st.Open() != 2 {
+		t.Errorf("open = %d", st.Open())
+	}
+	st.Flush()
+	if len(*out) != 2 {
+		t.Fatalf("%d sessions", len(*out))
+	}
+	if st.Open() != 0 {
+		t.Errorf("open after flush = %d", st.Open())
+	}
+}
+
+func TestStitcherFlushDeterministic(t *testing.T) {
+	run := func() []Session {
+		out, emit := collectSessions()
+		st := NewStitcher(0, emit)
+		for dev := uint64(50); dev > 0; dev-- {
+			st.Add(dev, AppSteam, "steamcontent.com", t0, time.Minute, 1)
+			st.Add(dev, AppTikTok, "tiktok.com", t0, time.Minute, 1)
+		}
+		st.Flush()
+		return *out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("count mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flush order differs at %d", i)
+		}
+	}
+}
+
+func TestSwitchDetector(t *testing.T) {
+	d := NewSwitchDetector()
+	// Device 1: a Switch — 80% of bytes to Nintendo.
+	d.AddFlow(1, "npns.srv.nintendo.net", 400)
+	d.AddFlow(1, "atum.hac.lp1.d4c.nintendo.net", 400)
+	d.AddFlow(1, "youtube.com", 200)
+	// Device 2: a laptop that launched the eshop page once.
+	d.AddFlow(2, "accounts.nintendo.com", 100)
+	d.AddFlow(2, "netflix.com", 5000)
+	// Device 3: exactly at threshold.
+	d.AddFlow(3, "nex.nintendo.net", 500)
+	d.AddFlow(3, "google.com", 500)
+
+	if !d.IsSwitch(1) {
+		t.Error("device 1 should be a Switch")
+	}
+	if d.IsSwitch(2) {
+		t.Error("device 2 misdetected")
+	}
+	if !d.IsSwitch(3) {
+		t.Error("device 3 at exactly 50% should match (≥ threshold)")
+	}
+	if d.IsSwitch(99) {
+		t.Error("unknown device matched")
+	}
+	if got := d.GameplayBytes(1); got != 400 {
+		t.Errorf("gameplay bytes = %d, want 400 (update traffic filtered)", got)
+	}
+	if d.Devices() != 3 {
+		t.Errorf("devices = %d", d.Devices())
+	}
+	switches := d.Switches()
+	if len(switches) != 2 {
+		t.Errorf("switches = %v", switches)
+	}
+}
+
+func BenchmarkMatcherApp(b *testing.B) {
+	m := testMatcher()
+	server := netip.MustParseAddr("198.51.100.1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.App("static.xx.fbcdn.net", server)
+	}
+}
+
+func BenchmarkStitcherAdd(b *testing.B) {
+	st := NewStitcher(0, func(Session) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.Add(uint64(i%1000), AppTikTok, "tiktok.com", t0.Add(time.Duration(i)*time.Second), time.Minute, 100)
+	}
+}

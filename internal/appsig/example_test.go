@@ -1,0 +1,33 @@
+package appsig_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/appsig"
+)
+
+// ExampleStitcher shows the §5.2 session computation: overlapping flows to
+// different domains of one site merge into a single session, and a session
+// that touches Instagram-only content is labeled Instagram even though it
+// also used the shared Facebook CDN domains.
+func ExampleStitcher() {
+	start := time.Date(2020, time.April, 2, 20, 0, 0, 0, time.UTC)
+	st := appsig.NewStitcher(0, func(s appsig.Session) {
+		fmt.Printf("%s session: %v, %d flows\n", s.App, s.Duration(), s.Flows)
+	})
+	// Three overlapping flows: shared CDN + Instagram-only content.
+	st.Add(1, appsig.AppFacebook, "fbcdn.net", start, 10*time.Minute, 50<<20)
+	st.Add(1, appsig.AppInstagram, "instagram.com", start.Add(time.Minute), 8*time.Minute, 5<<20)
+	st.Add(1, appsig.AppFacebook, "facebook.net", start.Add(2*time.Minute), 4*time.Minute, 1<<20)
+	st.Flush()
+	// Output: instagram session: 10m0s, 3 flows
+}
+
+func ExampleClassifyNintendo() {
+	fmt.Println(appsig.ClassifyNintendo("nex.nintendo.net") == appsig.NintendoGameplayTraffic)
+	fmt.Println(appsig.ClassifyNintendo("atum.hac.lp1.d4c.nintendo.net") == appsig.NintendoOtherTraffic)
+	// Output:
+	// true
+	// true
+}

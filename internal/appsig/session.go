@@ -1,0 +1,131 @@
+package appsig
+
+import (
+	"sort"
+	"time"
+)
+
+// Session is one stitched user session: the union of overlapping flows a
+// device exchanged with one application's domains (§5.2: "to compute the
+// duration of an entire user session, we find the bounds of overlapping
+// flows from different domains belonging to the same site").
+type Session struct {
+	Device uint64
+	App    string
+	Start  time.Time
+	End    time.Time
+	Bytes  int64
+	Flows  int
+}
+
+// Duration returns the session length.
+func (s Session) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Stitcher merges each device's flows to one application family into
+// sessions. Flows must be fed in non-decreasing start-time order per
+// device (the pipeline's natural order). A flow overlapping (or within Gap
+// of) the device's open session for that family extends it; otherwise the
+// open session is emitted and a new one begins. Different families on the
+// same device stitch independently — scrolling TikTok while a Facebook tab
+// stays open must not fragment either session.
+//
+// For the Facebook family the §5.2 heuristic applies: if any flow in the
+// session touched Instagram-only content the whole session is Instagram,
+// otherwise Facebook — which, as the paper notes, may overstate Facebook
+// and understate Instagram.
+type Stitcher struct {
+	// Gap is the maximum dead time between flows merged into one session.
+	// The paper stitches strictly overlapping flows (Gap 0); a small
+	// positive gap absorbs timestamp jitter.
+	Gap time.Duration
+
+	emit func(Session)
+	open map[sessionKey]*openSession
+}
+
+type sessionKey struct {
+	device uint64
+	family string
+}
+
+type openSession struct {
+	start     time.Time
+	end       time.Time
+	bytes     int64
+	flows     int
+	instagram bool
+}
+
+// NewStitcher returns a stitcher delivering completed sessions to emit.
+func NewStitcher(gap time.Duration, emit func(Session)) *Stitcher {
+	return &Stitcher{Gap: gap, emit: emit, open: make(map[sessionKey]*openSession)}
+}
+
+// Add feeds one application-labeled flow. app must be a matcher output;
+// AppFacebook and AppInstagram share one family, everything else stitches
+// per app name.
+func (st *Stitcher) Add(device uint64, app, domain string, start time.Time, dur time.Duration, bytes int64) {
+	family := app
+	if family == AppInstagram {
+		family = AppFacebook // shared family; disambiguated at emit
+	}
+	key := sessionKey{device, family}
+	end := start.Add(dur)
+	isIG := app == AppInstagram || IsInstagramOnly(domain)
+	if cur := st.open[key]; cur != nil {
+		if start.Sub(cur.end) <= st.Gap {
+			// Overlapping or within gap: extend.
+			if end.After(cur.end) {
+				cur.end = end
+			}
+			cur.bytes += bytes
+			cur.flows++
+			cur.instagram = cur.instagram || isIG
+			return
+		}
+		st.finish(key, cur)
+	}
+	st.open[key] = &openSession{
+		start:     start,
+		end:       end,
+		bytes:     bytes,
+		flows:     1,
+		instagram: isIG,
+	}
+}
+
+func (st *Stitcher) finish(key sessionKey, s *openSession) {
+	app := key.family
+	if app == AppFacebook && s.instagram {
+		app = AppInstagram
+	}
+	st.emit(Session{
+		Device: key.device,
+		App:    app,
+		Start:  s.start,
+		End:    s.end,
+		Bytes:  s.bytes,
+		Flows:  s.flows,
+	})
+	delete(st.open, key)
+}
+
+// Flush emits every open session in deterministic (device, family) order.
+func (st *Stitcher) Flush() {
+	keys := make([]sessionKey, 0, len(st.open))
+	for k := range st.open {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].device != keys[j].device {
+			return keys[i].device < keys[j].device
+		}
+		return keys[i].family < keys[j].family
+	})
+	for _, k := range keys {
+		st.finish(k, st.open[k])
+	}
+}
+
+// Open returns the number of sessions currently open.
+func (st *Stitcher) Open() int { return len(st.open) }

@@ -1,0 +1,124 @@
+package appsig
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Property tests over the session stitcher: whatever the flow interleaving,
+// stitched sessions must conserve bytes and flow counts, never overlap per
+// (device, family), and each session's span must cover its inputs.
+func TestStitcherInvariantsUnderRandomFlows(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	apps := []string{AppFacebook, AppInstagram, AppTikTok, AppSteam}
+	domains := map[string][]string{
+		AppFacebook:  {"facebook.com", "fbcdn.net", "facebook.net"},
+		AppInstagram: {"instagram.com", "cdninstagram.com"},
+		AppTikTok:    {"tiktok.com", "tiktokcdn.com"},
+		AppSteam:     {"steamcontent.com", "steampowered.com"},
+	}
+	for trial := 0; trial < 25; trial++ {
+		var sessions []Session
+		st := NewStitcher(time.Duration(rng.Intn(3))*time.Minute, func(s Session) {
+			sessions = append(sessions, s)
+		})
+		type key struct {
+			dev uint64
+			app string
+		}
+		wantBytes := map[key]int64{}
+		wantFlows := map[key]int{}
+		now := time.Date(2020, time.March, 1, 0, 0, 0, 0, time.UTC)
+		nFlows := 200 + rng.Intn(400)
+		for i := 0; i < nFlows; i++ {
+			now = now.Add(time.Duration(rng.Intn(600)) * time.Second)
+			dev := uint64(rng.Intn(5))
+			app := apps[rng.Intn(len(apps))]
+			domain := domains[app][rng.Intn(len(domains[app]))]
+			dur := time.Duration(10+rng.Intn(900)) * time.Second
+			bytes := int64(rng.Intn(1 << 20))
+			family := app
+			if family == AppInstagram {
+				family = AppFacebook
+			}
+			k := key{dev, family}
+			wantBytes[k] += bytes
+			wantFlows[k]++
+			st.Add(dev, app, domain, now, dur, bytes)
+		}
+		st.Flush()
+
+		gotBytes := map[key]int64{}
+		gotFlows := map[key]int{}
+		lastEnd := map[key]time.Time{}
+		for _, s := range sessions {
+			if s.End.Before(s.Start) {
+				t.Fatalf("trial %d: session ends before it starts: %+v", trial, s)
+			}
+			if s.Flows < 1 || s.Bytes < 0 {
+				t.Fatalf("trial %d: degenerate session %+v", trial, s)
+			}
+			family := s.App
+			if family == AppInstagram {
+				family = AppFacebook
+			}
+			k := key{s.Device, family}
+			gotBytes[k] += s.Bytes
+			gotFlows[k] += s.Flows
+			// Sessions of one family/device may not overlap.
+			if prev, ok := lastEnd[k]; ok && s.Start.Before(prev) {
+				t.Fatalf("trial %d: overlapping sessions for %+v (start %v < prev end %v)",
+					trial, k, s.Start, prev)
+			}
+			if s.End.After(lastEnd[k]) {
+				lastEnd[k] = s.End
+			}
+		}
+		for k, want := range wantBytes {
+			if gotBytes[k] != want {
+				t.Fatalf("trial %d: bytes not conserved for %+v: got %d want %d", trial, k, gotBytes[k], want)
+			}
+			if gotFlows[k] != wantFlows[k] {
+				t.Fatalf("trial %d: flows not conserved for %+v: got %d want %d", trial, k, gotFlows[k], wantFlows[k])
+			}
+		}
+	}
+}
+
+// TestStitcherSessionCountMonotoneInGap checks the ablation property: a
+// larger merge gap never yields more sessions.
+func TestStitcherSessionCountMonotoneInGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	type flowEv struct {
+		at    time.Time
+		dur   time.Duration
+		bytes int64
+	}
+	var flows []flowEv
+	now := time.Date(2020, time.April, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 300; i++ {
+		now = now.Add(time.Duration(rng.Intn(1200)) * time.Second)
+		flows = append(flows, flowEv{now, time.Duration(30 + rng.Intn(600)), int64(rng.Intn(1000))})
+	}
+	count := func(gap time.Duration) int {
+		n := 0
+		st := NewStitcher(gap, func(Session) { n++ })
+		for _, f := range flows {
+			st.Add(1, AppTikTok, "tiktok.com", f.at, f.dur, f.bytes)
+		}
+		st.Flush()
+		return n
+	}
+	prev := count(0)
+	for _, gap := range []time.Duration{time.Second, time.Minute, 10 * time.Minute, time.Hour} {
+		cur := count(gap)
+		if cur > prev {
+			t.Fatalf("gap %v produced %d sessions, more than smaller gap's %d", gap, cur, prev)
+		}
+		prev = cur
+	}
+	if prev != 1 && count(24*time.Hour) != 1 {
+		t.Errorf("huge gap did not collapse to one session")
+	}
+}

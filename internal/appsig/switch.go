@@ -1,0 +1,72 @@
+package appsig
+
+// SwitchDetector identifies Nintendo Switch consoles the way §5.3.2 does:
+// a device is classified as a Switch when at least half of its traffic (by
+// bytes) goes to the identified Nintendo servers.
+type SwitchDetector struct {
+	// Threshold is the Nintendo-byte fraction required (default 0.5).
+	Threshold float64
+
+	totals map[uint64]*switchCounters
+}
+
+type switchCounters struct {
+	total    int64
+	nintendo int64
+	gameplay int64
+}
+
+// NewSwitchDetector returns a detector with the paper's 50% threshold.
+func NewSwitchDetector() *SwitchDetector {
+	return &SwitchDetector{Threshold: 0.5, totals: make(map[uint64]*switchCounters)}
+}
+
+// AddFlow accounts one flow: the device, its resolved domain (empty when
+// unlabeled), and the flow's total bytes.
+func (d *SwitchDetector) AddFlow(device uint64, domain string, bytes int64) {
+	c := d.totals[device]
+	if c == nil {
+		c = &switchCounters{}
+		d.totals[device] = c
+	}
+	c.total += bytes
+	switch ClassifyNintendo(domain) {
+	case NintendoGameplayTraffic:
+		c.nintendo += bytes
+		c.gameplay += bytes
+	case NintendoOtherTraffic:
+		c.nintendo += bytes
+	}
+}
+
+// IsSwitch reports whether the device crosses the Nintendo-traffic
+// threshold.
+func (d *SwitchDetector) IsSwitch(device uint64) bool {
+	c := d.totals[device]
+	if c == nil || c.total == 0 {
+		return false
+	}
+	return float64(c.nintendo)/float64(c.total) >= d.Threshold
+}
+
+// Switches returns every detected Switch device (order unspecified).
+func (d *SwitchDetector) Switches() []uint64 {
+	var out []uint64
+	for dev := range d.totals {
+		if d.IsSwitch(dev) {
+			out = append(out, dev)
+		}
+	}
+	return out
+}
+
+// GameplayBytes returns the device's accumulated gameplay-class bytes.
+func (d *SwitchDetector) GameplayBytes(device uint64) int64 {
+	if c := d.totals[device]; c != nil {
+		return c.gameplay
+	}
+	return 0
+}
+
+// Devices returns the number of devices observed.
+func (d *SwitchDetector) Devices() int { return len(d.totals) }

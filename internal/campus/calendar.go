@@ -1,0 +1,273 @@
+// Package campus defines the study calendar for the measurement window
+// analyzed in "Locked-In during Lock-Down" (IMC '21): the four months from
+// February 1, 2020 through May 31, 2020 at a large residential university,
+// together with the externally imposed events that structure every analysis
+// in the paper (state of emergency, WHO pandemic declaration, stay-at-home
+// order, and the academic break bracketing the transition to online
+// instruction).
+//
+// All other packages take their notion of "when" from this package so that
+// the generator, the pipeline, and the experiments agree on phase
+// boundaries, day indexing, and the local clock.
+package campus
+
+import (
+	"fmt"
+	"time"
+)
+
+// Timezone is the campus-local clock used throughout the study. The real
+// campus observes US Pacific time; the simulation uses a fixed UTC-7 offset
+// (PDT) so results do not depend on the host's zoneinfo database and the
+// hour-of-week analyses are stable across machines.
+var Timezone = time.FixedZone("PT", -7*3600)
+
+// Key dates of the measurement window. All are midnight campus-local.
+var (
+	// StudyStart is the first instant of the measurement window.
+	StudyStart = time.Date(2020, time.February, 1, 0, 0, 0, 0, Timezone)
+	// StudyEnd is the first instant after the measurement window
+	// (exclusive bound): midnight June 1, 2020.
+	StudyEnd = time.Date(2020, time.June, 1, 0, 0, 0, 0, Timezone)
+
+	// StateOfEmergency marks the regional state-of-emergency declaration
+	// (March 4, 2020).
+	StateOfEmergency = time.Date(2020, time.March, 4, 0, 0, 0, 0, Timezone)
+	// PandemicDeclared marks the WHO pandemic declaration (March 11, 2020).
+	PandemicDeclared = time.Date(2020, time.March, 11, 0, 0, 0, 0, Timezone)
+	// StayAtHome marks the regional stay-at-home order (March 19, 2020).
+	StayAtHome = time.Date(2020, time.March, 19, 0, 0, 0, 0, Timezone)
+	// BreakStart marks the first day of the academic break (March 22, 2020).
+	BreakStart = time.Date(2020, time.March, 22, 0, 0, 0, 0, Timezone)
+	// BreakEnd marks the day classes resumed, online (March 30, 2020).
+	BreakEnd = time.Date(2020, time.March, 30, 0, 0, 0, 0, Timezone)
+
+	// AnimalCrossingRelease is the release date of Animal Crossing: New
+	// Horizons (March 20, 2020), which the paper links to a surge in
+	// Nintendo Switch gameplay traffic.
+	AnimalCrossingRelease = time.Date(2020, time.March, 20, 0, 0, 0, 0, Timezone)
+)
+
+// NumDays is the number of calendar days in the study window (Feb 1 through
+// May 31, 2020 — a leap year, so February has 29 days).
+const NumDays = 29 + 31 + 30 + 31
+
+// Phase identifies the behavioral regime a given instant falls in. Phases
+// partition the study window; every instant in [StudyStart, StudyEnd) maps
+// to exactly one phase.
+type Phase int
+
+const (
+	// PrePandemic covers normal in-person instruction (Feb 1 – Mar 3).
+	PrePandemic Phase = iota
+	// Emergency covers the state-of-emergency period before the WHO
+	// declaration (Mar 4 – Mar 10): rising concern, campus still open.
+	Emergency
+	// PandemicDeparture covers the WHO declaration through the eve of the
+	// stay-at-home order (Mar 11 – Mar 18): the main departure wave.
+	PandemicDeparture
+	// Lockdown covers the stay-at-home order before break (Mar 19 – Mar 21).
+	Lockdown
+	// AcademicBreak covers spring break under lock-down (Mar 22 – Mar 29).
+	AcademicBreak
+	// OnlineTerm covers the online spring term (Mar 30 – May 31).
+	OnlineTerm
+	// OutOfWindow is returned for instants outside the study window.
+	OutOfWindow
+)
+
+// String returns a short human-readable phase name.
+func (p Phase) String() string {
+	switch p {
+	case PrePandemic:
+		return "pre-pandemic"
+	case Emergency:
+		return "state-of-emergency"
+	case PandemicDeparture:
+		return "pandemic-departure"
+	case Lockdown:
+		return "lockdown"
+	case AcademicBreak:
+		return "academic-break"
+	case OnlineTerm:
+		return "online-term"
+	default:
+		return "out-of-window"
+	}
+}
+
+// PhaseOf returns the phase containing t.
+func PhaseOf(t time.Time) Phase {
+	switch {
+	case t.Before(StudyStart) || !t.Before(StudyEnd):
+		return OutOfWindow
+	case t.Before(StateOfEmergency):
+		return PrePandemic
+	case t.Before(PandemicDeclared):
+		return Emergency
+	case t.Before(StayAtHome):
+		return PandemicDeparture
+	case t.Before(BreakStart):
+		return Lockdown
+	case t.Before(BreakEnd):
+		return AcademicBreak
+	default:
+		return OnlineTerm
+	}
+}
+
+// Day is a zero-based day index into the study window: day 0 is
+// February 1, 2020 and day NumDays-1 is May 31, 2020.
+type Day int
+
+// DayOf returns the day index containing t and whether t lies inside the
+// study window.
+func DayOf(t time.Time) (Day, bool) {
+	if t.Before(StudyStart) || !t.Before(StudyEnd) {
+		return 0, false
+	}
+	d := Day(t.In(Timezone).Sub(StudyStart) / (24 * time.Hour))
+	return d, true
+}
+
+// Time returns midnight campus-local of day d.
+func (d Day) Time() time.Time {
+	return StudyStart.Add(time.Duration(d) * 24 * time.Hour)
+}
+
+// Date returns the calendar date of day d in the campus timezone.
+func (d Day) Date() (year int, month time.Month, day int) {
+	return d.Time().Date()
+}
+
+// String formats the day as YYYY-MM-DD.
+func (d Day) String() string {
+	y, m, dd := d.Date()
+	return fmt.Sprintf("%04d-%02d-%02d", y, int(m), dd)
+}
+
+// Weekday returns the day-of-week of day d.
+func (d Day) Weekday() time.Weekday {
+	return d.Time().Weekday()
+}
+
+// IsWeekend reports whether day d falls on Saturday or Sunday.
+func (d Day) IsWeekend() bool {
+	w := d.Weekday()
+	return w == time.Saturday || w == time.Sunday
+}
+
+// Phase returns the phase of day d (phases never change mid-day).
+func (d Day) Phase() Phase {
+	return PhaseOf(d.Time())
+}
+
+// Month is a zero-based month index: 0=February, 1=March, 2=April, 3=May.
+type Month int
+
+// Month names used in figure captions.
+const (
+	February Month = iota
+	March
+	April
+	May
+	NumMonths
+)
+
+// String returns the English month name.
+func (m Month) String() string {
+	switch m {
+	case February:
+		return "February"
+	case March:
+		return "March"
+	case April:
+		return "April"
+	case May:
+		return "May"
+	default:
+		return fmt.Sprintf("Month(%d)", int(m))
+	}
+}
+
+// MonthOf returns the study month containing t and whether t lies inside
+// the study window.
+func MonthOf(t time.Time) (Month, bool) {
+	if t.Before(StudyStart) || !t.Before(StudyEnd) {
+		return 0, false
+	}
+	return Month(int(t.In(Timezone).Month()) - int(time.February)), true
+}
+
+// MonthOfDay returns the study month containing day d.
+func MonthOfDay(d Day) Month {
+	m, _ := MonthOf(d.Time().Add(time.Hour)) // nudge off midnight boundary
+	return m
+}
+
+// DaysInMonth returns the number of calendar days in study month m (2020 is
+// a leap year).
+func DaysInMonth(m Month) int {
+	switch m {
+	case February:
+		return 29
+	case March:
+		return 31
+	case April:
+		return 30
+	case May:
+		return 31
+	default:
+		return 0
+	}
+}
+
+// FirstDay returns the day index of the first day of study month m.
+func FirstDay(m Month) Day {
+	d := Day(0)
+	for i := February; i < m; i++ {
+		d += Day(DaysInMonth(i))
+	}
+	return d
+}
+
+// HourOfWeek returns the hour-of-week index of t, following the paper's
+// Figure 3 convention that weeks begin on Thursday: index 0 is Thursday
+// 00:00–01:00 campus-local and index 167 is Wednesday 23:00–24:00.
+func HourOfWeek(t time.Time) int {
+	lt := t.In(Timezone)
+	// time.Weekday: Sunday=0 ... Saturday=6. Rotate so Thursday=0.
+	dow := (int(lt.Weekday()) - int(time.Thursday) + 7) % 7
+	return dow*24 + lt.Hour()
+}
+
+// HoursPerWeek is the number of hour-of-week buckets.
+const HoursPerWeek = 7 * 24
+
+// FigureWeeks lists the Thursdays anchoring the four example weeks plotted
+// in Figure 3 of the paper: the weeks of 2/20, 3/19, 4/9, and 5/14 2020.
+// Each week spans [anchor, anchor+7d).
+var FigureWeeks = []time.Time{
+	time.Date(2020, time.February, 20, 0, 0, 0, 0, Timezone),
+	time.Date(2020, time.March, 19, 0, 0, 0, 0, Timezone),
+	time.Date(2020, time.April, 9, 0, 0, 0, 0, Timezone),
+	time.Date(2020, time.May, 14, 0, 0, 0, 0, Timezone),
+}
+
+// Event pairs a study milestone with its label, for chart annotation.
+type Event struct {
+	Time  time.Time
+	Label string
+}
+
+// Events returns the annotated milestones in chronological order, matching
+// the vertical markers on the paper's time-series figures.
+func Events() []Event {
+	return []Event{
+		{StateOfEmergency, "State of Emergency"},
+		{PandemicDeclared, "WHO Declared Pandemic"},
+		{StayAtHome, "Stay at Home Order"},
+		{BreakStart, "Academic Break"},
+		{BreakEnd, "Classes Resume Online"},
+	}
+}

@@ -1,0 +1,197 @@
+package campus
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNumDays(t *testing.T) {
+	got := int(StudyEnd.Sub(StudyStart) / (24 * time.Hour))
+	if got != NumDays {
+		t.Fatalf("window spans %d days, NumDays = %d", got, NumDays)
+	}
+	if NumDays != 121 {
+		t.Fatalf("NumDays = %d, want 121 (leap-year Feb..May)", NumDays)
+	}
+}
+
+func TestKeyDateOrdering(t *testing.T) {
+	order := []time.Time{
+		StudyStart, StateOfEmergency, PandemicDeclared, StayAtHome,
+		AnimalCrossingRelease, BreakStart, BreakEnd, StudyEnd,
+	}
+	for i := 1; i < len(order); i++ {
+		if !order[i-1].Before(order[i]) {
+			t.Fatalf("key dates out of order at index %d: %v !< %v", i, order[i-1], order[i])
+		}
+	}
+}
+
+func TestPhaseOf(t *testing.T) {
+	cases := []struct {
+		t    time.Time
+		want Phase
+	}{
+		{StudyStart, PrePandemic},
+		{StateOfEmergency.Add(-time.Second), PrePandemic},
+		{StateOfEmergency, Emergency},
+		{PandemicDeclared, PandemicDeparture},
+		{StayAtHome, Lockdown},
+		{BreakStart, AcademicBreak},
+		{BreakEnd, OnlineTerm},
+		{StudyEnd.Add(-time.Second), OnlineTerm},
+		{StudyEnd, OutOfWindow},
+		{StudyStart.Add(-time.Second), OutOfWindow},
+	}
+	for _, c := range cases {
+		if got := PhaseOf(c.t); got != c.want {
+			t.Errorf("PhaseOf(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestPhaseStringsDistinct(t *testing.T) {
+	seen := map[string]Phase{}
+	for p := PrePandemic; p <= OutOfWindow; p++ {
+		s := p.String()
+		if s == "" {
+			t.Fatalf("phase %d has empty name", p)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("phases %v and %v share name %q", prev, p, s)
+		}
+		seen[s] = p
+	}
+}
+
+func TestDayRoundTrip(t *testing.T) {
+	for d := Day(0); d < NumDays; d++ {
+		got, ok := DayOf(d.Time())
+		if !ok || got != d {
+			t.Fatalf("DayOf(%v.Time()) = %v, %v", d, got, ok)
+		}
+		// Any instant within the day maps back to the same day.
+		got, ok = DayOf(d.Time().Add(23*time.Hour + 59*time.Minute))
+		if !ok || got != d {
+			t.Fatalf("DayOf(end of %v) = %v, %v", d, got, ok)
+		}
+	}
+}
+
+func TestDayOfOutOfWindow(t *testing.T) {
+	if _, ok := DayOf(StudyStart.Add(-time.Nanosecond)); ok {
+		t.Error("instant before window reported in-window")
+	}
+	if _, ok := DayOf(StudyEnd); ok {
+		t.Error("StudyEnd reported in-window")
+	}
+}
+
+func TestDayString(t *testing.T) {
+	if got := Day(0).String(); got != "2020-02-01" {
+		t.Errorf("day 0 = %q", got)
+	}
+	if got := Day(NumDays - 1).String(); got != "2020-05-31" {
+		t.Errorf("last day = %q", got)
+	}
+	if got := Day(29).String(); got != "2020-03-01" {
+		t.Errorf("day 29 = %q", got)
+	}
+}
+
+func TestWeekend(t *testing.T) {
+	// Feb 1 2020 was a Saturday.
+	if !Day(0).IsWeekend() || Day(0).Weekday() != time.Saturday {
+		t.Errorf("Feb 1 2020 should be Saturday, got %v", Day(0).Weekday())
+	}
+	if Day(2).IsWeekend() {
+		t.Errorf("Feb 3 2020 (Monday) flagged weekend")
+	}
+}
+
+func TestMonths(t *testing.T) {
+	total := 0
+	for m := February; m < NumMonths; m++ {
+		total += DaysInMonth(m)
+	}
+	if total != NumDays {
+		t.Fatalf("months sum to %d days, want %d", total, NumDays)
+	}
+	if FirstDay(February) != 0 {
+		t.Errorf("FirstDay(February) = %d", FirstDay(February))
+	}
+	if FirstDay(March) != 29 {
+		t.Errorf("FirstDay(March) = %d", FirstDay(March))
+	}
+	if FirstDay(May) != 29+31+30 {
+		t.Errorf("FirstDay(May) = %d", FirstDay(May))
+	}
+	for d := Day(0); d < NumDays; d++ {
+		m := MonthOfDay(d)
+		if d < FirstDay(m) || int(d) >= int(FirstDay(m))+DaysInMonth(m) {
+			t.Fatalf("day %v assigned month %v outside its range", d, m)
+		}
+	}
+}
+
+func TestMonthOf(t *testing.T) {
+	if m, ok := MonthOf(time.Date(2020, time.April, 15, 12, 0, 0, 0, Timezone)); !ok || m != April {
+		t.Errorf("MonthOf(Apr 15) = %v, %v", m, ok)
+	}
+	if _, ok := MonthOf(time.Date(2020, time.June, 1, 0, 0, 0, 0, Timezone)); ok {
+		t.Error("June 1 reported in-window")
+	}
+}
+
+func TestHourOfWeek(t *testing.T) {
+	// Figure weeks are anchored on Thursdays; hour 0 of each week must be
+	// Thursday midnight.
+	for _, w := range FigureWeeks {
+		if w.Weekday() != time.Thursday {
+			t.Errorf("figure week %v does not start on Thursday", w)
+		}
+		if h := HourOfWeek(w); h != 0 {
+			t.Errorf("HourOfWeek(%v) = %d, want 0", w, h)
+		}
+		if h := HourOfWeek(w.Add(7*24*time.Hour - time.Second)); h != HoursPerWeek-1 {
+			t.Errorf("last hour of week %v = %d, want %d", w, h, HoursPerWeek-1)
+		}
+	}
+}
+
+func TestHourOfWeekProperty(t *testing.T) {
+	// HourOfWeek is periodic with period one week and increments by one
+	// per hour.
+	f := func(offsetHours uint16) bool {
+		base := FigureWeeks[0].Add(time.Duration(offsetHours) * time.Hour)
+		h := HourOfWeek(base)
+		if h != int(offsetHours)%HoursPerWeek {
+			return false
+		}
+		return HourOfWeek(base.Add(7*24*time.Hour)) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventsChronological(t *testing.T) {
+	ev := Events()
+	if len(ev) == 0 {
+		t.Fatal("no events")
+	}
+	for i := 1; i < len(ev); i++ {
+		if !ev[i-1].Time.Before(ev[i].Time) {
+			t.Errorf("events out of order: %q !< %q", ev[i-1].Label, ev[i].Label)
+		}
+	}
+	for _, e := range ev {
+		if e.Label == "" {
+			t.Errorf("event at %v has empty label", e.Time)
+		}
+		if PhaseOf(e.Time) == OutOfWindow {
+			t.Errorf("event %q outside study window", e.Label)
+		}
+	}
+}

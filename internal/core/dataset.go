@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/anonymize"
+	"repro/internal/campus"
+	"repro/internal/devclass"
+	"repro/internal/geo"
+)
+
+// DeviceData is the finalized, pseudonymous record of one device — the unit
+// every experiment operates on.
+type DeviceData struct {
+	ID anonymize.DeviceID
+
+	// Type is the classifier's verdict; ClassifiedBy names the deciding
+	// heuristic ("iot-signature", "user-agent", "oui", "none").
+	Type         devclass.Type
+	ClassifiedBy string
+
+	// Geo is the §4.2 population label from the February midpoint.
+	Geo geo.Classification
+	// GeoCDNAblation is the label the midpoint produces with the CDN
+	// exclusion inverted (§4.2 ablation: with exclusion disabled,
+	// US-located CDN answers drag midpoints toward campus).
+	GeoCDNAblation geo.Classification
+
+	// Classification evidence retained for sensitivity analyses:
+	// IoTScore is the best Saidi signature match fraction (with the
+	// matching platform), UAType the User-Agent majority vote, OUIHint
+	// the vendor-registry hint (Unknown for randomized MACs or
+	// mixed-portfolio vendors).
+	IoTScore    float64
+	IoTPlatform string
+	UAType      devclass.Type
+	OUIHint     devclass.Type
+
+	// Resident: present ≥14 distinct days (the visitor filter).
+	// PostShutdown: resident and active on/after the break start — the
+	// paper's 6,522-device analysis population.
+	Resident     bool
+	PostShutdown bool
+
+	// IsSwitch marks Nintendo Switch consoles (§5.3.2's ≥50% rule).
+	IsSwitch bool
+
+	// Daily / ZoomDaily / GameplayDaily are bytes per study day
+	// (GameplayDaily nil for devices with no Nintendo gameplay traffic).
+	Daily         []float32
+	ZoomDaily     []float32
+	GameplayDaily []float32
+
+	// HourWeek holds per-hour-of-week bytes for the four Figure 3 weeks
+	// (nil when the device was idle that week).
+	HourWeek [4][]float32
+
+	// SitesFeb / SitesAprMay count distinct labeled domains per period.
+	SitesFeb    int
+	SitesAprMay int
+
+	// Social[month][app] aggregates stitched session time; app indices
+	// follow appsig.SocialMediaApps (facebook, instagram, tiktok).
+	Social [campus.NumMonths][3]SocialMonth
+	// Steam[month] aggregates Steam bytes and connection counts.
+	Steam [campus.NumMonths]SteamMonth
+
+	// GroupBytes[month][group] is the device's monthly byte volume per
+	// work/leisure category group (extension analysis).
+	GroupBytes [campus.NumMonths][NumGroups]int64
+	// ZoomHourly[0][h] / ZoomHourly[1][h] are the device's online-term
+	// Zoom bytes per hour of day on weekdays / weekends (§5.1's
+	// weekend-afternoon bump, which the paper describes but does not
+	// plot).
+	ZoomHourly [2][24]float32
+
+	Flows int64
+}
+
+// ActiveOn reports whether the device produced traffic on the given day.
+func (d *DeviceData) ActiveOn(day campus.Day) bool {
+	return int(day) < len(d.Daily) && d.Daily[day] > 0
+}
+
+// TotalBytes sums the device's traffic over the window.
+func (d *DeviceData) TotalBytes() float64 {
+	var sum float64
+	for _, v := range d.Daily {
+		sum += float64(v)
+	}
+	return sum
+}
+
+// Dataset is the finalized analysis input.
+type Dataset struct {
+	Devices []*DeviceData
+	Stats   Stats
+
+	byID map[anonymize.DeviceID]*DeviceData
+}
+
+// Device returns the record for a pseudonym, or nil.
+func (ds *Dataset) Device(id anonymize.DeviceID) *DeviceData { return ds.byID[id] }
+
+// PostShutdownUsers returns the paper's analysis population.
+func (ds *Dataset) PostShutdownUsers() []*DeviceData {
+	var out []*DeviceData
+	for _, d := range ds.Devices {
+		if d.PostShutdown {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Finalize closes the streaming state and produces the Dataset: open
+// sessions are flushed, every device is classified (type, population,
+// Switch), and presence filters are applied. The pipeline must not be fed
+// further after Finalize.
+func (p *Pipeline) Finalize() *Dataset {
+	if p.finalized {
+		panic("core: Finalize called twice")
+	}
+	p.finalized = true
+	p.stitcher.Flush()
+
+	ds := &Dataset{
+		Stats: p.stats,
+		byID:  make(map[anonymize.DeviceID]*DeviceData, len(p.devices)),
+	}
+	for id, st := range p.devices {
+		uas := make([]string, 0, len(st.uas))
+		for ua := range st.uas {
+			uas = append(uas, ua)
+		}
+		sort.Strings(uas)
+		ty, by := p.classifier.Classify(devclass.Evidence{
+			MAC:        st.mac,
+			UserAgents: uas,
+			Domains:    st.sigDomains,
+		})
+		iotScore, iotPlatform := p.iotDet.Score(st.sigDomains)
+		var ouiHint devclass.Type
+		if v, ok := devclass.LookupOUI(st.mac); ok {
+			ouiHint = v.Hint
+		}
+		d := &DeviceData{
+			ID:             id,
+			Type:           ty,
+			ClassifiedBy:   by,
+			Geo:            p.geoCls.Classify(uint64(id)),
+			GeoCDNAblation: p.geoClsAblate.Classify(uint64(id)),
+			IoTScore:       iotScore,
+			IoTPlatform:    iotPlatform,
+			UAType:         devclass.UAVote(uas),
+			OUIHint:        ouiHint,
+			Resident:       p.presence.Resident(id),
+			PostShutdown:   p.presence.PostShutdownUser(id),
+			IsSwitch:       p.switchDet.IsSwitch(uint64(id)),
+			Daily:          st.daily,
+			ZoomDaily:      st.zoom,
+			GameplayDaily:  st.gameplay,
+			HourWeek:       st.hourWeek,
+			SitesFeb:       st.sitesFeb.count(),
+			SitesAprMay:    st.sitesAprMay.count(),
+			Social:         st.social,
+			Steam:          st.steam,
+			GroupBytes:     st.groupBytes,
+			ZoomHourly:     st.zoomHourly,
+			Flows:          st.flows,
+		}
+		ds.Devices = append(ds.Devices, d)
+		ds.byID[id] = d
+	}
+	sort.Slice(ds.Devices, func(i, j int) bool { return ds.Devices[i].ID < ds.Devices[j].ID })
+	return ds
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/campus"
+	"repro/internal/flow"
+	"repro/internal/packet"
+	"repro/internal/universe"
+)
+
+func TestEUI64RoundTripProperty(t *testing.T) {
+	f := func(raw [6]byte) bool {
+		m := packet.MAC(raw)
+		addr := m.EUI64Addr(universe.ResidenceNetV6)
+		if !universe.ResidenceNetV6.Contains(addr) {
+			return false
+		}
+		back, ok := packet.MACFromEUI64(addr)
+		return ok && back == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACFromEUI64Rejections(t *testing.T) {
+	// IPv4 address.
+	if _, ok := packet.MACFromEUI64(clientIP); ok {
+		t.Error("IPv4 address yielded a MAC")
+	}
+	// Privacy-extension style address (no ff:fe marker).
+	m := packet.MustParseMAC("00:1b:21:01:02:03")
+	addr := m.EUI64Addr(universe.ResidenceNetV6)
+	b := addr.As16()
+	b[11], b[12] = 0xab, 0xcd
+	if _, ok := packet.MACFromEUI64(addrFrom16(b)); ok {
+		t.Error("privacy-style IID yielded a MAC")
+	}
+}
+
+func TestIPv6FlowAttributesViaEUI64(t *testing.T) {
+	p, reg := newBarePipeline(t, Options{})
+	// No DHCP lease at all: the device's v6 flows must still attribute
+	// via the embedded MAC.
+	v6src := testMAC.EUI64Addr(universe.ResidenceNetV6)
+	server, ok := reg.ResolveIPv6("facebook.com", 3)
+	if !ok {
+		t.Fatal("no AAAA for facebook.com")
+	}
+	rec := flow.Record{
+		Start: campus.StudyStart.Add(time.Hour), Duration: time.Minute,
+		OrigAddr: v6src, OrigPort: 50000,
+		RespAddr: server, RespPort: 443,
+		Proto: flow.ProtoTCP, OrigBytes: 100, RespBytes: 900,
+		OrigPkts: 1, RespPkts: 1,
+	}
+	p.Flow(rec)
+	if st := p.Stats(); st.FlowsProcessed != 1 || st.FlowsUnattributed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// And it merges with the same device's v4 traffic under one pseudonym.
+	p.Lease(leaseFor(campus.StudyStart))
+	v4server, _ := reg.ResolveIP("facebook.com", 3)
+	rec4 := rec
+	rec4.Start = campus.StudyStart.Add(2 * time.Hour)
+	rec4.OrigAddr = clientIP
+	rec4.RespAddr = v4server
+	p.Flow(rec4)
+	ds := p.Finalize()
+	if len(ds.Devices) != 1 {
+		t.Fatalf("v4+v6 traffic split across %d devices", len(ds.Devices))
+	}
+	if ds.Devices[0].Flows != 2 {
+		t.Errorf("flows = %d, want 2", ds.Devices[0].Flows)
+	}
+}
+
+func TestIPv6ServerGeolocates(t *testing.T) {
+	p, reg := newBarePipeline(t, Options{})
+	v6src := testMAC.EUI64Addr(universe.ResidenceNetV6)
+	// February flows to a foreign v6 service: the midpoint classifier
+	// must see them.
+	bili, ok := reg.ResolveIPv6("hdslb.com", 1)
+	if !ok {
+		t.Fatal("no AAAA for hdslb.com")
+	}
+	p.Flow(flow.Record{
+		Start: campus.StudyStart.Add(time.Hour), Duration: time.Minute,
+		OrigAddr: v6src, OrigPort: 50001,
+		RespAddr: bili, RespPort: 443,
+		Proto: flow.ProtoTCP, OrigBytes: 10, RespBytes: 1 << 30,
+		OrigPkts: 1, RespPkts: 1,
+	})
+	ds := p.Finalize()
+	if len(ds.Devices) != 1 {
+		t.Fatal("no device")
+	}
+	if got := ds.Devices[0].Geo.String(); got != "international" {
+		t.Errorf("v6-only foreign traffic classified %q", got)
+	}
+}
+
+func TestGeneratedWorkloadCarriesIPv6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	ds, _, _ := runSmall(t, 0.004, Options{Key: []byte("ipv6-share-test-key-0123456789abcd")})
+	// The pipeline must have processed flows and nothing v6 should have
+	// been unattributed (EUI-64 extraction covers the generator's SLAAC
+	// addresses).
+	if ds.Stats.FlowsUnattributed > ds.Stats.FlowsProcessed/100 {
+		t.Errorf("unattributed %d of %d", ds.Stats.FlowsUnattributed, ds.Stats.FlowsProcessed)
+	}
+}
+
+func addrFrom16(b [16]byte) netip.Addr { return netip.AddrFrom16(b) }

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/campus"
+	"repro/internal/devclass"
+	"repro/internal/geo"
+	"repro/internal/trace"
+	"repro/internal/universe"
+)
+
+// runSmall drives a small-scale generated workload end to end.
+func runSmall(t testing.TB, scale float64, opts Options) (*Dataset, *trace.Generator, *Pipeline) {
+	t.Helper()
+	reg, err := universe.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.Scale = scale
+	g, err := trace.New(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Key == nil {
+		opts.Key = []byte("integration-test-key-0123456789abcdef")
+	}
+	p, err := NewPipeline(reg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	return p.Finalize(), g, p
+}
+
+func TestEndToEndSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-window integration run")
+	}
+	ds, g, p := runSmall(t, 0.01, Options{})
+	st := ds.Stats
+
+	if st.FlowsProcessed == 0 || st.DNSEntries == 0 || st.Leases == 0 || st.HTTPEntries == 0 {
+		t.Fatalf("pipeline saw nothing: %+v", st)
+	}
+	// The tap filter must have dropped traffic to excluded networks.
+	if st.FlowsTapDropped == 0 {
+		t.Error("no tap-excluded flows dropped; generator should emit some")
+	}
+	// Every flow should be attributable (generator leases before flows).
+	if st.FlowsUnattributed > st.FlowsProcessed/100 {
+		t.Errorf("%d unattributed flows of %d", st.FlowsUnattributed, st.FlowsProcessed)
+	}
+	if len(ds.Devices) == 0 {
+		t.Fatal("no devices in dataset")
+	}
+
+	// Reconcile device census with generator ground truth: devices that
+	// were present and produced traffic should appear.
+	truth := g.Devices()
+	found := 0
+	for _, d := range truth {
+		if ds.Device(p.DeviceID(d.MAC)) != nil {
+			found++
+		}
+	}
+	if float64(found) < 0.9*float64(len(truth)) {
+		t.Errorf("only %d/%d ground-truth devices surfaced", found, len(truth))
+	}
+
+	// Post-shutdown population: nonzero, smaller than total, and matching
+	// ground truth stayers approximately.
+	post := ds.PostShutdownUsers()
+	if len(post) == 0 || len(post) >= len(ds.Devices) {
+		t.Fatalf("post-shutdown population = %d of %d", len(post), len(ds.Devices))
+	}
+	stayers := 0
+	for _, d := range truth {
+		if d.Stays() && d.ArriveDay == 0 {
+			stayers++
+		}
+	}
+	ratio := float64(len(post)) / float64(stayers)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("post-shutdown %d vs ground-truth stayers %d (ratio %.2f)", len(post), stayers, ratio)
+	}
+
+	// Classification sanity: every class present; unclassified exists.
+	byType := map[devclass.Type]int{}
+	for _, d := range ds.Devices {
+		byType[d.Type]++
+	}
+	for _, ty := range devclass.Types {
+		if byType[ty] == 0 {
+			t.Errorf("no devices classified %v", ty)
+		}
+	}
+
+	// Geo split: both populations present among post-shutdown users.
+	geoCount := map[geo.Classification]int{}
+	for _, d := range post {
+		geoCount[d.Geo]++
+	}
+	if geoCount[geo.International] == 0 {
+		t.Error("no international devices identified")
+	}
+	if geoCount[geo.Domestic] == 0 {
+		t.Error("no domestic devices identified")
+	}
+	if geoCount[geo.International] >= geoCount[geo.Domestic] {
+		t.Errorf("international (%d) should be the minority (domestic %d)",
+			geoCount[geo.International], geoCount[geo.Domestic])
+	}
+
+	// Switch detection ≈ ground truth switches that produced traffic.
+	truthSwitches := 0
+	for _, d := range truth {
+		if d.Kind == trace.KindSwitch {
+			truthSwitches++
+		}
+	}
+	detected := 0
+	for _, d := range ds.Devices {
+		if d.IsSwitch {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no switches detected")
+	}
+	if detected < truthSwitches*7/10 || detected > truthSwitches*13/10 {
+		t.Errorf("detected %d switches, ground truth %d", detected, truthSwitches)
+	}
+
+	// Zoom: daily zoom bytes concentrated in the online term.
+	var zoomPre, zoomPost float64
+	breakEnd, _ := campus.DayOf(campus.BreakEnd)
+	for _, d := range post {
+		for day, v := range d.ZoomDaily {
+			if campus.Day(day) < breakEnd {
+				zoomPre += float64(v)
+			} else {
+				zoomPost += float64(v)
+			}
+		}
+	}
+	if zoomPost < 10*zoomPre {
+		t.Errorf("zoom pre=%.0f post=%.0f; expected online-term dominance", zoomPre, zoomPost)
+	}
+
+	// Social sessions recorded for post-shutdown mobiles.
+	anySocial := false
+	for _, d := range post {
+		for m := campus.February; m < campus.NumMonths; m++ {
+			for a := 0; a < 3; a++ {
+				if d.Social[m][a].Sessions > 0 {
+					anySocial = true
+				}
+			}
+		}
+	}
+	if !anySocial {
+		t.Error("no social sessions recorded")
+	}
+
+	// Distinct sites grew Feb → Apr/May for post-shutdown users.
+	var febSites, postSites, n float64
+	for _, d := range post {
+		if d.SitesFeb > 0 && d.SitesAprMay > 0 {
+			febSites += float64(d.SitesFeb)
+			postSites += float64(d.SitesAprMay)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no devices with sites in both periods")
+	}
+	if postSites <= febSites {
+		t.Errorf("distinct sites did not grow: feb=%.0f post=%.0f", febSites, postSites)
+	}
+}
+
+func TestVisitorFilterApplied(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-window integration run")
+	}
+	ds, g, p := runSmall(t, 0.01, Options{Key: []byte("another-32-byte-key-abcdefgh-0123")})
+	// Ground-truth visitors (short spans) must not be Resident.
+	leaky := 0
+	visitors := 0
+	for _, d := range g.Devices() {
+		if int(d.DepartDay-d.ArriveDay) <= 8 {
+			visitors++
+			if dd := ds.Device(p.DeviceID(d.MAC)); dd != nil && dd.Resident {
+				leaky++
+			}
+		}
+	}
+	if visitors == 0 {
+		t.Skip("no visitors at this scale")
+	}
+	if leaky > 0 {
+		t.Errorf("%d/%d visitors passed the 14-day filter", leaky, visitors)
+	}
+}
+
+func TestFinalizeTwicePanics(t *testing.T) {
+	reg, err := universe.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(reg, Options{Key: []byte("0123456789abcdef0123456789abcdef")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Finalize()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Finalize did not panic")
+		}
+	}()
+	p.Finalize()
+}
+
+func TestPipelineDeterministicWithFixedKey(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	run := func() (int, int64) {
+		ds, _, _ := runSmall(t, 0.005, Options{Key: []byte("fixed-key-fixed-key-fixed-key-00")})
+		return len(ds.Devices), ds.Stats.BytesProcessed
+	}
+	n1, b1 := run()
+	n2, b2 := run()
+	if n1 != n2 || b1 != b2 {
+		t.Errorf("nondeterministic: %d/%d devices, %d/%d bytes", n1, n2, b1, b2)
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/appsig"
+	"repro/internal/campus"
+	"repro/internal/dhcp"
+	"repro/internal/dnssim"
+	"repro/internal/flow"
+	"repro/internal/httplog"
+	"repro/internal/packet"
+	"repro/internal/trace"
+	"repro/internal/universe"
+)
+
+func newBarePipeline(t *testing.T, opts Options) (*Pipeline, *universe.Registry) {
+	t.Helper()
+	reg, err := universe.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Key == nil {
+		opts.Key = []byte("robustness-test-key-0123456789abcd")
+	}
+	p, err := NewPipeline(reg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, reg
+}
+
+var (
+	testMAC  = packet.MustParseMAC("00:1b:21:11:22:33")
+	clientIP = netip.MustParseAddr("10.7.7.7")
+)
+
+func leaseFor(start time.Time) dhcp.Lease {
+	return dhcp.Lease{MAC: testMAC, Addr: clientIP, Start: start, End: start.Add(24 * time.Hour)}
+}
+
+func flowAt(t time.Time, server netip.Addr, bytes int64) flow.Record {
+	return flow.Record{
+		Start: t, Duration: time.Minute,
+		OrigAddr: clientIP, OrigPort: 50000,
+		RespAddr: server, RespPort: 443,
+		Proto: flow.ProtoTCP, OrigBytes: bytes / 20, RespBytes: bytes,
+		OrigPkts: 1, RespPkts: 1,
+	}
+}
+
+func TestUnattributedFlowsCounted(t *testing.T) {
+	p, reg := newBarePipeline(t, Options{})
+	server, _ := reg.ResolveIP("facebook.com", 1)
+	// Flow before any lease exists: must be dropped and counted, not
+	// attributed to a phantom device.
+	p.Flow(flowAt(campus.StudyStart.Add(time.Hour), server, 1000))
+	if p.Stats().FlowsUnattributed != 1 || p.Stats().FlowsProcessed != 0 {
+		t.Errorf("stats = %+v", p.Stats())
+	}
+	// After the lease arrives, the same flow attributes.
+	p.Lease(leaseFor(campus.StudyStart.Add(2 * time.Hour)))
+	p.Flow(flowAt(campus.StudyStart.Add(3*time.Hour), server, 1000))
+	if p.Stats().FlowsProcessed != 1 {
+		t.Errorf("stats after lease = %+v", p.Stats())
+	}
+	ds := p.Finalize()
+	if len(ds.Devices) != 1 {
+		t.Fatalf("devices = %d", len(ds.Devices))
+	}
+}
+
+func TestOutOfWindowFlowsCounted(t *testing.T) {
+	p, reg := newBarePipeline(t, Options{})
+	server, _ := reg.ResolveIP("facebook.com", 1)
+	p.Lease(dhcp.Lease{MAC: testMAC, Addr: clientIP,
+		Start: campus.StudyStart.Add(-48 * time.Hour), End: campus.StudyEnd.Add(48 * time.Hour)})
+	p.Flow(flowAt(campus.StudyStart.Add(-24*time.Hour), server, 1000))
+	p.Flow(flowAt(campus.StudyEnd.Add(24*time.Hour), server, 1000))
+	st := p.Stats()
+	if st.FlowsOutOfWindow != 2 || st.FlowsProcessed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTapFilterAblation(t *testing.T) {
+	server := func(reg *universe.Registry) netip.Addr {
+		ip, _ := reg.ResolveIP("twitch.tv", 1) // tap-excluded network
+		return ip
+	}
+	// Default: dropped.
+	p, reg := newBarePipeline(t, Options{})
+	p.Lease(leaseFor(campus.StudyStart))
+	p.Flow(flowAt(campus.StudyStart.Add(time.Hour), server(reg), 5000))
+	if st := p.Stats(); st.FlowsTapDropped != 1 || st.FlowsProcessed != 0 {
+		t.Errorf("default stats = %+v", st)
+	}
+	// Ablation: processed.
+	p2, reg2 := newBarePipeline(t, Options{DisableTapFilter: true})
+	p2.Lease(leaseFor(campus.StudyStart))
+	p2.Flow(flowAt(campus.StudyStart.Add(time.Hour), server(reg2), 5000))
+	if st := p2.Stats(); st.FlowsTapDropped != 0 || st.FlowsProcessed != 1 {
+		t.Errorf("ablation stats = %+v", st)
+	}
+}
+
+func TestUnlabeledFlowsCounted(t *testing.T) {
+	p, _ := newBarePipeline(t, Options{})
+	p.Lease(leaseFor(campus.StudyStart))
+	// A server address never resolved in any DNS log: flow still
+	// processes (bytes count) but is flagged unlabeled.
+	p.Flow(flowAt(campus.StudyStart.Add(time.Hour), netip.MustParseAddr("198.51.100.7"), 1234))
+	st := p.Stats()
+	if st.FlowsUnlabeled != 1 || st.FlowsProcessed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestZoomIPListCatchesUnlabeledFlows(t *testing.T) {
+	p, reg := newBarePipeline(t, Options{})
+	p.Lease(leaseFor(campus.StudyStart))
+	// A direct-IP Zoom media flow: inside the published ranges, never in
+	// DNS. Must be accounted as Zoom.
+	var zoomNet netip.Prefix
+	for _, pi := range reg.Prefixes() {
+		if pi.Owner == "zoom" {
+			zoomNet = pi.Prefix
+			break
+		}
+	}
+	base := zoomNet.Addr().As4()
+	media := netip.AddrFrom4([4]byte{base[0], base[1], 0, 99})
+	apr8 := campus.FirstDay(campus.April).Time().Add(10 * time.Hour)
+	p.Lease(leaseFor(apr8.Add(-time.Hour)))
+	p.Flow(flowAt(apr8, media, 100<<20))
+	ds := p.Finalize()
+	if len(ds.Devices) != 1 {
+		t.Fatal("no device")
+	}
+	day, _ := campus.DayOf(apr8)
+	if ds.Devices[0].ZoomDaily[day] == 0 {
+		t.Error("direct-IP zoom media flow not accounted as Zoom")
+	}
+}
+
+func TestHTTPMetaWithoutLeaseIgnored(t *testing.T) {
+	p, _ := newBarePipeline(t, Options{})
+	p.HTTPMeta(httplog.Entry{
+		Time: campus.StudyStart.Add(time.Hour), Client: clientIP,
+		Host: "detectportal.firefox.com", UserAgent: "Mozilla/5.0 (iPhone...)",
+	})
+	ds := p.Finalize()
+	if len(ds.Devices) != 0 {
+		t.Error("UA metadata without a lease created a device")
+	}
+}
+
+func TestSessionGapSensitivity(t *testing.T) {
+	// The stitching-window ablation from DESIGN.md: the same flow stream
+	// stitched with gap 0 vs a 10-minute gap must produce fewer-or-equal,
+	// longer-or-equal sessions at the larger gap.
+	run := func(gap time.Duration) (sessions int, total time.Duration) {
+		p, reg := newBarePipeline(t, Options{SessionGap: gap})
+		p.Lease(leaseFor(campus.StudyStart))
+		fb, _ := reg.ResolveIP("facebook.com", 1)
+		// Announce the domain so flows label.
+		p.DNS(dnssim.Entry{Time: campus.StudyStart, Client: clientIP, Query: "facebook.com", Answer: fb, TTL: 5 * time.Minute})
+		// Three bursts separated by 5-minute gaps.
+		base := campus.StudyStart.Add(20 * time.Hour)
+		for burst := 0; burst < 3; burst++ {
+			p.Flow(flowAt(base.Add(time.Duration(burst)*6*time.Minute), fb, 1<<20))
+		}
+		ds := p.Finalize()
+		for _, d := range ds.Devices {
+			for m := campus.February; m < campus.NumMonths; m++ {
+				sessions += d.Social[m][0].Sessions
+				total += d.Social[m][0].Duration
+			}
+		}
+		return sessions, total
+	}
+	strictN, strictDur := run(0)
+	looseN, looseDur := run(10 * time.Minute)
+	if strictN != 3 {
+		t.Errorf("strict stitching sessions = %d, want 3", strictN)
+	}
+	if looseN != 1 {
+		t.Errorf("loose stitching sessions = %d, want 1", looseN)
+	}
+	if looseDur <= strictDur {
+		t.Errorf("loose duration %v not above strict %v", looseDur, strictDur)
+	}
+}
+
+func TestDisorderedLeaseRenewalTolerated(t *testing.T) {
+	p, reg := newBarePipeline(t, Options{})
+	server, _ := reg.ResolveIP("facebook.com", 1)
+	// Same device renews: overlapping lease entries for the same
+	// MAC+address coalesce.
+	l1 := leaseFor(campus.StudyStart)
+	p.Lease(l1)
+	l2 := l1
+	l2.Start = l1.Start.Add(12 * time.Hour)
+	l2.End = l1.End.Add(12 * time.Hour)
+	p.Lease(l2)
+	p.Flow(flowAt(l1.Start.Add(30*time.Hour), server, 100))
+	if p.Stats().FlowsProcessed != 1 {
+		t.Errorf("renewed lease did not attribute: %+v", p.Stats())
+	}
+}
+
+func TestPipelineImplementsTraceSink(t *testing.T) {
+	var _ trace.Sink = (*Pipeline)(nil)
+}
+
+func TestSwitchMisdetectionGuard(t *testing.T) {
+	// A laptop that downloads one game from the Nintendo CDN but browses
+	// heavily must NOT be detected as a Switch (the ≥50% rule).
+	p, reg := newBarePipeline(t, Options{})
+	p.Lease(leaseFor(campus.StudyStart))
+	nin, _ := reg.ResolveIP("atum.hac.lp1.d4c.nintendo.net", 1)
+	ytb, _ := reg.ResolveIP("googlevideo.com", 1)
+	p.DNS(dnssim.Entry{Time: campus.StudyStart, Client: clientIP, Query: "atum.hac.lp1.d4c.nintendo.net", Answer: nin, TTL: time.Minute})
+	p.DNS(dnssim.Entry{Time: campus.StudyStart, Client: clientIP, Query: "googlevideo.com", Answer: ytb, TTL: time.Minute})
+	p.Flow(flowAt(campus.StudyStart.Add(2*time.Hour), nin, 1<<30))
+	p.Flow(flowAt(campus.StudyStart.Add(3*time.Hour), ytb, 3<<30))
+	ds := p.Finalize()
+	if ds.Devices[0].IsSwitch {
+		t.Error("browsing laptop with one Nintendo download detected as Switch")
+	}
+
+	// And the converse: a device with majority Nintendo traffic is.
+	p2, reg2 := newBarePipeline(t, Options{})
+	p2.Lease(leaseFor(campus.StudyStart))
+	nin2, _ := reg2.ResolveIP("nex.nintendo.net", 1)
+	p2.DNS(dnssim.Entry{Time: campus.StudyStart, Client: clientIP, Query: "nex.nintendo.net", Answer: nin2, TTL: time.Minute})
+	p2.Flow(flowAt(campus.StudyStart.Add(2*time.Hour), nin2, 1<<30))
+	ds2 := p2.Finalize()
+	if !ds2.Devices[0].IsSwitch {
+		t.Error("nintendo-only device not detected as Switch")
+	}
+	_ = appsig.AppNintendo
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"net/netip"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/anonymize"
+	"repro/internal/dhcp"
+	"repro/internal/dnssim"
+	"repro/internal/flow"
+	"repro/internal/httplog"
+	"repro/internal/packet"
+	"repro/internal/universe"
+)
+
+// ShardedPipeline parallelizes ingest across N independent Pipeline shards.
+// Flows and HTTP metadata are routed to a shard by the client device's MAC
+// (resolved against a dispatcher-side lease index), so each device's entire
+// history lands on one shard and per-device aggregation stays exact. DNS
+// entries and DHCP leases are broadcast — every shard carries the full join
+// tables, trading memory for parallelism.
+//
+// The public surface mirrors Pipeline: it implements trace.Sink, and
+// Finalize returns a merged Dataset with the same devices and statistics a
+// single Pipeline would produce under the same key.
+type ShardedPipeline struct {
+	shards       []*Pipeline
+	chans        []chan shardEvent
+	done         []chan struct{}
+	dispatchIdx  leaseIndex
+	unattributed int64
+	finalized    bool
+}
+
+type shardEvent struct {
+	flow  *flow.Record
+	dns   *dnssim.Entry
+	http  *httplog.Entry
+	lease *dhcp.Lease
+}
+
+// NewShardedPipeline builds n shards (n ≤ 0 selects GOMAXPROCS). All shards
+// share one pseudonymization key so device IDs are globally consistent; a
+// nil key draws one random key for the whole group.
+func NewShardedPipeline(reg *universe.Registry, opts Options, n int) (*ShardedPipeline, error) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if opts.Key == nil {
+		pseudo, err := anonymize.NewRandomPseudonymizer()
+		if err != nil {
+			return nil, err
+		}
+		opts.Key = pseudo.Key()
+	}
+	sp := &ShardedPipeline{dispatchIdx: make(leaseIndex)}
+	for i := 0; i < n; i++ {
+		p, err := NewPipeline(reg, opts)
+		if err != nil {
+			return nil, err
+		}
+		ch := make(chan shardEvent, 4096)
+		done := make(chan struct{})
+		sp.shards = append(sp.shards, p)
+		sp.chans = append(sp.chans, ch)
+		sp.done = append(sp.done, done)
+		go func(p *Pipeline, ch chan shardEvent, done chan struct{}) {
+			defer close(done)
+			for ev := range ch {
+				switch {
+				case ev.flow != nil:
+					p.Flow(*ev.flow)
+				case ev.dns != nil:
+					p.DNS(*ev.dns)
+				case ev.http != nil:
+					p.HTTPMeta(*ev.http)
+				case ev.lease != nil:
+					p.Lease(*ev.lease)
+				}
+			}
+		}(p, ch, done)
+	}
+	return sp, nil
+}
+
+// Shards returns the shard count.
+func (sp *ShardedPipeline) Shards() int { return len(sp.shards) }
+
+// DeviceID exposes the shared pseudonym mapping (all shards agree).
+func (sp *ShardedPipeline) DeviceID(m packet.MAC) anonymize.DeviceID {
+	return sp.shards[0].DeviceID(m)
+}
+
+// Lease indexes the binding for dispatch and broadcasts it to every shard.
+func (sp *ShardedPipeline) Lease(l dhcp.Lease) {
+	sp.dispatchIdx.observe(l)
+	for i := range sp.chans {
+		le := l
+		sp.chans[i] <- shardEvent{lease: &le}
+	}
+}
+
+// DNS broadcasts a resolver entry to every shard.
+func (sp *ShardedPipeline) DNS(e dnssim.Entry) {
+	for i := range sp.chans {
+		ee := e
+		sp.chans[i] <- shardEvent{dns: &ee}
+	}
+}
+
+// clientMAC mirrors Pipeline.lookupMAC for dispatch: DHCP leases for IPv4,
+// EUI-64 extraction for SLAAC IPv6.
+func (sp *ShardedPipeline) clientMAC(addr netip.Addr, t time.Time) (packet.MAC, bool) {
+	if mac, ok := sp.dispatchIdx.lookup(addr, t); ok {
+		return mac, true
+	}
+	if universe.ResidenceNetV6.Contains(addr) {
+		return packet.MACFromEUI64(addr)
+	}
+	return packet.MAC{}, false
+}
+
+// Flow routes one flow to its device's shard.
+func (sp *ShardedPipeline) Flow(r flow.Record) {
+	mac, ok := sp.clientMAC(r.OrigAddr, r.Start)
+	if !ok {
+		sp.unattributed++
+		return
+	}
+	rr := r
+	sp.chans[macShard(mac, len(sp.shards))] <- shardEvent{flow: &rr}
+}
+
+// HTTPMeta routes metadata to its device's shard.
+func (sp *ShardedPipeline) HTTPMeta(e httplog.Entry) {
+	mac, ok := sp.clientMAC(e.Client, e.Time)
+	if !ok {
+		return
+	}
+	ee := e
+	sp.chans[macShard(mac, len(sp.shards))] <- shardEvent{http: &ee}
+}
+
+// macShard hashes a MAC to a shard index.
+func macShard(mac packet.MAC, n int) int {
+	h := uint64(mac[0])<<40 | uint64(mac[1])<<32 | uint64(mac[2])<<24 |
+		uint64(mac[3])<<16 | uint64(mac[4])<<8 | uint64(mac[5])
+	h ^= h >> 17
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return int(h % uint64(n))
+}
+
+// Finalize drains every shard and merges their datasets. Must be called
+// exactly once; the ShardedPipeline must not be fed afterwards.
+func (sp *ShardedPipeline) Finalize() *Dataset {
+	if sp.finalized {
+		panic("core: Finalize called twice")
+	}
+	sp.finalized = true
+	for i := range sp.chans {
+		close(sp.chans[i])
+	}
+	for i := range sp.done {
+		<-sp.done[i]
+	}
+	merged := &Dataset{byID: map[anonymize.DeviceID]*DeviceData{}}
+	for _, p := range sp.shards {
+		ds := p.Finalize()
+		merged.Devices = append(merged.Devices, ds.Devices...)
+		for id, d := range ds.byID {
+			merged.byID[id] = d
+		}
+		s := ds.Stats
+		merged.Stats.FlowsProcessed += s.FlowsProcessed
+		merged.Stats.FlowsTapDropped += s.FlowsTapDropped
+		merged.Stats.FlowsUnlabeled += s.FlowsUnlabeled
+		merged.Stats.FlowsOutOfWindow += s.FlowsOutOfWindow
+		merged.Stats.BytesProcessed += s.BytesProcessed
+		merged.Stats.HTTPEntries += s.HTTPEntries
+	}
+	// DNS entries and leases were broadcast; report one copy's counts.
+	merged.Stats.DNSEntries = sp.shards[0].Stats().DNSEntries
+	merged.Stats.Leases = sp.shards[0].Stats().Leases
+	merged.Stats.FlowsUnattributed = sp.unattributed
+	sort.Slice(merged.Devices, func(i, j int) bool { return merged.Devices[i].ID < merged.Devices[j].ID })
+	return merged
+}

@@ -1,0 +1,85 @@
+package devclass
+
+import (
+	"repro/internal/packet"
+)
+
+// Evidence is everything the pipeline observed about one device that bears
+// on its class.
+type Evidence struct {
+	// MAC is the device's hardware address (pre-anonymization the
+	// classifier runs inside the privacy boundary, like the original
+	// system).
+	MAC packet.MAC
+	// UserAgents are the distinct User-Agent strings seen in the device's
+	// cleartext HTTP metadata. Empty for HTTPS-only devices.
+	UserAgents []string
+	// Domains is the set of destination domains the device contacted.
+	Domains map[string]bool
+}
+
+// Classifier combines the three heuristics (§3): Saidi-style IoT
+// signatures, User-Agent parsing, and OUI vendor hints, falling back to
+// Unknown — deliberately conservative, per the paper's observation that
+// the dominant error mode of their pipeline was conservative omission.
+type Classifier struct {
+	iot *IoTDetector
+}
+
+// NewClassifier returns a classifier using the given IoT detector.
+func NewClassifier(iot *IoTDetector) *Classifier {
+	return &Classifier{iot: iot}
+}
+
+// Classify returns the device's class and the evidence source that decided
+// it ("iot-signature", "user-agent", "oui", or "none").
+func (c *Classifier) Classify(ev Evidence) (Type, string) {
+	// 1. IoT signature match on destination domains. Runs first because
+	// IoT devices can present misleading User-Agents (smart TVs embed
+	// browser UAs).
+	if c.iot != nil && c.iot.IsIoT(ev.Domains) {
+		return IoT, "iot-signature"
+	}
+	// 2. User-Agent majority vote across observed strings.
+	votes := map[Type]int{}
+	for _, ua := range ev.UserAgents {
+		if info := ParseUserAgent(ua); info.Type != Unknown {
+			votes[info.Type]++
+		}
+	}
+	if best, n := argmaxVotes(votes); n > 0 {
+		return best, "user-agent"
+	}
+	// 3. OUI vendor hint (unavailable for randomized MACs).
+	if v, ok := LookupOUI(ev.MAC); ok && v.Hint != Unknown {
+		return v.Hint, "oui"
+	}
+	return Unknown, "none"
+}
+
+// UAVote returns the majority-vote type across the given User-Agent
+// strings (Unknown when none parse) — the classifier's second heuristic,
+// exposed for threshold-sweep analyses.
+func UAVote(uas []string) Type {
+	votes := map[Type]int{}
+	for _, ua := range uas {
+		if info := ParseUserAgent(ua); info.Type != Unknown {
+			votes[info.Type]++
+		}
+	}
+	best, _ := argmaxVotes(votes)
+	return best
+}
+
+// argmaxVotes returns the type with the most votes, breaking ties in favor
+// of Mobile then LaptopDesktop then IoT (fixed order keeps results
+// deterministic).
+func argmaxVotes(votes map[Type]int) (Type, int) {
+	best, n := Unknown, 0
+	for _, t := range []Type{Mobile, LaptopDesktop, IoT} {
+		if votes[t] > n {
+			best, n = t, votes[t]
+		}
+	}
+	return best, n
+}

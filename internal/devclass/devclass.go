@@ -1,0 +1,41 @@
+// Package devclass classifies on-campus devices as mobile, laptop/desktop,
+// or IoT — the device-type dimension of Figures 1 and 2 — using the same
+// evidence the paper's pipeline had (§3): User-Agent strings observed in
+// cleartext HTTP metadata, organizationally unique identifiers (OUIs) from
+// MAC addresses, and Saidi-et-al-style IoT detection over the set of
+// backend domains a device contacts.
+//
+// The classifiers are deliberately conservative: devices with randomized
+// MAC addresses and no observable User-Agent fall out as Unknown, which is
+// why the paper's post-shutdown population is dominated by unclassified
+// devices.
+package devclass
+
+// Type is the device class used throughout the analyses.
+type Type int
+
+// Device classes, matching Figure 1's legend (Unknown renders as
+// "Unclassified").
+const (
+	Unknown Type = iota
+	Mobile
+	LaptopDesktop
+	IoT
+)
+
+// String returns the figure-legend label.
+func (t Type) String() string {
+	switch t {
+	case Mobile:
+		return "Mobile"
+	case LaptopDesktop:
+		return "Laptop & Desktop"
+	case IoT:
+		return "IoT"
+	default:
+		return "Unclassified"
+	}
+}
+
+// Types lists all classes in display order.
+var Types = []Type{Mobile, LaptopDesktop, IoT, Unknown}

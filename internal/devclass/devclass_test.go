@@ -1,0 +1,227 @@
+package devclass
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/universe"
+)
+
+func TestParseUserAgent(t *testing.T) {
+	cases := []struct {
+		ua   string
+		want Type
+		os   string
+	}{
+		{"Mozilla/5.0 (iPhone; CPU iPhone OS 13_3 like Mac OS X) AppleWebKit/605.1.15", Mobile, "ios"},
+		{"Mozilla/5.0 (iPad; CPU OS 13_3 like Mac OS X) AppleWebKit/605.1.15", Mobile, "ipados"},
+		{"Mozilla/5.0 (Linux; Android 10; Pixel 3) AppleWebKit/537.36 Chrome/80.0", Mobile, "android"},
+		{"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36", LaptopDesktop, "windows"},
+		{"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_3) AppleWebKit/605.1.15", LaptopDesktop, "macos"},
+		{"Mozilla/5.0 (X11; Linux x86_64) Gecko/20100101 Firefox/73.0", LaptopDesktop, "linux"},
+		{"Mozilla/5.0 (X11; CrOS x86_64 12871.102.0) AppleWebKit/537.36", LaptopDesktop, "chromeos"},
+		{"Mozilla/5.0 (SMART-TV; Linux; Tizen 5.5) AppleWebKit/537.36", IoT, "tizen"},
+		{"Roku/DVP-9.21 (519.21E04111A)", IoT, "roku"},
+		{"Mozilla/5.0 (PlayStation 4 7.02) AppleWebKit/605.1.15", IoT, "playstation"},
+		{"Mozilla/5.0 (Nintendo Switch; WebApplet) AppleWebKit/606.4", IoT, "nintendo"},
+		{"curl/7.68.0", Unknown, ""},
+		{"", Unknown, ""},
+	}
+	for _, c := range cases {
+		got := ParseUserAgent(c.ua)
+		if got.Type != c.want || got.OS != c.os {
+			t.Errorf("ParseUserAgent(%.40q) = %v/%q, want %v/%q", c.ua, got.Type, got.OS, c.want, c.os)
+		}
+	}
+}
+
+func TestLookupOUI(t *testing.T) {
+	// Intel OUI: decisive laptop hint.
+	m := packet.MAC{0x00, 0x1b, 0x21, 0x01, 0x02, 0x03}
+	v, ok := LookupOUI(m)
+	if !ok || v.Name != "Intel" || v.Hint != LaptopDesktop {
+		t.Errorf("Intel lookup = %+v, %v", v, ok)
+	}
+	// Apple OUI: present but indecisive.
+	m = packet.MAC{0xac, 0xbc, 0x32, 0x01, 0x02, 0x03}
+	v, ok = LookupOUI(m)
+	if !ok || v.Name != "Apple" || v.Hint != Unknown {
+		t.Errorf("Apple lookup = %+v, %v", v, ok)
+	}
+	// Randomized MAC: always misses even if the OUI bytes collide with a
+	// registered one.
+	m = packet.MAC{0x00 | 0x02, 0x1b, 0x21, 0x01, 0x02, 0x03}
+	if _, ok := LookupOUI(m); ok {
+		t.Error("locally administered MAC matched OUI registry")
+	}
+	// Unregistered OUI.
+	m = packet.MAC{0xde, 0xad, 0x00, 0x01, 0x02, 0x03}
+	if _, ok := LookupOUI(m); ok {
+		t.Error("unregistered OUI matched")
+	}
+}
+
+func TestOUIHelpersStable(t *testing.T) {
+	a := OUIs(IoT)
+	b := OUIs(IoT)
+	if len(a) == 0 {
+		t.Fatal("no IoT OUIs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("OUIs order unstable")
+		}
+	}
+	n := VendorOUIs("Nintendo")
+	if len(n) < 2 {
+		t.Errorf("Nintendo OUIs = %d", len(n))
+	}
+}
+
+func registryDetector(t testing.TB, threshold float64) (*IoTDetector, *universe.Registry) {
+	t.Helper()
+	reg, err := universe.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewIoTDetector(threshold, SignaturesFromRegistry(reg)), reg
+}
+
+func TestIoTDetector(t *testing.T) {
+	d, _ := registryDetector(t, 0)
+	if d.Threshold() != DefaultIoTThreshold {
+		t.Errorf("threshold = %v", d.Threshold())
+	}
+	// A Roku device contacting all three backend domains: full match.
+	domains := map[string]bool{"api.roku.com": true, "logs.roku.com": true, "rokucdn.com": true, "netflix.com": true}
+	score, platform := d.Score(domains)
+	if score != 1 || platform != "roku" {
+		t.Errorf("roku score = %v, %q", score, platform)
+	}
+	if !d.IsIoT(domains) {
+		t.Error("roku device not detected")
+	}
+	// Two of three backends meets the 0.5 threshold.
+	if !d.IsIoT(map[string]bool{"api.roku.com": true, "rokucdn.com": true}) {
+		t.Error("2/3 signature at threshold 0.5 should match")
+	}
+	// One of three does not.
+	if d.IsIoT(map[string]bool{"rokucdn.com": true}) {
+		t.Error("1/3 signature should be below threshold 0.5")
+	}
+	// A laptop browsing the web — including the vendor's *website* —
+	// matches nothing: the public site is not part of the signature.
+	laptop := map[string]bool{"facebook.com": true, "zoom.us": true, "roku.com": true, "wikipedia.org": true}
+	if d.IsIoT(laptop) {
+		t.Error("laptop misdetected as IoT")
+	}
+	if score, _ := d.Score(nil); score != 0 {
+		t.Errorf("empty domain set score = %v", score)
+	}
+}
+
+func TestIoTThresholdSweep(t *testing.T) {
+	// At a stricter threshold a 2/3 match no longer suffices.
+	d, _ := registryDetector(t, 0.9)
+	if d.IsIoT(map[string]bool{"api.roku.com": true, "rokucdn.com": true}) {
+		t.Error("2/3 signature passed threshold 0.9")
+	}
+	if !d.IsIoT(map[string]bool{"api.roku.com": true, "logs.roku.com": true, "rokucdn.com": true}) {
+		t.Error("full signature failed threshold 0.9")
+	}
+}
+
+func TestClassifierPrecedence(t *testing.T) {
+	d, _ := registryDetector(t, 0)
+	c := NewClassifier(d)
+
+	// IoT signature beats a desktop-looking UA (smart TVs embed browser UAs).
+	ty, src := c.Classify(Evidence{
+		MAC:        packet.MAC{0x68, 0x37, 0xe9, 1, 2, 3},
+		UserAgents: []string{"Mozilla/5.0 (Windows NT 10.0) AppleWebKit"},
+		Domains:    map[string]bool{"samsungcloudsolution.com": true, "samsungotn.net": true},
+	})
+	if ty != IoT || src != "iot-signature" {
+		t.Errorf("smart TV = %v via %s", ty, src)
+	}
+
+	// UA beats OUI: an Intel-NIC machine with an iPhone UA (tethering
+	// aside, UA is direct evidence).
+	ty, src = c.Classify(Evidence{
+		MAC:        packet.MAC{0x00, 0x1b, 0x21, 1, 2, 3},
+		UserAgents: []string{"Mozilla/5.0 (iPhone; CPU iPhone OS 13_3 like Mac OS X)"},
+		Domains:    map[string]bool{"facebook.com": true},
+	})
+	if ty != Mobile || src != "user-agent" {
+		t.Errorf("UA precedence = %v via %s", ty, src)
+	}
+
+	// OUI fallback when no UA observed.
+	ty, src = c.Classify(Evidence{
+		MAC:     packet.MAC{0x00, 0x14, 0x22, 9, 9, 9},
+		Domains: map[string]bool{"netflix.com": true},
+	})
+	if ty != LaptopDesktop || src != "oui" {
+		t.Errorf("OUI fallback = %v via %s", ty, src)
+	}
+
+	// Randomized MAC + HTTPS only + generic browsing: Unknown.
+	ty, src = c.Classify(Evidence{
+		MAC:     packet.MAC{0x02, 0x34, 0x56, 9, 9, 9},
+		Domains: map[string]bool{"netflix.com": true, "tiktok.com": true},
+	})
+	if ty != Unknown || src != "none" {
+		t.Errorf("anonymous device = %v via %s", ty, src)
+	}
+}
+
+func TestClassifierUAMajority(t *testing.T) {
+	d, _ := registryDetector(t, 0)
+	c := NewClassifier(d)
+	ty, _ := c.Classify(Evidence{
+		MAC: packet.MAC{0xac, 0xbc, 0x32, 1, 2, 3}, // Apple: indecisive
+		UserAgents: []string{
+			"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_3)",
+			"Mozilla/5.0 (iPhone; CPU iPhone OS 13_3 like Mac OS X)",
+			"Mozilla/5.0 (iPhone; CPU iPhone OS 13_3 like Mac OS X)",
+		},
+		Domains: map[string]bool{"instagram.com": true},
+	})
+	if ty != Mobile {
+		t.Errorf("majority vote = %v, want Mobile", ty)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if Unknown.String() != "Unclassified" {
+		t.Errorf("Unknown = %q", Unknown.String())
+	}
+	seen := map[string]bool{}
+	for _, ty := range Types {
+		s := ty.String()
+		if seen[s] {
+			t.Errorf("duplicate label %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	reg, err := universe.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewClassifier(NewIoTDetector(0, SignaturesFromRegistry(reg)))
+	ev := Evidence{
+		MAC:        packet.MAC{0x00, 0x1b, 0x21, 1, 2, 3},
+		UserAgents: []string{"Mozilla/5.0 (Windows NT 10.0; Win64; x64)"},
+		Domains: map[string]bool{
+			"facebook.com": true, "zoom.us": true, "steamcontent.com": true,
+			"netflix.com": true, "nytimes.com": true,
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Classify(ev)
+	}
+}

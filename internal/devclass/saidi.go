@@ -1,0 +1,103 @@
+package devclass
+
+import (
+	"sort"
+
+	"repro/internal/universe"
+)
+
+// DefaultIoTThreshold is the signature-match threshold the paper uses with
+// the Saidi et al. method (§3: "with a threshold of 0.5").
+const DefaultIoTThreshold = 0.5
+
+// IoTSignature is the destination-domain fingerprint of one IoT platform:
+// the set of backend domains devices of that platform contact.
+type IoTSignature struct {
+	Platform string
+	Domains  []string
+}
+
+// IoTDetector implements the detection idea of Saidi et al. ("A Haystack
+// Full of Needles", IMC '20): a device is an IoT device when the fraction
+// of one platform's signature domains it contacts reaches a threshold.
+type IoTDetector struct {
+	threshold  float64
+	signatures []IoTSignature
+	domainSet  map[string]int // domain -> signature index
+}
+
+// NewIoTDetector builds a detector from explicit signatures. A
+// non-positive threshold takes the paper's default of 0.5.
+func NewIoTDetector(threshold float64, sigs []IoTSignature) *IoTDetector {
+	if threshold <= 0 {
+		threshold = DefaultIoTThreshold
+	}
+	d := &IoTDetector{threshold: threshold, domainSet: make(map[string]int)}
+	for _, s := range sigs {
+		if len(s.Domains) == 0 {
+			continue
+		}
+		idx := len(d.signatures)
+		d.signatures = append(d.signatures, s)
+		for _, dom := range s.Domains {
+			d.domainSet[dom] = idx
+		}
+	}
+	return d
+}
+
+// SignaturesFromRegistry derives one signature per IoT-category service in
+// the universe (the stand-in for Saidi et al.'s measured signature corpus).
+// By catalog convention an IoT service's first domain is the vendor's
+// public website — humans browse it, devices do not — so the signature
+// covers only the backend domains.
+func SignaturesFromRegistry(reg *universe.Registry) []IoTSignature {
+	var out []IoTSignature
+	for _, s := range reg.Services() {
+		if s.Category != universe.CatIoT {
+			continue
+		}
+		domains := s.Domains
+		if len(domains) > 1 {
+			domains = domains[1:]
+		}
+		out = append(out, IoTSignature{Platform: s.Name, Domains: append([]string(nil), domains...)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Platform < out[j].Platform })
+	return out
+}
+
+// Score returns the best per-signature match fraction over the device's
+// contacted-domain set, together with the matching platform.
+func (d *IoTDetector) Score(domains map[string]bool) (float64, string) {
+	if len(d.signatures) == 0 {
+		return 0, ""
+	}
+	hits := make([]int, len(d.signatures))
+	for dom := range domains {
+		if idx, ok := d.domainSet[dom]; ok {
+			hits[idx]++
+		}
+	}
+	best, bestIdx := 0.0, -1
+	for i, h := range hits {
+		score := float64(h) / float64(len(d.signatures[i].Domains))
+		if score > best {
+			best, bestIdx = score, i
+		}
+	}
+	if bestIdx < 0 {
+		return 0, ""
+	}
+	return best, d.signatures[bestIdx].Platform
+}
+
+// IsIoT reports whether the device's contacted domains cross the threshold
+// for any platform signature.
+func (d *IoTDetector) IsIoT(domains map[string]bool) bool {
+	score, _ := d.Score(domains)
+	return score >= d.threshold
+}
+
+// Threshold returns the detector's configured threshold.
+func (d *IoTDetector) Threshold() float64 { return d.threshold }

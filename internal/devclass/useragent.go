@@ -1,0 +1,52 @@
+package devclass
+
+import "strings"
+
+// UAInfo is the result of parsing one User-Agent string.
+type UAInfo struct {
+	Type Type
+	OS   string
+}
+
+// uaRule maps a marker substring to a classification. Rules are evaluated
+// in order; the first match wins, so more specific markers come first
+// (an iPad UA also contains "Mac OS X").
+var uaRules = []struct {
+	marker string
+	info   UAInfo
+}{
+	{"iPhone", UAInfo{Mobile, "ios"}},
+	{"iPad", UAInfo{Mobile, "ipados"}},
+	{"Android", UAInfo{Mobile, "android"}},
+	{"Mobile Safari", UAInfo{Mobile, "ios"}},
+	{"Windows Phone", UAInfo{Mobile, "windows-phone"}},
+
+	{"SMART-TV", UAInfo{IoT, "tizen"}},
+	{"SmartTV", UAInfo{IoT, "smart-tv"}},
+	{"Tizen", UAInfo{IoT, "tizen"}},
+	{"Web0S", UAInfo{IoT, "webos"}},
+	{"Roku", UAInfo{IoT, "roku"}},
+	{"PlayStation", UAInfo{IoT, "playstation"}},
+	{"Nintendo", UAInfo{IoT, "nintendo"}},
+	{"Xbox", UAInfo{IoT, "xbox"}},
+	{"CrKey", UAInfo{IoT, "chromecast"}},
+	{"AppleTV", UAInfo{IoT, "tvos"}},
+	{"FireTV", UAInfo{IoT, "firetv"}},
+
+	{"Windows NT", UAInfo{LaptopDesktop, "windows"}},
+	{"Macintosh", UAInfo{LaptopDesktop, "macos"}},
+	{"CrOS", UAInfo{LaptopDesktop, "chromeos"}},
+	{"X11; Linux", UAInfo{LaptopDesktop, "linux"}},
+	{"Ubuntu", UAInfo{LaptopDesktop, "linux"}},
+}
+
+// ParseUserAgent classifies a User-Agent string. Unrecognized strings
+// return Unknown.
+func ParseUserAgent(ua string) UAInfo {
+	for _, r := range uaRules {
+		if strings.Contains(ua, r.marker) {
+			return r.info
+		}
+	}
+	return UAInfo{Unknown, ""}
+}

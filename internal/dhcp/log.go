@@ -1,0 +1,99 @@
+package dhcp
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+
+	"repro/internal/packet"
+	"repro/internal/zeeklog"
+)
+
+// LogSchema is the Zeek-style envelope for lease logs.
+var LogSchema = zeeklog.Schema{
+	Path: "dhcp",
+	Fields: []zeeklog.Field{
+		{Name: "ts", Type: "time"},
+		{Name: "mac", Type: "string"},
+		{Name: "assigned_addr", Type: "addr"},
+		{Name: "lease_end", Type: "time"},
+	},
+}
+
+// LogWriter persists leases as a Zeek-style dhcp log.
+type LogWriter struct {
+	w *zeeklog.Writer
+}
+
+// NewLogWriter returns a lease log writer on w.
+func NewLogWriter(w io.Writer) *LogWriter {
+	return &LogWriter{w: zeeklog.NewWriter(w, LogSchema)}
+}
+
+// Write emits one lease.
+func (lw *LogWriter) Write(l Lease) error {
+	return lw.w.Write([]string{
+		zeeklog.FormatTime(l.Start),
+		l.MAC.String(),
+		l.Addr.String(),
+		zeeklog.FormatTime(l.End),
+	})
+}
+
+// Close flushes the log.
+func (lw *LogWriter) Close() error { return lw.w.Close() }
+
+// LogReader reads leases back from a Zeek-style dhcp log.
+type LogReader struct {
+	r *zeeklog.Reader
+}
+
+// NewLogReader validates the header and returns a reader.
+func NewLogReader(r io.Reader) (*LogReader, error) {
+	rd, err := zeeklog.NewReader(r, LogSchema)
+	if err != nil {
+		return nil, err
+	}
+	return &LogReader{r: rd}, nil
+}
+
+// Next returns the next lease or io.EOF.
+func (lr *LogReader) Next() (Lease, error) {
+	values, err := lr.r.Next()
+	if err != nil {
+		return Lease{}, err
+	}
+	var l Lease
+	if l.Start, err = zeeklog.ParseTime(values[0]); err != nil {
+		return l, err
+	}
+	if l.MAC, err = packet.ParseMAC(values[1]); err != nil {
+		return l, err
+	}
+	if l.Addr, err = netip.ParseAddr(values[2]); err != nil {
+		return l, fmt.Errorf("dhcp: bad address %q: %w", values[2], err)
+	}
+	if l.End, err = zeeklog.ParseTime(values[3]); err != nil {
+		return l, err
+	}
+	return l, nil
+}
+
+// ReadAll drains a lease log into a slice.
+func ReadAll(r io.Reader) ([]Lease, error) {
+	lr, err := NewLogReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Lease
+	for {
+		l, err := lr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+}

@@ -1,0 +1,77 @@
+package dhcp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// Normalizer answers "which device held IP x at time t?" — the join the
+// pipeline performs on every flow to convert dynamic addresses to stable
+// MAC identities. It is built once from a lease log and then queried
+// read-only, so it is safe for concurrent lookups.
+type Normalizer struct {
+	byAddr map[netip.Addr][]Lease // per address, sorted by Start
+}
+
+// NewNormalizer indexes the given leases. Leases for the same address whose
+// intervals overlap with *different* MACs indicate a corrupt log and are
+// rejected; identical-MAC overlaps (renew/rebind artifacts) are merged.
+func NewNormalizer(leases []Lease) (*Normalizer, error) {
+	byAddr := make(map[netip.Addr][]Lease)
+	for _, l := range leases {
+		if !l.Addr.IsValid() {
+			return nil, fmt.Errorf("dhcp: lease with invalid address (mac %v)", l.MAC)
+		}
+		if !l.End.After(l.Start) {
+			// Zero-length episodes (e.g. immediate release) carry no
+			// attribution window; drop them.
+			continue
+		}
+		byAddr[l.Addr] = append(byAddr[l.Addr], l)
+	}
+	for addr, ls := range byAddr {
+		sort.Slice(ls, func(i, j int) bool { return ls[i].Start.Before(ls[j].Start) })
+		merged := ls[:0]
+		for _, l := range ls {
+			if n := len(merged); n > 0 {
+				prev := &merged[n-1]
+				if l.Start.Before(prev.End) {
+					if prev.MAC != l.MAC {
+						return nil, fmt.Errorf("dhcp: %v held by %v and %v simultaneously", addr, prev.MAC, l.MAC)
+					}
+					if l.End.After(prev.End) {
+						prev.End = l.End
+					}
+					continue
+				}
+			}
+			merged = append(merged, l)
+		}
+		byAddr[addr] = merged
+	}
+	return &Normalizer{byAddr: byAddr}, nil
+}
+
+// Lookup returns the MAC bound to addr at time t.
+func (n *Normalizer) Lookup(addr netip.Addr, t time.Time) (packet.MAC, bool) {
+	ls := n.byAddr[addr]
+	if len(ls) == 0 {
+		return packet.MAC{}, false
+	}
+	// Binary search: first lease with Start > t, then check predecessor.
+	i := sort.Search(len(ls), func(i int) bool { return ls[i].Start.After(t) })
+	if i == 0 {
+		return packet.MAC{}, false
+	}
+	if l := ls[i-1]; l.Contains(t) {
+		return l.MAC, true
+	}
+	return packet.MAC{}, false
+}
+
+// Addresses returns the number of distinct addresses indexed.
+func (n *Normalizer) Addresses() int { return len(n.byAddr) }

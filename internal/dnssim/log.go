@@ -1,0 +1,82 @@
+package dnssim
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+
+	"repro/internal/zeeklog"
+)
+
+// LogSchema is the Zeek-style envelope for resolver logs.
+var LogSchema = zeeklog.Schema{
+	Path: "dns",
+	Fields: []zeeklog.Field{
+		{Name: "ts", Type: "time"},
+		{Name: "id.orig_h", Type: "addr"},
+		{Name: "query", Type: "string"},
+		{Name: "answer", Type: "addr"},
+		{Name: "ttl", Type: "interval"},
+	},
+}
+
+// LogWriter persists resolver entries as a Zeek-style dns log.
+type LogWriter struct {
+	w *zeeklog.Writer
+}
+
+// NewLogWriter returns a dns log writer on w.
+func NewLogWriter(w io.Writer) *LogWriter {
+	return &LogWriter{w: zeeklog.NewWriter(w, LogSchema)}
+}
+
+// Write emits one entry.
+func (lw *LogWriter) Write(e Entry) error {
+	return lw.w.Write([]string{
+		zeeklog.FormatTime(e.Time),
+		e.Client.String(),
+		zeeklog.FormatString(e.Query),
+		e.Answer.String(),
+		zeeklog.FormatInterval(e.TTL),
+	})
+}
+
+// Close flushes the log.
+func (lw *LogWriter) Close() error { return lw.w.Close() }
+
+// LogReader reads entries back from a Zeek-style dns log.
+type LogReader struct {
+	r *zeeklog.Reader
+}
+
+// NewLogReader validates the header and returns a reader.
+func NewLogReader(r io.Reader) (*LogReader, error) {
+	rd, err := zeeklog.NewReader(r, LogSchema)
+	if err != nil {
+		return nil, err
+	}
+	return &LogReader{r: rd}, nil
+}
+
+// Next returns the next entry or io.EOF.
+func (lr *LogReader) Next() (Entry, error) {
+	values, err := lr.r.Next()
+	if err != nil {
+		return Entry{}, err
+	}
+	var e Entry
+	if e.Time, err = zeeklog.ParseTime(values[0]); err != nil {
+		return e, err
+	}
+	if e.Client, err = netip.ParseAddr(values[1]); err != nil {
+		return e, fmt.Errorf("dnssim: bad client %q: %w", values[1], err)
+	}
+	e.Query = zeeklog.ParseString(values[2])
+	if e.Answer, err = netip.ParseAddr(values[3]); err != nil {
+		return e, fmt.Errorf("dnssim: bad answer %q: %w", values[3], err)
+	}
+	if e.TTL, err = zeeklog.ParseInterval(values[4]); err != nil {
+		return e, err
+	}
+	return e, nil
+}

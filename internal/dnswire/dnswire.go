@@ -1,0 +1,208 @@
+// Package dnswire encodes and decodes DNS messages (RFC 1035 wire format)
+// for the packet-level dataset path: queries and A/AAAA responses, enough
+// to materialize the resolver log as real UDP payloads in generated pcaps
+// and to parse them back.
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Record types and classes used by the simulation.
+const (
+	TypeA    uint16 = 1
+	TypeAAAA uint16 = 28
+	ClassIN  uint16 = 1
+)
+
+// Errors returned by the decoder.
+var (
+	ErrTruncated = errors.New("dnswire: truncated message")
+	ErrBadName   = errors.New("dnswire: malformed name")
+)
+
+// Message is the subset of a DNS message the simulation uses: one question
+// and zero or more address answers.
+type Message struct {
+	ID       uint16
+	Response bool
+	// Name is the question name (no trailing dot).
+	Name string
+	// QType is TypeA or TypeAAAA.
+	QType uint16
+	// Answers holds the response addresses (empty for queries).
+	Answers []Answer
+}
+
+// Answer is one address record.
+type Answer struct {
+	Addr netip.Addr
+	TTL  uint32
+}
+
+// encodeName appends the RFC 1035 label encoding of name.
+func encodeName(b []byte, name string) ([]byte, error) {
+	if name == "" {
+		return append(b, 0), nil
+	}
+	for _, label := range strings.Split(name, ".") {
+		if len(label) == 0 || len(label) > 63 {
+			return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	return append(b, 0), nil
+}
+
+// decodeName reads a label sequence starting at off, following at most one
+// level of compression pointers. It returns the name and the offset just
+// past the name's in-place encoding.
+func decodeName(msg []byte, off int) (string, int, error) {
+	var labels []string
+	jumped := false
+	end := off
+	for hops := 0; ; hops++ {
+		if hops > 64 {
+			return "", 0, fmt.Errorf("%w: compression loop", ErrBadName)
+		}
+		if off >= len(msg) {
+			return "", 0, ErrTruncated
+		}
+		l := int(msg[off])
+		switch {
+		case l == 0:
+			if !jumped {
+				end = off + 1
+			}
+			return strings.Join(labels, "."), end, nil
+		case l&0xc0 == 0xc0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncated
+			}
+			ptr := int(binary.BigEndian.Uint16(msg[off:off+2]) & 0x3fff)
+			if !jumped {
+				end = off + 2
+				jumped = true
+			}
+			if ptr >= off {
+				return "", 0, fmt.Errorf("%w: forward pointer", ErrBadName)
+			}
+			off = ptr
+		case l&0xc0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label type", ErrBadName)
+		default:
+			if off+1+l > len(msg) {
+				return "", 0, ErrTruncated
+			}
+			labels = append(labels, string(msg[off+1:off+1+l]))
+			off += 1 + l
+		}
+	}
+}
+
+// Encode serializes the message.
+func (m *Message) Encode() ([]byte, error) {
+	b := make([]byte, 12, 64)
+	binary.BigEndian.PutUint16(b[0:2], m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 0x8000 // QR
+		flags |= 0x0400 // AA
+	} else {
+		flags |= 0x0100 // RD
+	}
+	binary.BigEndian.PutUint16(b[2:4], flags)
+	binary.BigEndian.PutUint16(b[4:6], 1) // QDCOUNT
+	binary.BigEndian.PutUint16(b[6:8], uint16(len(m.Answers)))
+
+	var err error
+	b, err = encodeName(b, m.Name)
+	if err != nil {
+		return nil, err
+	}
+	b = binary.BigEndian.AppendUint16(b, m.QType)
+	b = binary.BigEndian.AppendUint16(b, ClassIN)
+
+	for _, a := range m.Answers {
+		// Compression pointer to the question name at offset 12.
+		b = append(b, 0xc0, 12)
+		rtype := TypeA
+		if a.Addr.Is6() && !a.Addr.Is4In6() {
+			rtype = TypeAAAA
+		}
+		b = binary.BigEndian.AppendUint16(b, rtype)
+		b = binary.BigEndian.AppendUint16(b, ClassIN)
+		b = binary.BigEndian.AppendUint32(b, a.TTL)
+		addr := a.Addr.AsSlice()
+		b = binary.BigEndian.AppendUint16(b, uint16(len(addr)))
+		b = append(b, addr...)
+	}
+	return b, nil
+}
+
+// Decode parses a message.
+func Decode(data []byte) (*Message, error) {
+	if len(data) < 12 {
+		return nil, ErrTruncated
+	}
+	m := &Message{ID: binary.BigEndian.Uint16(data[0:2])}
+	flags := binary.BigEndian.Uint16(data[2:4])
+	m.Response = flags&0x8000 != 0
+	qd := binary.BigEndian.Uint16(data[4:6])
+	an := binary.BigEndian.Uint16(data[6:8])
+	if qd != 1 {
+		return nil, fmt.Errorf("dnswire: %d questions, want 1", qd)
+	}
+	name, off, err := decodeName(data, 12)
+	if err != nil {
+		return nil, err
+	}
+	m.Name = name
+	if off+4 > len(data) {
+		return nil, ErrTruncated
+	}
+	m.QType = binary.BigEndian.Uint16(data[off : off+2])
+	off += 4
+
+	for i := 0; i < int(an); i++ {
+		_, nameEnd, err := decodeName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		off = nameEnd
+		if off+10 > len(data) {
+			return nil, ErrTruncated
+		}
+		rtype := binary.BigEndian.Uint16(data[off : off+2])
+		ttl := binary.BigEndian.Uint32(data[off+4 : off+8])
+		rdlen := int(binary.BigEndian.Uint16(data[off+8 : off+10]))
+		off += 10
+		if off+rdlen > len(data) {
+			return nil, ErrTruncated
+		}
+		rdata := data[off : off+rdlen]
+		off += rdlen
+		switch rtype {
+		case TypeA:
+			if rdlen != 4 {
+				return nil, fmt.Errorf("dnswire: A record with %d bytes", rdlen)
+			}
+			addr, _ := netip.AddrFromSlice(rdata)
+			m.Answers = append(m.Answers, Answer{Addr: addr, TTL: ttl})
+		case TypeAAAA:
+			if rdlen != 16 {
+				return nil, fmt.Errorf("dnswire: AAAA record with %d bytes", rdlen)
+			}
+			addr, _ := netip.AddrFromSlice(rdata)
+			m.Answers = append(m.Answers, Answer{Addr: addr, TTL: ttl})
+		default:
+			// Other record types are skipped.
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,175 @@
+package dnswire
+
+import (
+	"errors"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := &Message{ID: 0x1234, Name: "www.facebook.com", QType: TypeA}
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != q.ID || got.Response || got.Name != q.Name || got.QType != TypeA || len(got.Answers) != 0 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	r := &Message{
+		ID: 0xbeef, Response: true, Name: "zoom.us", QType: TypeA,
+		Answers: []Answer{
+			{Addr: netip.MustParseAddr("23.0.1.2"), TTL: 300},
+			{Addr: netip.MustParseAddr("23.1.3.4"), TTL: 300},
+		},
+	}
+	wire, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Response || got.Name != "zoom.us" || len(got.Answers) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range r.Answers {
+		if got.Answers[i] != r.Answers[i] {
+			t.Errorf("answer %d: %+v != %+v", i, got.Answers[i], r.Answers[i])
+		}
+	}
+}
+
+func TestAAAARoundTrip(t *testing.T) {
+	r := &Message{
+		ID: 7, Response: true, Name: "hdslb.com", QType: TypeAAAA,
+		Answers: []Answer{{Addr: netip.MustParseAddr("2001:db8:2400::1"), TTL: 60}},
+	}
+	wire, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Addr != r.Answers[0].Addr {
+		t.Errorf("addr = %v", got.Answers[0].Addr)
+	}
+}
+
+func TestBadNames(t *testing.T) {
+	long := make([]byte, 70)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, name := range []string{"..", "a..b", string(long) + ".com"} {
+		m := &Message{Name: name, QType: TypeA}
+		if _, err := m.Encode(); !errors.Is(err, ErrBadName) {
+			t.Errorf("Encode(%q) err = %v", name, err)
+		}
+	}
+}
+
+func TestDecodeTruncation(t *testing.T) {
+	m := &Message{ID: 1, Response: true, Name: "example.com", QType: TypeA,
+		Answers: []Answer{{Addr: netip.MustParseAddr("1.2.3.4"), TTL: 10}}}
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(wire); cut++ {
+		if _, err := Decode(wire[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", cut)
+		}
+	}
+}
+
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, rng.Intn(120))
+		rng.Read(buf)
+		Decode(buf) // errors fine, panics not
+	}
+}
+
+func TestCompressionLoopRejected(t *testing.T) {
+	// Header + a name that points at itself.
+	wire := make([]byte, 14)
+	wire[4], wire[5] = 0, 1 // QDCOUNT=1
+	wire[12], wire[13] = 0xc0, 12
+	if _, err := Decode(wire); err == nil {
+		t.Error("self-referential pointer accepted")
+	}
+}
+
+func TestNameRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Build a plausible name from the fuzz input.
+		labels := []string{}
+		for _, b := range raw {
+			l := int(b)%20 + 1
+			lbl := make([]byte, l)
+			for i := range lbl {
+				lbl[i] = 'a' + byte((int(b)+i)%26)
+			}
+			labels = append(labels, string(lbl))
+			if len(labels) == 5 {
+				break
+			}
+		}
+		if len(labels) == 0 {
+			return true
+		}
+		name := ""
+		for i, l := range labels {
+			if i > 0 {
+				name += "."
+			}
+			name += l
+		}
+		m := &Message{ID: 9, Name: name, QType: TypeA}
+		wire, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		return err == nil && got.Name == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeResponse(b *testing.B) {
+	m := &Message{ID: 1, Response: true, Name: "static.xx.fbcdn.net", QType: TypeA,
+		Answers: []Answer{{Addr: netip.MustParseAddr("23.3.4.5"), TTL: 300}}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeResponse(b *testing.B) {
+	m := &Message{ID: 1, Response: true, Name: "static.xx.fbcdn.net", QType: TypeA,
+		Answers: []Answer{{Addr: netip.MustParseAddr("23.3.4.5"), TTL: 300}}}
+	wire, _ := m.Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"repro/internal/anonymize"
+	"repro/internal/core"
+	"repro/internal/devclass"
+	"repro/internal/geo"
+)
+
+// CDNAblationResult quantifies why §4.2 excludes the Akamai, AWS,
+// Cloudfront and Optimizely CDNs from midpoint computation: CDN answers
+// geolocate near the *user*, so including them drags midpoints toward
+// campus and suppresses international identification.
+type CDNAblationResult struct {
+	// IntlExcluded / IntlIncluded are international counts among
+	// post-shutdown users with the CDN exclusion on (the paper's method)
+	// and off (the ablation).
+	IntlExcluded int
+	IntlIncluded int
+	// FlippedToDomestic counts devices international under the paper's
+	// method that the ablation reclassifies domestic.
+	FlippedToDomestic int
+	// GainedGeo counts devices with no geolocatable traffic under the
+	// exclusion that gain a verdict when CDN bytes count.
+	GainedGeo int
+}
+
+// CDNAblation compares the two midpoint configurations recorded in the
+// dataset.
+func CDNAblation(ds *core.Dataset) CDNAblationResult {
+	var r CDNAblationResult
+	for _, d := range ds.PostShutdownUsers() {
+		if d.Geo == geo.International {
+			r.IntlExcluded++
+			if d.GeoCDNAblation == geo.Domestic {
+				r.FlippedToDomestic++
+			}
+		}
+		if d.GeoCDNAblation == geo.International {
+			r.IntlIncluded++
+		}
+		if d.Geo == geo.Unknown && d.GeoCDNAblation != geo.Unknown {
+			r.GainedGeo++
+		}
+	}
+	return r
+}
+
+// IoTThresholdPoint is one row of the Saidi-threshold sensitivity sweep.
+type IoTThresholdPoint struct {
+	Threshold float64
+	// IoTCount is how many devices classify IoT at this threshold.
+	IoTCount int
+	// Correct/Omissions/Affirmative score the full classification against
+	// ground truth (zero-valued when truth is nil).
+	Correct     int
+	Omissions   int
+	Affirmative int
+}
+
+// IoTThresholdSweep re-runs the classification precedence (signature →
+// User-Agent → OUI) at each threshold using the evidence retained in the
+// dataset, reproducing the sensitivity of §3's "threshold of 0.5" choice.
+// truth may be nil to skip accuracy scoring.
+func IoTThresholdSweep(ds *core.Dataset, truth map[anonymize.DeviceID]devclass.Type, thresholds []float64) []IoTThresholdPoint {
+	out := make([]IoTThresholdPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		pt := IoTThresholdPoint{Threshold: th}
+		for _, d := range ds.Devices {
+			ty := classifyAt(d, th)
+			if ty == devclass.IoT {
+				pt.IoTCount++
+			}
+			if truth == nil {
+				continue
+			}
+			want, ok := truth[d.ID]
+			if !ok {
+				continue
+			}
+			switch {
+			case ty == want:
+				pt.Correct++
+			case ty == devclass.Unknown:
+				pt.Omissions++
+			default:
+				pt.Affirmative++
+			}
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// classifyAt replays the classifier's precedence with an alternative IoT
+// threshold.
+func classifyAt(d *core.DeviceData, threshold float64) devclass.Type {
+	if d.IoTScore >= threshold && d.IoTScore > 0 {
+		return devclass.IoT
+	}
+	if d.UAType != devclass.Unknown {
+		return d.UAType
+	}
+	return d.OUIHint
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/devclass"
+	"repro/internal/geo"
+)
+
+func TestCDNAblation(t *testing.T) {
+	ds, _, _ := fixture(t)
+	r := CDNAblation(ds)
+	if r.IntlExcluded == 0 {
+		t.Fatal("no internationals under the paper's method")
+	}
+	// Including CDNs makes US-located CDN bytes count, pulling midpoints
+	// toward campus: international identification must not grow.
+	if r.IntlIncluded > r.IntlExcluded {
+		t.Errorf("CDN inclusion grew international count %d → %d", r.IntlExcluded, r.IntlIncluded)
+	}
+	// CDN-only devices gain a verdict under the ablation.
+	if r.GainedGeo == 0 {
+		t.Log("no CDN-only devices at this scale (acceptable)")
+	}
+	t.Logf("CDN ablation: intl %d (excluded) vs %d (included), %d flipped, %d gained geo",
+		r.IntlExcluded, r.IntlIncluded, r.FlippedToDomestic, r.GainedGeo)
+}
+
+func TestGeoAblationConsistency(t *testing.T) {
+	ds, _, _ := fixture(t)
+	// A device with a verdict under exclusion must also have one with
+	// CDNs included (the ablation only sees more traffic).
+	for _, d := range ds.Devices {
+		if d.Geo != geo.Unknown && d.GeoCDNAblation == geo.Unknown {
+			t.Fatalf("device %v lost geo verdict under ablation", d.ID)
+		}
+	}
+}
+
+func TestIoTThresholdSweep(t *testing.T) {
+	ds, _, truth := fixture(t)
+	thresholds := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+	points := IoTThresholdSweep(ds, truth, thresholds)
+	if len(points) != len(thresholds) {
+		t.Fatalf("points = %d", len(points))
+	}
+	// IoT count is monotonically non-increasing in the threshold.
+	for i := 1; i < len(points); i++ {
+		if points[i].IoTCount > points[i-1].IoTCount {
+			t.Errorf("IoT count rose with threshold: %v → %v",
+				points[i-1], points[i])
+		}
+	}
+	// The paper's 0.5 should be near the accuracy plateau: not worse than
+	// the extreme thresholds.
+	var at05, at01, at10 IoTThresholdPoint
+	for _, p := range points {
+		switch p.Threshold {
+		case 0.5:
+			at05 = p
+		case 0.1:
+			at01 = p
+		case 1.0:
+			at10 = p
+		}
+	}
+	if at05.Correct < at01.Correct-at01.Correct/20 {
+		t.Errorf("threshold 0.5 (%d correct) much worse than 0.1 (%d)", at05.Correct, at01.Correct)
+	}
+	if at05.Correct < at10.Correct-at10.Correct/20 {
+		t.Errorf("threshold 0.5 (%d correct) much worse than 1.0 (%d)", at05.Correct, at10.Correct)
+	}
+	for _, p := range points {
+		t.Logf("threshold %.2f: %d IoT, %d correct, %d omissions, %d affirmative",
+			p.Threshold, p.IoTCount, p.Correct, p.Omissions, p.Affirmative)
+	}
+}
+
+func TestThresholdSweepMatchesClassifierAtDefault(t *testing.T) {
+	ds, _, _ := fixture(t)
+	// classifyAt(d, 0.5) must agree with the pipeline's own classification
+	// for every device (same precedence, same evidence).
+	mismatches := 0
+	for _, d := range ds.Devices {
+		if got := classifyAt(d, devclass.DefaultIoTThreshold); got != d.Type {
+			mismatches++
+			if mismatches <= 3 {
+				t.Errorf("device %v: sweep says %v, pipeline said %v (score %.2f ua %v oui %v)",
+					d.ID, got, d.Type, d.IoTScore, d.UAType, d.OUIHint)
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Errorf("%d mismatches total", mismatches)
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/campus"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// TestDebugGeoComposition reports which ground-truth groups the midpoint
+// classifier labels international — a calibration diagnostic, not an
+// assertion.
+func TestDebugGeoComposition(t *testing.T) {
+	ds, _, _ := fixture(t)
+	comp := map[string]int{}
+	for _, d := range ds.PostShutdownUsers() {
+		if d.Geo != geo.International {
+			continue
+		}
+		dev := fixtureTruthDev[d.ID]
+		if dev == nil {
+			comp["unknown-device"]++
+			continue
+		}
+		key := "domestic"
+		if dev.HomeHeavy {
+			key = "homeheavy"
+		} else if dev.Intl {
+			key = "moderate"
+		}
+		comp[key+"/"+dev.Kind.String()]++
+	}
+	t.Logf("identified-international composition: %v", comp)
+
+	// And the inverse: how many home-heavy stayers escaped identification.
+	missed := map[string]int{}
+	for id, dev := range fixtureTruthDev {
+		if !dev.HomeHeavy || !dev.Stays() {
+			continue
+		}
+		if dd := ds.Device(id); dd != nil && dd.PostShutdown && dd.Geo != geo.International {
+			missed[dev.Kind.String()]++
+		}
+	}
+	t.Logf("home-heavy stayers not identified: %v", missed)
+}
+
+// TestDebugFig4Bucket lists the identified-international mobile/desktop
+// bucket with per-device May traffic (calibration diagnostic).
+func TestDebugFig4Bucket(t *testing.T) {
+	ds, _, _ := fixture(t)
+	mayDay := campus.FirstDay(campus.May) + 5
+	var intlVals, domVals []float64
+	for _, d := range ds.PostShutdownUsers() {
+		if groupOf(d) != "mobile-desktop" {
+			continue
+		}
+		v := float64(d.Daily[mayDay]) - float64(d.ZoomDaily[mayDay])
+		if v <= 0 {
+			continue
+		}
+		dev := fixtureTruthDev[d.ID]
+		kind := "?"
+		grp := "?"
+		if dev != nil {
+			kind = dev.Kind.String()
+			grp = "dom"
+			if dev.HomeHeavy {
+				grp = "hh"
+			} else if dev.Intl {
+				grp = "mod"
+			}
+		}
+		if d.Geo == geo.International {
+			intlVals = append(intlVals, v)
+			t.Logf("intl-bucket: truth=%s/%s type=%v bytes=%.2fGB", grp, kind, d.Type, v/(1<<30))
+		} else {
+			domVals = append(domVals, v)
+		}
+	}
+	sort.Float64s(intlVals)
+	sort.Float64s(domVals)
+	t.Logf("intl n=%d median=%.2fGB; dom n=%d median=%.2fGB",
+		len(intlVals), intlVals[len(intlVals)/2]/(1<<30),
+		len(domVals), domVals[len(domVals)/2]/(1<<30))
+}

@@ -1,0 +1,51 @@
+// Package experiments reproduces every figure and headline result of the
+// paper's evaluation from a finalized core.Dataset. Each FigN function
+// returns a typed result carrying the same series the corresponding figure
+// plots; the cmd/lockdown harness renders them as CSV and ASCII charts and
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+package experiments
+
+import (
+	"repro/internal/campus"
+	"repro/internal/core"
+	"repro/internal/devclass"
+	"repro/internal/geo"
+)
+
+// Population buckets used across figures.
+const (
+	PopDomestic      = "domestic"
+	PopInternational = "international"
+)
+
+// groupOf maps a device to Figure 4's device grouping: mobile/desktop
+// combined, unclassified, or excluded (IoT).
+func groupOf(d *core.DeviceData) string {
+	switch d.Type {
+	case devclass.Mobile, devclass.LaptopDesktop:
+		return "mobile-desktop"
+	case devclass.Unknown:
+		return "unclassified"
+	default:
+		return "" // IoT excluded from Figure 4
+	}
+}
+
+// popOf maps a device's geolocation verdict to a population bucket
+// (Unknown-geo devices fold into domestic, the conservative default the
+// paper's method implies).
+func popOf(d *core.DeviceData) string {
+	if d.Geo == geo.International {
+		return PopInternational
+	}
+	return PopDomestic
+}
+
+// days lists all study days in order.
+func days() []campus.Day {
+	out := make([]campus.Day, campus.NumDays)
+	for i := range out {
+		out[i] = campus.Day(i)
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/campus"
+	"repro/internal/core"
+	"repro/internal/devclass"
+	"repro/internal/stats"
+)
+
+// This file holds extension analyses beyond the paper's figures: angles the
+// paper's text raises (work vs leisure framing, the weekend Zoom bump, the
+// contrast with Feldmann et al.'s diurnal convergence) but does not plot.
+
+// WorkLeisureResult is the monthly byte share per work/leisure category
+// group and population, over post-shutdown users.
+type WorkLeisureResult struct {
+	// Share[pop][month][group] in [0,1]; groups follow core.CategoryGroup.
+	Share map[string][campus.NumMonths][core.NumGroups]float64
+	// Bytes[pop][month][group] are the absolute volumes.
+	Bytes map[string][campus.NumMonths][core.NumGroups]int64
+}
+
+// WorkLeisure computes the monthly category mix: the paper's intro frames
+// the study as "how work and leisure changed"; this quantifies it.
+func WorkLeisure(ds *core.Dataset) WorkLeisureResult {
+	r := WorkLeisureResult{
+		Share: map[string][campus.NumMonths][core.NumGroups]float64{},
+		Bytes: map[string][campus.NumMonths][core.NumGroups]int64{},
+	}
+	for _, pop := range []string{PopDomestic, PopInternational} {
+		var bytes [campus.NumMonths][core.NumGroups]int64
+		for _, d := range ds.PostShutdownUsers() {
+			if popOf(d) != pop {
+				continue
+			}
+			for m := campus.February; m < campus.NumMonths; m++ {
+				for g := core.CategoryGroup(0); g < core.NumGroups; g++ {
+					bytes[m][g] += d.GroupBytes[m][g]
+				}
+			}
+		}
+		var share [campus.NumMonths][core.NumGroups]float64
+		for m := campus.February; m < campus.NumMonths; m++ {
+			var total int64
+			for _, v := range bytes[m] {
+				total += v
+			}
+			if total > 0 {
+				for g, v := range bytes[m] {
+					share[m][g] = float64(v) / float64(total)
+				}
+			}
+		}
+		r.Bytes[pop] = bytes
+		r.Share[pop] = share
+	}
+	return r
+}
+
+// ZoomWeekendResult is the §5.1 "not shown" analysis: Zoom's hour-of-day
+// profile during the online term, weekdays vs weekends.
+type ZoomWeekendResult struct {
+	WeekdayHourly [24]float64
+	WeekendHourly [24]float64
+	// WeekendPeakHour is the hour of the weekend maximum; the paper
+	// describes "a small spike in traffic in the afternoon".
+	WeekendPeakHour int
+}
+
+// ZoomWeekend computes the weekday/weekend Zoom diurnal profiles over
+// post-shutdown users.
+func ZoomWeekend(ds *core.Dataset) ZoomWeekendResult {
+	var r ZoomWeekendResult
+	for _, d := range ds.PostShutdownUsers() {
+		for h := 0; h < 24; h++ {
+			r.WeekdayHourly[h] += float64(d.ZoomHourly[0][h])
+			r.WeekendHourly[h] += float64(d.ZoomHourly[1][h])
+		}
+	}
+	best := 0.0
+	for h, v := range r.WeekendHourly {
+		if v > best {
+			best, r.WeekendPeakHour = v, h
+		}
+	}
+	return r
+}
+
+// DiurnalConvergenceResult contrasts with Feldmann et al. (§2): on ISP
+// networks, pandemic weekday diurnal patterns converged toward weekend
+// shapes; in this trapped population they did not.
+type DiurnalConvergenceResult struct {
+	// Similarity[w] is the cosine similarity between the week's weekday
+	// and weekend hour-of-day median profiles, one entry per Figure 3
+	// week.
+	Similarity []float64
+	WeekLabels []string
+	// Converged would be true if pandemic-week similarity clearly
+	// exceeded the pre-pandemic week's (Feldmann et al.'s finding); the
+	// paper — and this reproduction — find it does not.
+	Converged bool
+}
+
+// DiurnalConvergence computes weekday/weekend shape similarity per sample
+// week from the Figure 3 matrices.
+func DiurnalConvergence(ds *core.Dataset) DiurnalConvergenceResult {
+	fig3 := Fig3(ds)
+	var r DiurnalConvergenceResult
+	r.WeekLabels = fig3.WeekLabels
+	for _, week := range fig3.Normalized {
+		// Weeks are Thursday-anchored: hours 0–47 Thu/Fri, 48–95 weekend,
+		// 96–167 Mon–Wed. Average the weekday days and weekend days into
+		// hour-of-day profiles.
+		var weekday, weekend [24]float64
+		for h, v := range week {
+			hourOfDay := h % 24
+			if h >= 48 && h < 96 {
+				weekend[hourOfDay] += v / 2
+			} else {
+				weekday[hourOfDay] += v / 5
+			}
+		}
+		r.Similarity = append(r.Similarity, cosine(weekday[:], weekend[:]))
+	}
+	if len(r.Similarity) == 4 {
+		pre := r.Similarity[0]
+		pandemic := (r.Similarity[2] + r.Similarity[3]) / 2
+		r.Converged = pandemic > pre+0.05
+	}
+	return r
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// SignificanceResult quantifies how different the domestic and
+// international distributions are, per platform and month — the statistical
+// backing for the paper's claim that "sub-populations exhibited markedly
+// different behaviors" (§6).
+type SignificanceResult struct {
+	// KS[app][month] is the two-sample KS test between domestic and
+	// international per-device values (session hours for social apps,
+	// bytes for steam).
+	KS map[string][campus.NumMonths]stats.KSResult
+}
+
+// PopulationSignificance runs KS tests over the Figure 6 and Figure 7
+// per-device distributions.
+func PopulationSignificance(ds *core.Dataset) SignificanceResult {
+	r := SignificanceResult{KS: map[string][campus.NumMonths]stats.KSResult{}}
+	collect := func(appIdx int) (dom, intl [campus.NumMonths][]float64) {
+		for _, d := range ds.PostShutdownUsers() {
+			if d.Type != devclass.Mobile {
+				continue
+			}
+			for m := campus.February; m < campus.NumMonths; m++ {
+				if dur := d.Social[m][appIdx].Duration; dur > 0 {
+					if popOf(d) == PopInternational {
+						intl[m] = append(intl[m], dur.Hours())
+					} else {
+						dom[m] = append(dom[m], dur.Hours())
+					}
+				}
+			}
+		}
+		return dom, intl
+	}
+	for appIdx, app := range []string{"facebook", "instagram", "tiktok"} {
+		dom, intl := collect(appIdx)
+		var ks [campus.NumMonths]stats.KSResult
+		for m := campus.February; m < campus.NumMonths; m++ {
+			ks[m] = stats.KSTwoSample(dom[m], intl[m])
+		}
+		r.KS[app] = ks
+	}
+	// Steam bytes.
+	var domS, intlS [campus.NumMonths][]float64
+	for _, d := range ds.PostShutdownUsers() {
+		for m := campus.February; m < campus.NumMonths; m++ {
+			if s := d.Steam[m]; s.Connections > 0 {
+				if popOf(d) == PopInternational {
+					intlS[m] = append(intlS[m], float64(s.Bytes))
+				} else {
+					domS[m] = append(domS[m], float64(s.Bytes))
+				}
+			}
+		}
+	}
+	var ks [campus.NumMonths]stats.KSResult
+	for m := campus.February; m < campus.NumMonths; m++ {
+		ks[m] = stats.KSTwoSample(domS[m], intlS[m])
+	}
+	r.KS["steam"] = ks
+	return r
+}
+
+// YearOverYearResult is the §4.1 comparison against the previous year
+// ("Traffic in April and May 2020 was 53% higher than in 2019"),
+// reproduced with a counterfactual no-pandemic simulation as the baseline
+// year.
+type YearOverYearResult struct {
+	// Growth is pandemic/baseline − 1 of mean daily bytes per active
+	// device over April+May.
+	Growth float64
+	// PandemicPerDevice / BaselinePerDevice are the underlying means.
+	PandemicPerDevice float64
+	BaselinePerDevice float64
+}
+
+// YearOverYear compares an ordinary pandemic dataset with one generated
+// under trace.Config.NoPandemic.
+func YearOverYear(pandemic, baseline *core.Dataset) YearOverYearResult {
+	perDevice := func(ds *core.Dataset) float64 {
+		april1 := campus.FirstDay(campus.April)
+		var bytes float64
+		var deviceDays int64
+		for _, d := range ds.Devices {
+			for day := april1; day < campus.NumDays; day++ {
+				if v := d.Daily[day]; v > 0 {
+					bytes += float64(v)
+					deviceDays++
+				}
+			}
+		}
+		if deviceDays == 0 {
+			return 0
+		}
+		return bytes / float64(deviceDays)
+	}
+	r := YearOverYearResult{
+		PandemicPerDevice: perDevice(pandemic),
+		BaselinePerDevice: perDevice(baseline),
+	}
+	if r.BaselinePerDevice > 0 {
+		r.Growth = r.PandemicPerDevice/r.BaselinePerDevice - 1
+	}
+	return r
+}
+
+// UnclassifiedProfileResult probes the paper's footnote 2: unclassified
+// devices are suspected to be "mobile and desktop devices with large
+// outliers in device behavior".
+type UnclassifiedProfileResult struct {
+	// MedianDaily / MeanDaily for unclassified vs the mobile+desktop
+	// pool, over post-shutdown users on a representative online-term day.
+	UnclassifiedMedian float64
+	UnclassifiedMean   float64
+	ClassifiedMedian   float64
+	ClassifiedMean     float64
+	// TailRatio is the P99/median ratio of unclassified daily bytes — the
+	// "large outliers".
+	UnclassifiedTailRatio float64
+}
+
+// UnclassifiedProfile computes the footnote-2 comparison.
+func UnclassifiedProfile(ds *core.Dataset) UnclassifiedProfileResult {
+	fig2 := Fig2(ds)
+	day := campus.FirstDay(campus.May) + 5
+	var r UnclassifiedProfileResult
+	r.UnclassifiedMedian = fig2.Median[devclass.Unknown][day]
+	r.UnclassifiedMean = fig2.Mean[devclass.Unknown][day]
+	// Pool mobile and laptop medians (they are similar post-shutdown).
+	r.ClassifiedMedian = (fig2.Median[devclass.Mobile][day] + fig2.Median[devclass.LaptopDesktop][day]) / 2
+	r.ClassifiedMean = (fig2.Mean[devclass.Mobile][day] + fig2.Mean[devclass.LaptopDesktop][day]) / 2
+
+	var vals []float64
+	for _, d := range ds.PostShutdownUsers() {
+		if d.Type == devclass.Unknown && d.Daily[day] > 0 {
+			vals = append(vals, float64(d.Daily[day]))
+		}
+	}
+	if len(vals) > 0 {
+		s := stats.Summarize(vals)
+		if s.Median > 0 {
+			r.UnclassifiedTailRatio = s.P99 / s.Median
+		}
+	}
+	return r
+}

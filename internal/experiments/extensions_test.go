@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/campus"
+	"repro/internal/core"
+)
+
+func TestWorkLeisure(t *testing.T) {
+	ds, _, _ := fixture(t)
+	r := WorkLeisure(ds)
+	dom := r.Share[PopDomestic]
+	// Shares sum to 1 each month (when traffic exists).
+	for m := campus.February; m < campus.NumMonths; m++ {
+		var sum float64
+		for _, v := range dom[m] {
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("month %v shares sum to %.3f", m, sum)
+		}
+	}
+	// The work share explodes once classes move online (Zoom).
+	if dom[campus.April][core.GroupWork] < 2*dom[campus.February][core.GroupWork] {
+		t.Errorf("work share Feb %.3f → Apr %.3f; expected ≥2× growth",
+			dom[campus.February][core.GroupWork], dom[campus.April][core.GroupWork])
+	}
+	// Video remains the largest leisure group throughout.
+	for m := campus.February; m < campus.NumMonths; m++ {
+		if dom[m][core.GroupVideo] < dom[m][core.GroupSocial] {
+			t.Errorf("month %v: video share %.3f below social %.3f", m,
+				dom[m][core.GroupVideo], dom[m][core.GroupSocial])
+		}
+	}
+}
+
+func TestZoomWeekend(t *testing.T) {
+	ds, _, _ := fixture(t)
+	r := ZoomWeekend(ds)
+	var weekdayTotal, weekendTotal float64
+	for h := 0; h < 24; h++ {
+		weekdayTotal += r.WeekdayHourly[h]
+		weekendTotal += r.WeekendHourly[h]
+	}
+	if weekendTotal <= 0 {
+		t.Fatal("no weekend zoom traffic")
+	}
+	if weekdayTotal < 5*weekendTotal {
+		t.Errorf("weekday zoom %.3g not ≫ weekend %.3g", weekdayTotal, weekendTotal)
+	}
+	// §5.1: the weekend bump is in the afternoon.
+	if r.WeekendPeakHour < 11 || r.WeekendPeakHour > 18 {
+		t.Errorf("weekend zoom peak at hour %d, expected afternoon", r.WeekendPeakHour)
+	}
+	// Weekday class hours dominate weekday evenings.
+	classHours := r.WeekdayHourly[9] + r.WeekdayHourly[10] + r.WeekdayHourly[14]
+	evening := r.WeekdayHourly[21] + r.WeekdayHourly[22] + r.WeekdayHourly[23]
+	if classHours < 2*evening {
+		t.Errorf("class-hour zoom %.3g not ≫ evening %.3g", classHours, evening)
+	}
+}
+
+func TestDiurnalConvergence(t *testing.T) {
+	ds, _, _ := fixture(t)
+	r := DiurnalConvergence(ds)
+	if len(r.Similarity) != 4 {
+		t.Fatalf("similarities = %d", len(r.Similarity))
+	}
+	for w, s := range r.Similarity {
+		if s <= 0 || s > 1 {
+			t.Errorf("week %d similarity %.3f outside (0,1]", w, s)
+		}
+		t.Logf("%s: weekday/weekend shape similarity %.3f", r.WeekLabels[w], s)
+	}
+	// The paper's §4.1 contrast with Feldmann et al.: no convergence of
+	// weekday patterns to weekend shapes in this population.
+	if r.Converged {
+		t.Error("diurnal patterns converged — contradicts §4.1's finding")
+	}
+}
+
+func TestPopulationSignificance(t *testing.T) {
+	ds, _, _ := fixture(t)
+	r := PopulationSignificance(ds)
+	if len(r.KS) != 4 {
+		t.Fatalf("apps = %d", len(r.KS))
+	}
+	for app, months := range r.KS {
+		for m := campus.February; m < campus.NumMonths; m++ {
+			ks := months[m]
+			if ks.D < 0 || ks.D > 1 || ks.P < 0 || ks.P > 1 {
+				t.Errorf("%s %v: invalid KS %+v", app, m, ks)
+			}
+		}
+	}
+	// Steam has the largest identified-international sample; the paper's
+	// narrative (international students spend more on Steam) implies a
+	// measurable distributional gap in at least one month.
+	best := 1.0
+	for m := campus.February; m < campus.NumMonths; m++ {
+		if p := r.KS["steam"][m].P; p < best {
+			best = p
+		}
+	}
+	t.Logf("steam domestic-vs-international: min monthly KS p-value %.3g", best)
+	if best > 0.5 {
+		t.Errorf("no month shows any steam population difference (min p=%.3g)", best)
+	}
+}
+
+func TestUnclassifiedProfile(t *testing.T) {
+	ds, _, _ := fixture(t)
+	r := UnclassifiedProfile(ds)
+	if r.UnclassifiedMedian <= 0 || r.ClassifiedMedian <= 0 {
+		t.Fatalf("empty medians: %+v", r)
+	}
+	// Footnote 2's hypothesis holds in the reproduction: unclassified
+	// devices behave like mobile/desktop (same order of magnitude) with a
+	// heavier tail.
+	ratio := r.UnclassifiedMedian / r.ClassifiedMedian
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("unclassified/classified median ratio %.2f not same order of magnitude", ratio)
+	}
+	if r.UnclassifiedTailRatio < 3 {
+		t.Errorf("unclassified P99/median = %.1f, expected a heavy tail", r.UnclassifiedTailRatio)
+	}
+}

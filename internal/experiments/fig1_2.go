@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"repro/internal/campus"
+	"repro/internal/core"
+	"repro/internal/devclass"
+	"repro/internal/stats"
+)
+
+// Fig1Result is Figure 1: the number of active devices per day, broken
+// down by device type, with the peak/low the paper quotes (32,019 and
+// 4,973 at full scale).
+type Fig1Result struct {
+	Days    []campus.Day
+	ByType  map[devclass.Type][]int
+	Total   []int
+	Peak    int
+	PeakDay campus.Day
+	Low     int // minimum daily total after the WHO declaration
+	LowDay  campus.Day
+}
+
+// Fig1 computes active-device counts per day over all devices (this figure
+// predates the post-shutdown filtering).
+func Fig1(ds *core.Dataset) Fig1Result {
+	r := Fig1Result{
+		Days:   days(),
+		ByType: make(map[devclass.Type][]int, len(devclass.Types)),
+		Total:  make([]int, campus.NumDays),
+	}
+	for _, ty := range devclass.Types {
+		r.ByType[ty] = make([]int, campus.NumDays)
+	}
+	for _, d := range ds.Devices {
+		for day := campus.Day(0); day < campus.NumDays; day++ {
+			if d.ActiveOn(day) {
+				r.ByType[d.Type][day]++
+				r.Total[day]++
+			}
+		}
+	}
+	whoDay, _ := campus.DayOf(campus.PandemicDeclared)
+	r.Low = 1 << 60
+	for day, total := range r.Total {
+		if total > r.Peak {
+			r.Peak, r.PeakDay = total, campus.Day(day)
+		}
+		if campus.Day(day) >= whoDay && total < r.Low && total > 0 {
+			r.Low, r.LowDay = total, campus.Day(day)
+		}
+	}
+	if r.Low == 1<<60 {
+		r.Low = 0
+	}
+	return r
+}
+
+// Fig2Result is Figure 2: mean and median bytes per active device per day,
+// by device type.
+type Fig2Result struct {
+	Days   []campus.Day
+	Mean   map[devclass.Type][]float64
+	Median map[devclass.Type][]float64
+}
+
+// Fig2 computes the per-type daily mean/median over active devices.
+func Fig2(ds *core.Dataset) Fig2Result {
+	r := Fig2Result{
+		Days:   days(),
+		Mean:   make(map[devclass.Type][]float64),
+		Median: make(map[devclass.Type][]float64),
+	}
+	// Collect per-day per-type device byte lists.
+	buckets := make(map[devclass.Type][][]float64, len(devclass.Types))
+	for _, ty := range devclass.Types {
+		buckets[ty] = make([][]float64, campus.NumDays)
+		r.Mean[ty] = make([]float64, campus.NumDays)
+		r.Median[ty] = make([]float64, campus.NumDays)
+	}
+	for _, d := range ds.Devices {
+		b := buckets[d.Type]
+		for day, v := range d.Daily {
+			if v > 0 {
+				b[day] = append(b[day], float64(v))
+			}
+		}
+	}
+	for _, ty := range devclass.Types {
+		for day, vals := range buckets[ty] {
+			if len(vals) == 0 {
+				continue
+			}
+			r.Mean[ty][day] = stats.Mean(vals)
+			r.Median[ty][day] = stats.Median(vals)
+		}
+	}
+	return r
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/campus"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Fig3Result is Figure 3: normalized median traffic volume per device per
+// hour of week, for the four sample weeks. Weeks run Thursday→Wednesday
+// (the paper's axis); values are normalized by the minimum positive median
+// across all weeks.
+type Fig3Result struct {
+	WeekLabels []string
+	// Normalized[w][h] is the normalized median for week w, hour-of-week h.
+	Normalized [][]float64
+	// Divisor is the raw byte value mapped to 1.0.
+	Divisor float64
+	// Devices[w] is how many post-shutdown devices were active in week w.
+	Devices []int
+}
+
+// Fig3 computes the hour-of-week medians over post-shutdown users.
+func Fig3(ds *core.Dataset) Fig3Result {
+	r := Fig3Result{}
+	raw := make([][]float64, len(campus.FigureWeeks))
+	for w, anchor := range campus.FigureWeeks {
+		r.WeekLabels = append(r.WeekLabels, "Week of "+anchor.Format("1/2/06"))
+		m := stats.NewHourMatrix()
+		for _, d := range ds.Devices {
+			if !d.PostShutdown || d.HourWeek[w] == nil {
+				continue
+			}
+			for h, v := range d.HourWeek[w] {
+				if v > 0 {
+					m.Add(uint64(d.ID), h, float64(v))
+				}
+			}
+		}
+		med := m.Medians()
+		raw[w] = med[:]
+		r.Devices = append(r.Devices, m.Devices())
+	}
+	norm, div := stats.NormalizeByMin(raw...)
+	r.Normalized = norm
+	r.Divisor = div
+	return r
+}
+
+// Fig4Result is Figure 4: daily median bytes per device excluding Zoom,
+// split by population (domestic/international) and device group
+// (mobile/desktop vs unclassified), over post-shutdown users; IoT excluded.
+type Fig4Result struct {
+	Days []campus.Day
+	// Median[pop][group][day] in bytes.
+	Median map[string]map[string][]float64
+	// N[pop][group] is the group's device count.
+	N map[string]map[string]int
+}
+
+// Fig4 computes the population/device-group median series.
+func Fig4(ds *core.Dataset) Fig4Result {
+	r := Fig4Result{
+		Days:   days(),
+		Median: map[string]map[string][]float64{},
+		N:      map[string]map[string]int{},
+	}
+	type key struct{ pop, group string }
+	buckets := map[key][][]float64{}
+	counts := map[key]map[uint64]bool{}
+	for _, d := range ds.Devices {
+		if !d.PostShutdown {
+			continue
+		}
+		group := groupOf(d)
+		if group == "" {
+			continue // IoT excluded
+		}
+		k := key{popOf(d), group}
+		if buckets[k] == nil {
+			buckets[k] = make([][]float64, campus.NumDays)
+			counts[k] = map[uint64]bool{}
+		}
+		counts[k][uint64(d.ID)] = true
+		for day := range d.Daily {
+			v := float64(d.Daily[day]) - float64(d.ZoomDaily[day])
+			if v > 0 {
+				buckets[k][day] = append(buckets[k][day], v)
+			}
+		}
+	}
+	for k, series := range buckets {
+		if r.Median[k.pop] == nil {
+			r.Median[k.pop] = map[string][]float64{}
+			r.N[k.pop] = map[string]int{}
+		}
+		med := make([]float64, campus.NumDays)
+		for day, vals := range series {
+			if len(vals) > 0 {
+				med[day] = stats.Median(vals)
+			}
+		}
+		r.Median[k.pop][k.group] = med
+		r.N[k.pop][k.group] = len(counts[k])
+	}
+	return r
+}
+
+// Fig5Result is Figure 5: daily aggregate Zoom traffic of post-shutdown
+// users.
+type Fig5Result struct {
+	Days  []campus.Day
+	Bytes []float64
+	// WeekdayMean / WeekendMean summarize the online-term weekday-vs-
+	// weekend contrast §5.1 describes.
+	WeekdayMean float64
+	WeekendMean float64
+	Peak        float64
+	PeakDay     campus.Day
+}
+
+// Fig5 computes the aggregate Zoom series.
+func Fig5(ds *core.Dataset) Fig5Result {
+	r := Fig5Result{Days: days(), Bytes: make([]float64, campus.NumDays)}
+	for _, d := range ds.Devices {
+		if !d.PostShutdown {
+			continue
+		}
+		for day, v := range d.ZoomDaily {
+			r.Bytes[day] += float64(v)
+		}
+	}
+	breakEnd, _ := campus.DayOf(campus.BreakEnd)
+	var wd, we stats.Welford
+	for day, v := range r.Bytes {
+		cd := campus.Day(day)
+		if v > r.Peak {
+			r.Peak, r.PeakDay = v, cd
+		}
+		if cd >= breakEnd {
+			if cd.IsWeekend() {
+				we.Add(v)
+			} else {
+				wd.Add(v)
+			}
+		}
+	}
+	r.WeekdayMean = wd.Mean()
+	r.WeekendMean = we.Mean()
+	return r
+}
+
+// hoursOf converts a duration to fractional hours.
+func hoursOf(d time.Duration) float64 { return d.Hours() }

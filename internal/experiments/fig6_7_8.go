@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"repro/internal/appsig"
+	"repro/internal/campus"
+	"repro/internal/core"
+	"repro/internal/devclass"
+	"repro/internal/stats"
+)
+
+// Fig6Result is Figure 6: box-and-whisker summaries of monthly per-device
+// mobile session duration (hours) for Facebook, Instagram and TikTok, split
+// domestic vs international. Whiskers in the paper span the 1st–95th
+// percentiles; Summary carries those plus the P99 the text discusses.
+type Fig6Result struct {
+	// Summary[app][pop][month]; app order follows appsig.SocialMediaApps.
+	Summary map[string]map[string][campus.NumMonths]stats.Summary
+}
+
+// Fig6 computes the §5.2 duration distributions over post-shutdown mobile
+// devices with nonzero usage in each month (the figure's n).
+func Fig6(ds *core.Dataset) Fig6Result {
+	r := Fig6Result{Summary: map[string]map[string][campus.NumMonths]stats.Summary{}}
+	for appIdx, app := range appsig.SocialMediaApps {
+		r.Summary[app] = map[string][campus.NumMonths]stats.Summary{}
+		for _, pop := range []string{PopDomestic, PopInternational} {
+			var sums [campus.NumMonths]stats.Summary
+			for m := campus.February; m < campus.NumMonths; m++ {
+				var vals []float64
+				for _, d := range ds.Devices {
+					if !d.PostShutdown || d.Type != devclass.Mobile || popOf(d) != pop {
+						continue
+					}
+					if dur := d.Social[m][appIdx].Duration; dur > 0 {
+						vals = append(vals, hoursOf(dur))
+					}
+				}
+				sums[m] = stats.Summarize(vals)
+			}
+			r.Summary[app][pop] = sums
+		}
+	}
+	return r
+}
+
+// Fig7Result is Figure 7: monthly per-device Steam (a) bytes and (b)
+// connection counts, domestic vs international, over post-shutdown devices
+// with any Steam traffic that month.
+type Fig7Result struct {
+	Bytes       map[string][campus.NumMonths]stats.Summary
+	Connections map[string][campus.NumMonths]stats.Summary
+}
+
+// Fig7 computes the §5.3.1 distributions.
+func Fig7(ds *core.Dataset) Fig7Result {
+	r := Fig7Result{
+		Bytes:       map[string][campus.NumMonths]stats.Summary{},
+		Connections: map[string][campus.NumMonths]stats.Summary{},
+	}
+	for _, pop := range []string{PopDomestic, PopInternational} {
+		var bytes, conns [campus.NumMonths]stats.Summary
+		for m := campus.February; m < campus.NumMonths; m++ {
+			var bv, cv []float64
+			for _, d := range ds.Devices {
+				if !d.PostShutdown || popOf(d) != pop {
+					continue
+				}
+				if s := d.Steam[m]; s.Connections > 0 {
+					bv = append(bv, float64(s.Bytes))
+					cv = append(cv, float64(s.Connections))
+				}
+			}
+			bytes[m] = stats.Summarize(bv)
+			conns[m] = stats.Summarize(cv)
+		}
+		r.Bytes[pop] = bytes
+		r.Connections[pop] = conns
+	}
+	return r
+}
+
+// Fig8Result is Figure 8 plus §5.3.2's device counts: the 3-day moving
+// average of daily Switch gameplay traffic for Switches active in both
+// February and May, and the Switch population changes.
+type Fig8Result struct {
+	Days           []campus.Day
+	GameplayAvg    []float64 // 3-day moving average, bytes
+	GameplayRaw    []float64
+	StableSwitches int // active in both February and May (the plotted set)
+	PreShutdown    int // distinct Switches seen before the break
+	PostShutdown   int // distinct Switches seen after the break
+	NewSwitches    int // first seen in April or later
+}
+
+// Fig8 computes the Switch analysis.
+func Fig8(ds *core.Dataset) Fig8Result {
+	r := Fig8Result{Days: days(), GameplayRaw: make([]float64, campus.NumDays)}
+	breakDay, _ := campus.DayOf(campus.BreakStart)
+	onlineDay, _ := campus.DayOf(campus.BreakEnd)
+	april1 := campus.FirstDay(campus.April)
+	mayFirst := campus.FirstDay(campus.May)
+
+	activeIn := func(d *core.DeviceData, from, to campus.Day) bool {
+		for day := from; day < to && int(day) < len(d.Daily); day++ {
+			if d.Daily[day] > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, d := range ds.Devices {
+		if !d.IsSwitch {
+			continue
+		}
+		if activeIn(d, 0, breakDay) {
+			r.PreShutdown++
+		}
+		// "Remained" means still present once the online term began —
+		// consoles whose owners left during break do not count.
+		if activeIn(d, onlineDay, campus.NumDays) {
+			r.PostShutdown++
+		}
+		if !activeIn(d, 0, april1) && activeIn(d, april1, campus.NumDays) {
+			r.NewSwitches++
+		}
+		// The figure plots Switches active in both February and May.
+		if activeIn(d, 0, campus.FirstDay(campus.March)) && activeIn(d, mayFirst, campus.NumDays) {
+			r.StableSwitches++
+			if d.GameplayDaily != nil {
+				for day, v := range d.GameplayDaily {
+					r.GameplayRaw[day] += float64(v)
+				}
+			}
+		}
+	}
+	r.GameplayAvg = stats.MovingAverage(r.GameplayRaw, 3)
+	return r
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"repro/internal/anonymize"
+	"repro/internal/campus"
+	"repro/internal/core"
+	"repro/internal/devclass"
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+// HeadlineResult carries §4.1's scalar findings.
+type HeadlineResult struct {
+	// TrafficGrowth is (mean daily bytes in Apr+May) / (mean daily bytes
+	// in Feb) − 1 over post-shutdown users (the paper reports +58%).
+	TrafficGrowth float64
+	// DistinctSiteGrowth is the mean per-device ratio of distinct sites
+	// visited in Apr+May vs Feb, − 1 (paper: +34%).
+	DistinctSiteGrowth float64
+	// WeekendDipPre / WeekendDipPost are (1 − weekend/weekday traffic)
+	// before and after the shutdown: both positive means the dips
+	// persisted (the paper's contrast with Feldmann et al.).
+	WeekendDipPre     float64
+	WeekendDipPost    float64
+	PostShutdownUsers int
+}
+
+// Headline computes §4.1 over post-shutdown users.
+func Headline(ds *core.Dataset) HeadlineResult {
+	var r HeadlineResult
+	post := ds.PostShutdownUsers()
+	r.PostShutdownUsers = len(post)
+
+	febDays := float64(campus.DaysInMonth(campus.February))
+	amDays := float64(campus.DaysInMonth(campus.April) + campus.DaysInMonth(campus.May))
+	april1 := campus.FirstDay(campus.April)
+
+	var febBytes, amBytes float64
+	var ratioSum, ratioN float64
+	for _, d := range post {
+		for day, v := range d.Daily {
+			cd := campus.Day(day)
+			switch {
+			case campus.MonthOfDay(cd) == campus.February:
+				febBytes += float64(v)
+			case cd >= april1:
+				amBytes += float64(v)
+			}
+		}
+		if d.SitesFeb > 0 && d.SitesAprMay > 0 {
+			// Compare per-day-normalized distinct sites? The paper
+			// compares per-period counts directly; April+May is a longer
+			// period, which is part of the observed growth.
+			ratioSum += float64(d.SitesAprMay) / float64(d.SitesFeb)
+			ratioN++
+		}
+	}
+	if febBytes > 0 {
+		r.TrafficGrowth = (amBytes/amDays)/(febBytes/febDays) - 1
+	}
+	if ratioN > 0 {
+		r.DistinctSiteGrowth = ratioSum/ratioN - 1
+	}
+
+	// Weekend dips: median-per-device daily totals, weekday vs weekend,
+	// pre (Feb) and post (Apr+May).
+	dip := func(from, to campus.Day) float64 {
+		var wd, we stats.Welford
+		for _, d := range post {
+			for day := from; day < to; day++ {
+				v := float64(d.Daily[day])
+				if v <= 0 {
+					continue
+				}
+				if day.IsWeekend() {
+					we.Add(v)
+				} else {
+					wd.Add(v)
+				}
+			}
+		}
+		if wd.N() == 0 || we.N() == 0 || wd.Mean() == 0 {
+			return 0
+		}
+		return 1 - we.Mean()/wd.Mean()
+	}
+	r.WeekendDipPre = dip(0, campus.FirstDay(campus.March))
+	r.WeekendDipPost = dip(april1, campus.NumDays)
+	return r
+}
+
+// PopulationResult carries §4.2's split.
+type PopulationResult struct {
+	PostShutdownUsers int
+	International     int
+	Domestic          int
+	Unknown           int
+	IntlShare         float64 // of devices with a geo verdict
+}
+
+// Population computes the §4.2 identification counts.
+func Population(ds *core.Dataset) PopulationResult {
+	var r PopulationResult
+	for _, d := range ds.PostShutdownUsers() {
+		r.PostShutdownUsers++
+		switch d.Geo {
+		case geo.International:
+			r.International++
+		case geo.Domestic:
+			r.Domestic++
+		default:
+			r.Unknown++
+		}
+	}
+	if identified := r.International + r.Domestic; identified > 0 {
+		r.IntlShare = float64(r.International) / float64(identified)
+	}
+	return r
+}
+
+// AccuracyResult is the §3 classifier validation: the reproduction of the
+// 100-device manual review (84 correct, 14 conservative omissions, 2
+// affirmative errors).
+type AccuracyResult struct {
+	Sampled     int
+	Correct     int
+	Omissions   int // classified Unclassified, truth was a concrete type
+	Affirmative int // classified as the wrong concrete type
+}
+
+// Accuracy reservoir-samples n devices from the dataset and scores the
+// classifier against ground truth (a map from pseudonym to true type,
+// supplied by the generator harness).
+func Accuracy(ds *core.Dataset, truth map[anonymize.DeviceID]devclass.Type, n int, seed int64) AccuracyResult {
+	res := stats.NewReservoir[*core.DeviceData](n, seed)
+	for _, d := range ds.Devices {
+		if _, ok := truth[d.ID]; ok {
+			res.Offer(d)
+		}
+	}
+	var r AccuracyResult
+	for _, d := range res.Sample() {
+		r.Sampled++
+		want := truth[d.ID]
+		switch {
+		case d.Type == want:
+			r.Correct++
+		case d.Type == devclass.Unknown:
+			r.Omissions++
+		default:
+			r.Affirmative++
+		}
+	}
+	return r
+}

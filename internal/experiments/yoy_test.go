@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/campus"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/universe"
+)
+
+func runWorld(t *testing.T, noPandemic bool) (*core.Dataset, *trace.Generator) {
+	t.Helper()
+	reg, err := universe.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.Scale = 0.01
+	cfg.NoPandemic = noPandemic
+	g, err := trace.New(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPipeline(reg, core.Options{Key: []byte("year-over-year-test-key-0123456789")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	return p.Finalize(), g
+}
+
+func TestYearOverYear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full-window runs")
+	}
+	pandemic, _ := runWorld(t, false)
+	baseline, gBase := runWorld(t, true)
+
+	// The counterfactual campus never empties.
+	fig1 := Fig1(baseline)
+	whoDay, _ := campus.DayOf(campus.PandemicDeclared)
+	mayDay := campus.FirstDay(campus.May) + 5
+	if float64(fig1.Total[mayDay]) < 0.8*float64(fig1.Total[whoDay]) {
+		t.Errorf("counterfactual population collapsed: %d → %d", fig1.Total[whoDay], fig1.Total[mayDay])
+	}
+	// No resident departs in the counterfactual population (short-stay
+	// visitor devices still come and go — that isn't a pandemic effect).
+	for _, d := range gBase.Devices() {
+		if d.ArriveDay == 0 && !d.Stays() {
+			t.Fatal("counterfactual resident departs")
+		}
+	}
+	// Counterfactual Zoom stays far below the pandemic peak — note the
+	// counterfactual campus holds ~5× the population, so even a 2×
+	// aggregate gap means a ~10× per-device gap.
+	zoomBase := Fig5(baseline)
+	zoomPand := Fig5(pandemic)
+	if zoomBase.Peak*2 > zoomPand.Peak {
+		t.Errorf("counterfactual zoom peak %.3g not ≪ pandemic %.3g", zoomBase.Peak, zoomPand.Peak)
+	}
+
+	r := YearOverYear(pandemic, baseline)
+	if r.Growth < 0.25 || r.Growth > 0.9 {
+		t.Errorf("year-over-year growth = %+.2f, paper reports +0.53", r.Growth)
+	} else {
+		t.Logf("year-over-year growth = %+.2f (paper +0.53)", r.Growth)
+	}
+}

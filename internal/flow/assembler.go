@@ -1,0 +1,292 @@
+package flow
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// PacketInfo is the distilled view of one captured packet that the
+// assembler needs: when it was seen, its transport 5-tuple, and how many
+// application payload bytes it carried.
+type PacketInfo struct {
+	Time     time.Time
+	Src      netip.Addr
+	Dst      netip.Addr
+	SrcPort  uint16
+	DstPort  uint16
+	Proto    Proto
+	Payload  int   // application payload bytes
+	TCPFlags uint8 // valid for TCP only
+	// Head holds the first few payload bytes (service detection). May be
+	// nil; only valid until the next packet is decoded.
+	Head []byte
+}
+
+// InfoFromPacket extracts PacketInfo from a decoded frame. It returns
+// ok=false for frames that carry no TCP or UDP transport layer (ARP,
+// ICMP-only, non-first fragments, ...), which the tap ignores.
+func InfoFromPacket(ts time.Time, p *packet.Packet) (PacketInfo, bool) {
+	info := PacketInfo{Time: ts}
+	switch ip := p.Layer(packet.LayerTypeIPv4).(type) {
+	case *packet.IPv4:
+		info.Src, info.Dst = ip.Src, ip.Dst
+	default:
+		ip6, ok := p.Layer(packet.LayerTypeIPv6).(*packet.IPv6)
+		if !ok {
+			return PacketInfo{}, false
+		}
+		info.Src, info.Dst = ip6.Src, ip6.Dst
+	}
+	switch tl := p.Layer(packet.LayerTypeTCP).(type) {
+	case *packet.TCP:
+		info.Proto = ProtoTCP
+		info.SrcPort, info.DstPort = tl.SrcPort, tl.DstPort
+		info.TCPFlags = tl.Flags
+		payload := tl.LayerPayload()
+		info.Payload = len(payload)
+		info.Head = head(payload)
+	default:
+		udp, ok := p.Layer(packet.LayerTypeUDP).(*packet.UDP)
+		if !ok {
+			return PacketInfo{}, false
+		}
+		info.Proto = ProtoUDP
+		info.SrcPort, info.DstPort = udp.SrcPort, udp.DstPort
+		payload := udp.LayerPayload()
+		info.Payload = len(payload)
+		info.Head = head(payload)
+	}
+	return info, true
+}
+
+func head(payload []byte) []byte {
+	if len(payload) > 8 {
+		return payload[:8]
+	}
+	return payload
+}
+
+// connKey canonically identifies a connection regardless of direction.
+type connKey struct {
+	loAddr netip.Addr
+	hiAddr netip.Addr
+	loPort uint16
+	hiPort uint16
+	proto  Proto
+}
+
+// keyFor builds the canonical key and reports whether (src,srcPort) sorts
+// as the "lo" endpoint.
+func keyFor(info PacketInfo) (connKey, bool) {
+	srcFirst := info.Src.Compare(info.Dst) < 0 ||
+		(info.Src.Compare(info.Dst) == 0 && info.SrcPort <= info.DstPort)
+	if srcFirst {
+		return connKey{info.Src, info.Dst, info.SrcPort, info.DstPort, info.Proto}, true
+	}
+	return connKey{info.Dst, info.Src, info.DstPort, info.SrcPort, info.Proto}, false
+}
+
+type connState struct {
+	rec       Record
+	lastSeen  time.Time
+	origIsLo  bool // the flow originator is the key's "lo" endpoint
+	sawFINRST bool
+	tracker   stateTracker
+}
+
+// finalize stamps the derived connection state onto the record.
+func (st *connState) finalize() Record {
+	r := st.rec
+	if r.Proto == ProtoTCP {
+		r.State = st.tracker.state()
+	}
+	return r
+}
+
+// Config tunes assembler behavior. The zero value is usable; unset fields
+// take the defaults below.
+type Config struct {
+	// TCPIdleTimeout evicts TCP connections with no traffic for this long
+	// (default 5m, matching Zeek's tcp_inactivity_timeout).
+	TCPIdleTimeout time.Duration
+	// UDPIdleTimeout evicts idle UDP "connections" (default 1m).
+	UDPIdleTimeout time.Duration
+	// CloseLinger keeps a FIN/RST-terminated TCP connection around this
+	// long to absorb retransmissions before emitting (default 5s).
+	CloseLinger time.Duration
+	// LocalNets identifies on-campus client networks; the endpoint inside
+	// one of these prefixes is recorded as the flow originator. When
+	// empty, the sender of the first observed packet is the originator.
+	LocalNets []netip.Prefix
+}
+
+func (c *Config) defaults() {
+	if c.TCPIdleTimeout == 0 {
+		c.TCPIdleTimeout = 5 * time.Minute
+	}
+	if c.UDPIdleTimeout == 0 {
+		c.UDPIdleTimeout = time.Minute
+	}
+	if c.CloseLinger == 0 {
+		c.CloseLinger = 5 * time.Second
+	}
+}
+
+// Assembler aggregates packets into bidirectional flow records, emitting a
+// record when its connection ends (TCP FIN/RST plus linger) or idles out.
+// Packets must be fed in non-decreasing time order; the assembler is not
+// safe for concurrent use.
+type Assembler struct {
+	cfg    Config
+	conns  map[connKey]*connState
+	emit   func(Record)
+	clock  time.Time
+	sweepT time.Time
+}
+
+// NewAssembler returns an assembler that calls emit for each completed
+// flow. Emission order follows completion, not flow start.
+func NewAssembler(cfg Config, emit func(Record)) *Assembler {
+	cfg.defaults()
+	return &Assembler{cfg: cfg, conns: make(map[connKey]*connState), emit: emit}
+}
+
+func (a *Assembler) isLocal(addr netip.Addr) bool {
+	for _, p := range a.cfg.LocalNets {
+		if p.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Add accounts one packet. Out-of-order timestamps (earlier than the
+// assembler's clock) are tolerated but clamped for timeout purposes.
+func (a *Assembler) Add(info PacketInfo) error {
+	if info.Proto != ProtoTCP && info.Proto != ProtoUDP {
+		return fmt.Errorf("flow: unsupported protocol %d", info.Proto)
+	}
+	if info.Time.After(a.clock) {
+		a.clock = info.Time
+	}
+	key, srcIsLo := keyFor(info)
+	st, ok := a.conns[key]
+	if !ok {
+		origIsLo := srcIsLo
+		if len(a.cfg.LocalNets) > 0 {
+			// Prefer explicit local-network orientation when configured.
+			switch {
+			case a.isLocal(info.Src) && !a.isLocal(info.Dst):
+				origIsLo = srcIsLo
+			case a.isLocal(info.Dst) && !a.isLocal(info.Src):
+				origIsLo = !srcIsLo
+			}
+		}
+		st = &connState{origIsLo: origIsLo}
+		st.rec.Start = info.Time
+		st.rec.Proto = info.Proto
+		if origIsLo == srcIsLo {
+			st.rec.OrigAddr, st.rec.OrigPort = info.Src, info.SrcPort
+			st.rec.RespAddr, st.rec.RespPort = info.Dst, info.DstPort
+		} else {
+			st.rec.OrigAddr, st.rec.OrigPort = info.Dst, info.DstPort
+			st.rec.RespAddr, st.rec.RespPort = info.Src, info.SrcPort
+		}
+		a.conns[key] = st
+	}
+	fromOrig := info.Src == st.rec.OrigAddr && info.SrcPort == st.rec.OrigPort
+	if fromOrig {
+		st.rec.OrigBytes += int64(info.Payload)
+		st.rec.OrigPkts++
+	} else {
+		st.rec.RespBytes += int64(info.Payload)
+		st.rec.RespPkts++
+	}
+	if info.Proto == ProtoTCP {
+		st.tracker.observe(fromOrig, info.TCPFlags, info.Payload)
+	}
+	if st.rec.Service == "" && info.Payload > 0 {
+		st.rec.Service = DetectService(st.rec.RespPort, st.rec.Proto, info.Head)
+	}
+	if info.Time.After(st.lastSeen) {
+		st.lastSeen = info.Time
+	}
+	if d := st.lastSeen.Sub(st.rec.Start); d > st.rec.Duration {
+		st.rec.Duration = d
+	}
+	if info.Proto == ProtoTCP && info.TCPFlags&(packet.FlagFIN|packet.FlagRST) != 0 {
+		st.sawFINRST = true
+	}
+	a.maybeSweep()
+	return nil
+}
+
+// maybeSweep runs an eviction pass at most once per second of stream time,
+// amortizing the scan.
+func (a *Assembler) maybeSweep() {
+	if a.sweepT.IsZero() {
+		a.sweepT = a.clock
+		return
+	}
+	if a.clock.Sub(a.sweepT) < time.Second {
+		return
+	}
+	a.sweepT = a.clock
+	a.sweep()
+}
+
+func (a *Assembler) sweep() {
+	for key, st := range a.conns {
+		idle := a.clock.Sub(st.lastSeen)
+		var done bool
+		switch {
+		case st.sawFINRST && idle >= a.cfg.CloseLinger:
+			done = true
+		case st.rec.Proto == ProtoTCP && idle >= a.cfg.TCPIdleTimeout:
+			done = true
+		case st.rec.Proto == ProtoUDP && idle >= a.cfg.UDPIdleTimeout:
+			done = true
+		}
+		if done {
+			a.emit(st.finalize())
+			delete(a.conns, key)
+		}
+	}
+}
+
+// Pending returns the number of connections still being tracked.
+func (a *Assembler) Pending() int { return len(a.conns) }
+
+// Flush emits every tracked connection regardless of timeouts, in flow
+// start order (ties broken by the 5-tuple) so output is deterministic. Use
+// it at end of capture.
+func (a *Assembler) Flush() {
+	states := make([]*connState, 0, len(a.conns))
+	for _, st := range a.conns {
+		states = append(states, st)
+	}
+	sort.Slice(states, func(i, j int) bool {
+		if !states[i].rec.Start.Equal(states[j].rec.Start) {
+			return states[i].rec.Start.Before(states[j].rec.Start)
+		}
+		ri, rj := states[i].rec, states[j].rec
+		if c := ri.OrigAddr.Compare(rj.OrigAddr); c != 0 {
+			return c < 0
+		}
+		if ri.OrigPort != rj.OrigPort {
+			return ri.OrigPort < rj.OrigPort
+		}
+		if c := ri.RespAddr.Compare(rj.RespAddr); c != 0 {
+			return c < 0
+		}
+		return ri.RespPort < rj.RespPort
+	})
+	for _, st := range states {
+		a.emit(st.finalize())
+	}
+	a.conns = make(map[connKey]*connState)
+}

@@ -1,0 +1,300 @@
+package flow
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+var (
+	client = netip.MustParseAddr("10.9.8.7")
+	server = netip.MustParseAddr("151.101.1.140")
+	t0     = time.Date(2020, time.February, 3, 10, 0, 0, 0, time.UTC)
+)
+
+func pkt(at time.Duration, src, dst netip.Addr, sp, dp uint16, proto Proto, payload int, flags uint8) PacketInfo {
+	return PacketInfo{
+		Time: t0.Add(at), Src: src, Dst: dst, SrcPort: sp, DstPort: dp,
+		Proto: proto, Payload: payload, TCPFlags: flags,
+	}
+}
+
+func collect() (*[]Record, func(Record)) {
+	out := &[]Record{}
+	return out, func(r Record) { *out = append(*out, r) }
+}
+
+func TestSimpleTCPConnection(t *testing.T) {
+	out, emit := collect()
+	a := NewAssembler(Config{}, emit)
+
+	mustAdd := func(p PacketInfo) {
+		t.Helper()
+		if err := a.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(pkt(0, client, server, 50000, 443, ProtoTCP, 0, packet.FlagSYN))
+	mustAdd(pkt(10*time.Millisecond, server, client, 443, 50000, ProtoTCP, 0, packet.FlagSYN|packet.FlagACK))
+	mustAdd(pkt(20*time.Millisecond, client, server, 50000, 443, ProtoTCP, 500, packet.FlagACK))
+	mustAdd(pkt(30*time.Millisecond, server, client, 443, 50000, ProtoTCP, 4000, packet.FlagACK))
+	mustAdd(pkt(40*time.Millisecond, client, server, 50000, 443, ProtoTCP, 0, packet.FlagFIN|packet.FlagACK))
+	mustAdd(pkt(50*time.Millisecond, server, client, 443, 50000, ProtoTCP, 0, packet.FlagFIN|packet.FlagACK))
+	a.Flush()
+
+	if len(*out) != 1 {
+		t.Fatalf("emitted %d records, want 1", len(*out))
+	}
+	r := (*out)[0]
+	if r.OrigAddr != client || r.RespAddr != server || r.OrigPort != 50000 || r.RespPort != 443 {
+		t.Errorf("orientation wrong: %v", r)
+	}
+	if r.OrigBytes != 500 || r.RespBytes != 4000 {
+		t.Errorf("bytes = %d/%d, want 500/4000", r.OrigBytes, r.RespBytes)
+	}
+	if r.OrigPkts != 3 || r.RespPkts != 3 {
+		t.Errorf("pkts = %d/%d, want 3/3", r.OrigPkts, r.RespPkts)
+	}
+	if r.Duration != 50*time.Millisecond {
+		t.Errorf("duration = %v", r.Duration)
+	}
+	if err := r.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrientationByLocalNet(t *testing.T) {
+	// First observed packet is server→client (capture started mid-flow),
+	// but LocalNets orients the record correctly.
+	out, emit := collect()
+	a := NewAssembler(Config{LocalNets: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")}}, emit)
+	a.Add(pkt(0, server, client, 443, 50001, ProtoTCP, 1400, packet.FlagACK))
+	a.Add(pkt(time.Millisecond, client, server, 50001, 443, ProtoTCP, 100, packet.FlagACK))
+	a.Flush()
+	if len(*out) != 1 {
+		t.Fatalf("emitted %d records", len(*out))
+	}
+	r := (*out)[0]
+	if r.OrigAddr != client {
+		t.Errorf("originator = %v, want campus client %v", r.OrigAddr, client)
+	}
+	if r.OrigBytes != 100 || r.RespBytes != 1400 {
+		t.Errorf("bytes = %d/%d", r.OrigBytes, r.RespBytes)
+	}
+}
+
+func TestFINCloseEmitsAfterLinger(t *testing.T) {
+	out, emit := collect()
+	a := NewAssembler(Config{CloseLinger: 2 * time.Second}, emit)
+	a.Add(pkt(0, client, server, 50002, 80, ProtoTCP, 10, packet.FlagSYN))
+	a.Add(pkt(time.Second, client, server, 50002, 80, ProtoTCP, 0, packet.FlagFIN))
+	if len(*out) != 0 {
+		t.Fatal("emitted before linger expired")
+	}
+	// A later packet on another connection advances the clock past linger.
+	a.Add(pkt(10*time.Second, client, server, 50003, 80, ProtoTCP, 1, 0))
+	if len(*out) != 1 {
+		t.Fatalf("emitted %d records after linger, want 1", len(*out))
+	}
+	if (*out)[0].RespPort != 80 || (*out)[0].OrigPort != 50002 {
+		t.Errorf("wrong flow emitted: %v", (*out)[0])
+	}
+}
+
+func TestUDPIdleTimeout(t *testing.T) {
+	out, emit := collect()
+	a := NewAssembler(Config{UDPIdleTimeout: 30 * time.Second}, emit)
+	a.Add(pkt(0, client, server, 5000, 53, ProtoUDP, 60, 0))
+	a.Add(pkt(5*time.Millisecond, server, client, 53, 5000, ProtoUDP, 300, 0))
+	a.Add(pkt(time.Minute, client, server, 5001, 53, ProtoUDP, 60, 0))
+	if len(*out) != 1 {
+		t.Fatalf("emitted %d records, want 1 (idle eviction)", len(*out))
+	}
+	r := (*out)[0]
+	if r.Proto != ProtoUDP || r.OrigBytes != 60 || r.RespBytes != 300 {
+		t.Errorf("record = %v", r)
+	}
+}
+
+func TestConcurrentConnectionsIndependent(t *testing.T) {
+	out, emit := collect()
+	a := NewAssembler(Config{}, emit)
+	const n = 100
+	for i := 0; i < n; i++ {
+		a.Add(pkt(time.Duration(i)*time.Millisecond, client, server, uint16(40000+i), 443, ProtoTCP, i, packet.FlagACK))
+	}
+	for i := 0; i < n; i++ {
+		a.Add(pkt(time.Second+time.Duration(i)*time.Millisecond, server, client, 443, uint16(40000+i), ProtoTCP, 2*i, packet.FlagACK))
+	}
+	a.Flush()
+	if len(*out) != n {
+		t.Fatalf("emitted %d records, want %d", len(*out), n)
+	}
+	seen := map[uint16]Record{}
+	for _, r := range *out {
+		seen[r.OrigPort] = r
+	}
+	for i := 0; i < n; i++ {
+		r, ok := seen[uint16(40000+i)]
+		if !ok {
+			t.Fatalf("missing flow for port %d", 40000+i)
+		}
+		if r.OrigBytes != int64(i) || r.RespBytes != int64(2*i) {
+			t.Errorf("port %d: bytes %d/%d, want %d/%d", 40000+i, r.OrigBytes, r.RespBytes, i, 2*i)
+		}
+	}
+}
+
+func TestFlushDeterministicOrder(t *testing.T) {
+	run := func() []Record {
+		out, emit := collect()
+		a := NewAssembler(Config{}, emit)
+		rng := rand.New(rand.NewSource(4))
+		ports := rng.Perm(50)
+		for i, p := range ports {
+			a.Add(pkt(time.Duration(i)*time.Microsecond, client, server, uint16(41000+p), 443, ProtoTCP, 1, 0))
+		}
+		a.Flush()
+		return *out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i].OrigPort != b[i].OrigPort {
+			t.Fatalf("flush order differs at %d: %d vs %d", i, a[i].OrigPort, b[i].OrigPort)
+		}
+	}
+}
+
+func TestByteConservationProperty(t *testing.T) {
+	// Total payload fed in equals total bytes across emitted records,
+	// regardless of how packets interleave across connections.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		out, emit := collect()
+		a := NewAssembler(Config{}, emit)
+		var want int64
+		now := time.Duration(0)
+		for i := 0; i < 500; i++ {
+			now += time.Duration(rng.Intn(2000)) * time.Millisecond
+			port := uint16(42000 + rng.Intn(20))
+			payload := rng.Intn(1500)
+			want += int64(payload)
+			if rng.Intn(2) == 0 {
+				a.Add(pkt(now, client, server, port, 443, ProtoTCP, payload, packet.FlagACK))
+			} else {
+				a.Add(pkt(now, server, client, 443, port, ProtoTCP, payload, packet.FlagACK))
+			}
+		}
+		a.Flush()
+		var got int64
+		for _, r := range *out {
+			got += r.TotalBytes()
+			if err := r.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: %d bytes emitted, %d fed", trial, got, want)
+		}
+		if a.Pending() != 0 {
+			t.Fatalf("pending connections after flush: %d", a.Pending())
+		}
+	}
+}
+
+func TestInfoFromPacket(t *testing.T) {
+	frame, err := packet.Serialize([]byte("0123456789"),
+		&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{Src: client, Dst: server, Protocol: packet.ProtoTCP},
+		&packet.TCP{SrcPort: 55555, DstPort: 443, Flags: packet.FlagPSH | packet.FlagACK},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := packet.Decode(frame, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, ok := InfoFromPacket(t0, p)
+	if !ok {
+		t.Fatal("no transport info extracted")
+	}
+	if info.Src != client || info.Dst != server || info.SrcPort != 55555 || info.DstPort != 443 {
+		t.Errorf("info = %+v", info)
+	}
+	if info.Payload != 10 || info.Proto != ProtoTCP || info.TCPFlags&packet.FlagPSH == 0 {
+		t.Errorf("info = %+v", info)
+	}
+
+	// Non-IP frame yields ok=false.
+	arp, _ := packet.Serialize([]byte{0, 1}, &packet.Ethernet{EtherType: packet.EtherTypeARP})
+	p2, err := packet.Decode(arp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := InfoFromPacket(t0, p2); ok {
+		t.Error("ARP frame produced transport info")
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	good := Record{
+		Start: t0, OrigAddr: client, RespAddr: server,
+		OrigPort: 1, RespPort: 2, Proto: ProtoTCP,
+	}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := good
+	bad.Duration = -time.Second
+	if bad.Validate() == nil {
+		t.Error("negative duration accepted")
+	}
+	bad = good
+	bad.OrigBytes = -1
+	if bad.Validate() == nil {
+		t.Error("negative bytes accepted")
+	}
+	bad = good
+	bad.Proto = 99
+	if bad.Validate() == nil {
+		t.Error("bogus proto accepted")
+	}
+	bad = good
+	bad.OrigAddr = netip.Addr{}
+	if bad.Validate() == nil {
+		t.Error("zero address accepted")
+	}
+}
+
+func TestProtoParse(t *testing.T) {
+	for _, p := range []Proto{ProtoTCP, ProtoUDP} {
+		got, err := ParseProto(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseProto("icmp"); err == nil {
+		t.Error("icmp accepted")
+	}
+}
+
+func BenchmarkAssemblerAdd(b *testing.B) {
+	a := NewAssembler(Config{}, func(Record) {})
+	base := t0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Add(PacketInfo{
+			Time: base.Add(time.Duration(i) * time.Microsecond),
+			Src:  client, Dst: server,
+			SrcPort: uint16(40000 + i%1000), DstPort: 443,
+			Proto: ProtoTCP, Payload: 1200, TCPFlags: packet.FlagACK,
+		})
+	}
+}

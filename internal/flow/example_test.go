@@ -1,0 +1,39 @@
+package flow_test
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/packet"
+)
+
+// ExampleAssembler shows the Zeek role: packets in, one bidirectional flow
+// record out, oriented so the campus device is the originator.
+func ExampleAssembler() {
+	asm := flow.NewAssembler(flow.Config{
+		LocalNets: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+	}, func(r flow.Record) {
+		fmt.Printf("%v:%d -> %v:%d %s %s orig=%dB resp=%dB\n",
+			r.OrigAddr, r.OrigPort, r.RespAddr, r.RespPort, r.Proto, r.State, r.OrigBytes, r.RespBytes)
+	})
+
+	t0 := time.Date(2020, time.February, 3, 9, 0, 0, 0, time.UTC)
+	client := netip.MustParseAddr("10.1.2.3")
+	server := netip.MustParseAddr("23.0.7.9")
+	add := func(dt time.Duration, src, dst netip.Addr, sp, dp uint16, flags uint8, n int) {
+		asm.Add(flow.PacketInfo{
+			Time: t0.Add(dt), Src: src, Dst: dst, SrcPort: sp, DstPort: dp,
+			Proto: flow.ProtoTCP, TCPFlags: flags, Payload: n,
+		})
+	}
+	add(0, client, server, 50000, 443, packet.FlagSYN, 0)
+	add(10*time.Millisecond, server, client, 443, 50000, packet.FlagSYN|packet.FlagACK, 0)
+	add(20*time.Millisecond, client, server, 50000, 443, packet.FlagACK|packet.FlagPSH, 300)
+	add(40*time.Millisecond, server, client, 443, 50000, packet.FlagACK|packet.FlagPSH, 5000)
+	add(60*time.Millisecond, client, server, 50000, 443, packet.FlagFIN|packet.FlagACK, 0)
+	add(70*time.Millisecond, server, client, 443, 50000, packet.FlagFIN|packet.FlagACK, 0)
+	asm.Flush()
+	// Output: 10.1.2.3:50000 -> 23.0.7.9:443 tcp SF orig=300B resp=5000B
+}

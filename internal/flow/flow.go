@@ -1,0 +1,104 @@
+// Package flow defines the bidirectional flow record that the entire
+// pipeline operates on — the equivalent of a Zeek conn.log entry — and the
+// assembler that builds such records from raw packets.
+//
+// A flow is one transport connection between an on-network client device
+// (the originator) and a remote server (the responder): the 5-tuple, the
+// start time and duration, and byte/packet counts in each direction. The
+// campus measurement system extracts these with Zeek; internal/flow plays
+// that role here.
+package flow
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Proto is the transport protocol of a flow.
+type Proto uint8
+
+// Transport protocols distinguished by the pipeline.
+const (
+	ProtoTCP Proto = 6
+	ProtoUDP Proto = 17
+)
+
+// String returns the Zeek-style lowercase protocol name.
+func (p Proto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto-%d", uint8(p))
+	}
+}
+
+// ParseProto parses the Zeek-style protocol name.
+func ParseProto(s string) (Proto, error) {
+	switch s {
+	case "tcp":
+		return ProtoTCP, nil
+	case "udp":
+		return ProtoUDP, nil
+	default:
+		return 0, fmt.Errorf("flow: unknown protocol %q", s)
+	}
+}
+
+// Record is one bidirectional flow, oriented so that Orig is the campus
+// device that initiated the connection and Resp is the remote endpoint.
+type Record struct {
+	Start    time.Time
+	Duration time.Duration
+
+	OrigAddr netip.Addr
+	OrigPort uint16
+	RespAddr netip.Addr
+	RespPort uint16
+	Proto    Proto
+
+	OrigBytes int64 // application bytes device → server
+	RespBytes int64 // application bytes server → device
+	OrigPkts  int64
+	RespPkts  int64
+
+	// Service is an optional application-layer hint populated by protocol
+	// detection ("http", "tls", "dns", ...). Empty when unknown.
+	Service string
+	// State summarizes the connection's TCP history (Zeek conn_state).
+	State ConnState
+}
+
+// TotalBytes returns the two-directional application byte count.
+func (r Record) TotalBytes() int64 { return r.OrigBytes + r.RespBytes }
+
+// End returns the time the flow's last packet was observed.
+func (r Record) End() time.Time { return r.Start.Add(r.Duration) }
+
+// Validate reports structural problems that would corrupt downstream
+// accounting: invalid addresses, negative counters, or a negative duration.
+func (r Record) Validate() error {
+	if !r.OrigAddr.IsValid() || !r.RespAddr.IsValid() {
+		return fmt.Errorf("flow: invalid address in record %v", r)
+	}
+	if r.Duration < 0 {
+		return fmt.Errorf("flow: negative duration %v", r.Duration)
+	}
+	if r.OrigBytes < 0 || r.RespBytes < 0 || r.OrigPkts < 0 || r.RespPkts < 0 {
+		return fmt.Errorf("flow: negative counter in record")
+	}
+	if r.Proto != ProtoTCP && r.Proto != ProtoUDP {
+		return fmt.Errorf("flow: unsupported protocol %d", r.Proto)
+	}
+	return nil
+}
+
+// String formats the record compactly for logs and debugging.
+func (r Record) String() string {
+	return fmt.Sprintf("%s %s:%d -> %s:%d %s dur=%v orig=%dB resp=%dB",
+		r.Start.Format(time.RFC3339), r.OrigAddr, r.OrigPort, r.RespAddr, r.RespPort,
+		r.Proto, r.Duration, r.OrigBytes, r.RespBytes)
+}

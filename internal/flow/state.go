@@ -1,0 +1,179 @@
+package flow
+
+import "repro/internal/packet"
+
+// ConnState summarizes how a TCP connection progressed, following Zeek's
+// conn_state vocabulary (the subset a unidirectionally-complete tap can
+// distinguish).
+type ConnState uint8
+
+// Connection states.
+const (
+	// StateOther is the default for UDP and indeterminate TCP histories.
+	StateOther ConnState = iota
+	// StateS0: connection attempt seen, no reply.
+	StateS0
+	// StateS1: connection established, not terminated while tracked.
+	StateS1
+	// StateSF: normal establishment and termination.
+	StateSF
+	// StateREJ: connection attempt rejected (SYN answered by RST).
+	StateREJ
+	// StateRSTO: established, then aborted by the originator.
+	StateRSTO
+	// StateRSTR: established, then aborted by the responder.
+	StateRSTR
+)
+
+// String returns the Zeek-style state code.
+func (s ConnState) String() string {
+	switch s {
+	case StateS0:
+		return "S0"
+	case StateS1:
+		return "S1"
+	case StateSF:
+		return "SF"
+	case StateREJ:
+		return "REJ"
+	case StateRSTO:
+		return "RSTO"
+	case StateRSTR:
+		return "RSTR"
+	default:
+		return "OTH"
+	}
+}
+
+// ParseConnState parses a Zeek-style state code ("SF", "S0", ...).
+func ParseConnState(s string) ConnState {
+	switch s {
+	case "S0":
+		return StateS0
+	case "S1":
+		return StateS1
+	case "SF":
+		return StateSF
+	case "REJ":
+		return StateREJ
+	case "RSTO":
+		return StateRSTO
+	case "RSTR":
+		return StateRSTR
+	default:
+		return StateOther
+	}
+}
+
+// stateTracker accumulates the flag history needed to derive a ConnState.
+type stateTracker struct {
+	synOrig  bool
+	synAck   bool
+	finOrig  bool
+	finResp  bool
+	rstOrig  bool
+	rstResp  bool
+	dataResp bool
+}
+
+// observe folds one TCP packet's flags into the history.
+func (st *stateTracker) observe(fromOrig bool, flags uint8, payload int) {
+	syn := flags&packet.FlagSYN != 0
+	fin := flags&packet.FlagFIN != 0
+	rst := flags&packet.FlagRST != 0
+	ack := flags&packet.FlagACK != 0
+	if fromOrig {
+		if syn {
+			st.synOrig = true
+		}
+		if fin {
+			st.finOrig = true
+		}
+		if rst {
+			st.rstOrig = true
+		}
+	} else {
+		if syn && ack {
+			st.synAck = true
+		}
+		if fin {
+			st.finResp = true
+		}
+		if rst {
+			st.rstResp = true
+		}
+		if payload > 0 {
+			st.dataResp = true
+		}
+	}
+}
+
+// state derives the final ConnState.
+func (st *stateTracker) state() ConnState {
+	established := st.synAck || st.dataResp
+	switch {
+	case st.synOrig && st.rstResp && !established:
+		return StateREJ
+	case established && st.rstOrig:
+		return StateRSTO
+	case established && st.rstResp:
+		return StateRSTR
+	case established && st.finOrig && st.finResp:
+		return StateSF
+	case st.synOrig && !established && !st.rstResp:
+		return StateS0
+	case established:
+		return StateS1
+	default:
+		return StateOther
+	}
+}
+
+// DetectService guesses the application protocol of a flow from its
+// responder port and (when available) the first payload bytes — the role
+// Zeek's protocol analyzers play for the conn.log service column.
+func DetectService(respPort uint16, proto Proto, firstPayload []byte) string {
+	// Payload evidence beats port numbers.
+	if len(firstPayload) >= 3 {
+		// TLS record: handshake (0x16) with version 0x03 0x0X.
+		if firstPayload[0] == 0x16 && firstPayload[1] == 0x03 && firstPayload[2] <= 0x04 {
+			return "tls"
+		}
+		if isHTTPVerb(firstPayload) {
+			return "http"
+		}
+	}
+	switch {
+	case respPort == 53:
+		return "dns"
+	case respPort == 443 && proto == ProtoTCP:
+		return "tls"
+	case respPort == 443 && proto == ProtoUDP:
+		return "quic"
+	case respPort == 80:
+		return "http"
+	case respPort == 123 && proto == ProtoUDP:
+		return "ntp"
+	case respPort == 22:
+		return "ssh"
+	default:
+		return ""
+	}
+}
+
+var httpVerbs = [][]byte{
+	[]byte("GET "), []byte("POST"), []byte("PUT "), []byte("HEAD"),
+	[]byte("DELE"), []byte("OPTI"), []byte("PATC"), []byte("CONN"),
+}
+
+func isHTTPVerb(b []byte) bool {
+	if len(b) < 4 {
+		return false
+	}
+	for _, v := range httpVerbs {
+		if b[0] == v[0] && b[1] == v[1] && b[2] == v[2] && b[3] == v[3] {
+			return true
+		}
+	}
+	return false
+}

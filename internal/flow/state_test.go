@@ -1,0 +1,143 @@
+package flow
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+func TestConnStateStringsRoundTrip(t *testing.T) {
+	for _, s := range []ConnState{StateOther, StateS0, StateS1, StateSF, StateREJ, StateRSTO, StateRSTR} {
+		if ParseConnState(s.String()) != s {
+			t.Errorf("round trip failed for %v", s)
+		}
+	}
+	if ParseConnState("garbage") != StateOther {
+		t.Error("garbage did not parse to OTH")
+	}
+}
+
+// driveTCP runs a flag sequence through the assembler and returns the
+// emitted record.
+func driveTCP(t *testing.T, seq []struct {
+	fromOrig bool
+	flags    uint8
+	payload  int
+}) Record {
+	t.Helper()
+	var out []Record
+	a := NewAssembler(Config{}, func(r Record) { out = append(out, r) })
+	for i, s := range seq {
+		info := pkt(time.Duration(i)*10*time.Millisecond, client, server, 51000, 443, ProtoTCP, s.payload, s.flags)
+		if !s.fromOrig {
+			info = pkt(time.Duration(i)*10*time.Millisecond, server, client, 443, 51000, ProtoTCP, s.payload, s.flags)
+		}
+		if err := a.Add(info); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Flush()
+	if len(out) != 1 {
+		t.Fatalf("emitted %d records", len(out))
+	}
+	return out[0]
+}
+
+func TestConnStateDerivation(t *testing.T) {
+	type step = struct {
+		fromOrig bool
+		flags    uint8
+		payload  int
+	}
+	cases := []struct {
+		name string
+		seq  []step
+		want ConnState
+	}{
+		{"normal close", []step{
+			{true, packet.FlagSYN, 0},
+			{false, packet.FlagSYN | packet.FlagACK, 0},
+			{true, packet.FlagACK | packet.FlagPSH, 100},
+			{false, packet.FlagACK | packet.FlagPSH, 4000},
+			{true, packet.FlagFIN | packet.FlagACK, 0},
+			{false, packet.FlagFIN | packet.FlagACK, 0},
+		}, StateSF},
+		{"unanswered SYN", []step{
+			{true, packet.FlagSYN, 0},
+			{true, packet.FlagSYN, 0},
+		}, StateS0},
+		{"rejected", []step{
+			{true, packet.FlagSYN, 0},
+			{false, packet.FlagRST | packet.FlagACK, 0},
+		}, StateREJ},
+		{"client abort", []step{
+			{true, packet.FlagSYN, 0},
+			{false, packet.FlagSYN | packet.FlagACK, 0},
+			{true, packet.FlagACK, 0},
+			{true, packet.FlagRST, 0},
+		}, StateRSTO},
+		{"server abort", []step{
+			{true, packet.FlagSYN, 0},
+			{false, packet.FlagSYN | packet.FlagACK, 0},
+			{false, packet.FlagRST, 0},
+		}, StateRSTR},
+		{"established still open", []step{
+			{true, packet.FlagSYN, 0},
+			{false, packet.FlagSYN | packet.FlagACK, 0},
+			{true, packet.FlagACK, 50},
+		}, StateS1},
+	}
+	for _, c := range cases {
+		if got := driveTCP(t, c.seq).State; got != c.want {
+			t.Errorf("%s: state = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestUDPStateIsOther(t *testing.T) {
+	var out []Record
+	a := NewAssembler(Config{}, func(r Record) { out = append(out, r) })
+	a.Add(pkt(0, client, server, 5000, 53, ProtoUDP, 60, 0))
+	a.Flush()
+	if out[0].State != StateOther {
+		t.Errorf("udp state = %v", out[0].State)
+	}
+}
+
+func TestDetectService(t *testing.T) {
+	cases := []struct {
+		port    uint16
+		proto   Proto
+		payload string
+		want    string
+	}{
+		{443, ProtoTCP, "\x16\x03\x01\x02\x00\x01\x00\x01", "tls"},
+		{8443, ProtoTCP, "\x16\x03\x03abc", "tls"}, // payload beats odd port
+		{80, ProtoTCP, "GET / HT", "http"},
+		{8080, ProtoTCP, "POST /ap", "http"},
+		{443, ProtoTCP, "", "tls"},  // port fallback
+		{443, ProtoUDP, "", "quic"}, // QUIC on UDP/443
+		{53, ProtoUDP, "", "dns"},
+		{123, ProtoUDP, "", "ntp"},
+		{22, ProtoTCP, "", "ssh"},
+		{9999, ProtoTCP, "binary??", ""},
+	}
+	for _, c := range cases {
+		if got := DetectService(c.port, c.proto, []byte(c.payload)); got != c.want {
+			t.Errorf("DetectService(%d, %v, %q) = %q, want %q", c.port, c.proto, c.payload, got, c.want)
+		}
+	}
+}
+
+func TestAssemblerDetectsServiceFromPayload(t *testing.T) {
+	var out []Record
+	a := NewAssembler(Config{}, func(r Record) { out = append(out, r) })
+	info := pkt(0, client, server, 52000, 8080, ProtoTCP, 15, packet.FlagACK|packet.FlagPSH)
+	info.Head = []byte("GET /index")
+	a.Add(info)
+	a.Flush()
+	if out[0].Service != "http" {
+		t.Errorf("service = %q, want http", out[0].Service)
+	}
+}

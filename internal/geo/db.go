@@ -1,0 +1,108 @@
+// Package geo implements the population-split methodology of §4.2: a
+// prefix-based IP geolocation database, the byte-weighted spherical
+// midpoint of each device's destinations, and the United-States containment
+// test that labels a device domestic or international.
+package geo
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/universe"
+)
+
+// Location is one geolocated point.
+type Location struct {
+	Lat float64
+	Lon float64
+}
+
+// Entry is one geolocation database row.
+type Entry struct {
+	Prefix netip.Prefix
+	Loc    Location
+	// US reports whether the location falls inside the United States.
+	US bool
+	// CDNExcluded marks prefixes the midpoint computation must skip
+	// (Akamai, AWS, Cloudfront, Optimizely per §4.2: they reveal the
+	// user's location, not the visited site's).
+	CDNExcluded bool
+	// Owner names the hosting service, for diagnostics.
+	Owner string
+}
+
+// DB is an immutable prefix-to-location database, the stand-in for the
+// commercial geolocation feeds the paper used. Lookups are safe for
+// concurrent use.
+type DB struct {
+	entries []Entry // sorted by prefix base address
+}
+
+// FromRegistry builds the database from the universe's address plan. Each
+// prefix is placed at its hosting region's metro with a small deterministic
+// per-prefix offset, the way real datacenter prefixes scatter around a
+// region.
+func FromRegistry(reg *universe.Registry) *DB {
+	infos := reg.Prefixes()
+	entries := make([]Entry, 0, len(infos))
+	for _, pi := range infos {
+		jlat, jlon := jitter(pi.Prefix)
+		entries = append(entries, Entry{
+			Prefix:      pi.Prefix,
+			Loc:         Location{Lat: pi.Region.Lat + jlat, Lon: pi.Region.Lon + jlon},
+			US:          pi.Region.US,
+			CDNExcluded: pi.GeoExcluded,
+			Owner:       pi.Owner,
+		})
+	}
+	return NewDB(entries)
+}
+
+// jitter derives a deterministic offset in [-1.5, 1.5) degrees from the
+// prefix bytes (any address family).
+func jitter(p netip.Prefix) (lat, lon float64) {
+	var h uint32 = 2166136261
+	for _, b := range p.Addr().AsSlice() {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	h ^= h >> 16
+	h *= 0x45d9f3b
+	h ^= h >> 16
+	lat = (float64(h&0xffff)/65536 - 0.5) * 3
+	lon = (float64(h>>16)/65536 - 0.5) * 3
+	return lat, lon
+}
+
+// NewDB indexes the given entries. Prefixes are assumed disjoint (the
+// universe's plan guarantees this); overlapping entries resolve to the one
+// with the greater base address.
+func NewDB(entries []Entry) *DB {
+	es := append([]Entry(nil), entries...)
+	sort.Slice(es, func(i, j int) bool {
+		return es[i].Prefix.Addr().Compare(es[j].Prefix.Addr()) < 0
+	})
+	return &DB{entries: es}
+}
+
+// Lookup returns the database entry covering addr.
+func (db *DB) Lookup(addr netip.Addr) (Entry, bool) {
+	i := sort.Search(len(db.entries), func(i int) bool {
+		return db.entries[i].Prefix.Addr().Compare(addr) > 0
+	})
+	if i == 0 {
+		return Entry{}, false
+	}
+	if e := db.entries[i-1]; e.Prefix.Contains(addr) {
+		return e, true
+	}
+	return Entry{}, false
+}
+
+// Size returns the number of prefixes indexed.
+func (db *DB) Size() int { return len(db.entries) }
+
+// String summarizes the database.
+func (db *DB) String() string {
+	return fmt.Sprintf("geo.DB{%d prefixes}", len(db.entries))
+}

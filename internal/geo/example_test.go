@@ -1,0 +1,27 @@
+package geo_test
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+// ExampleMidpoint reproduces §4.2's core computation: the byte-weighted
+// spherical midpoint of a device's destinations decides its population.
+func ExampleMidpoint() {
+	var m geo.Midpoint
+	m.Add(geo.Location{Lat: 31.23, Lon: 121.47}, 8<<30)  // Shanghai video
+	m.Add(geo.Location{Lat: 37.35, Lon: -121.95}, 1<<30) // US-west CDN
+	loc, _ := m.Result()
+	fmt.Printf("midpoint east of the date line: %v; inside the US: %v\n",
+		loc.Lon > 100, geo.InUS(loc))
+	// Output: midpoint east of the date line: true; inside the US: false
+}
+
+func ExampleInUS() {
+	fmt.Println(geo.InUS(geo.Location{Lat: 32.88, Lon: -117.23})) // La Jolla
+	fmt.Println(geo.InUS(geo.Location{Lat: 32.51, Lon: -117.04})) // Tijuana
+	// Output:
+	// true
+	// false
+}

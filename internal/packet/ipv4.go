@@ -1,0 +1,121 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IP protocol numbers.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// IPv4HeaderLen is the length of an IPv4 header without options.
+const IPv4HeaderLen = 20
+
+// IPv4 is an IPv4 header. Options are preserved on decode but not
+// interpreted; serialization always emits an option-less header.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // upper 3 bits of the fragment word
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Src      netip.Addr
+	Dst      netip.Addr
+	Options  []byte
+
+	payload []byte
+}
+
+// LayerType implements Layer.
+func (ip *IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// DecodeFromBytes implements Layer.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv4HeaderLen {
+		return fmt.Errorf("%w: ipv4 needs %d bytes, have %d", ErrTruncated, IPv4HeaderLen, len(data))
+	}
+	if v := data[0] >> 4; v != 4 {
+		return fmt.Errorf("%w: version %d in IPv4 decoder", ErrBadVersion, v)
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen {
+		return fmt.Errorf("%w: IHL %d below minimum", ErrBadHeader, ihl)
+	}
+	if len(data) < ihl {
+		return fmt.Errorf("%w: ipv4 header claims %d bytes, have %d", ErrTruncated, ihl, len(data))
+	}
+	totalLen := int(binary.BigEndian.Uint16(data[2:4]))
+	if totalLen < ihl || totalLen > len(data) {
+		return fmt.Errorf("%w: total length %d outside [%d,%d]", ErrBadHeader, totalLen, ihl, len(data))
+	}
+	if internetChecksum(0, data[:ihl]) != 0 {
+		return fmt.Errorf("%w: ipv4 header checksum", ErrBadChecksum)
+	}
+	ip.TOS = data[1]
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	frag := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(frag >> 13)
+	ip.FragOff = frag & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	var src, dst [4]byte
+	copy(src[:], data[12:16])
+	copy(dst[:], data[16:20])
+	ip.Src = netip.AddrFrom4(src)
+	ip.Dst = netip.AddrFrom4(dst)
+	ip.Options = data[IPv4HeaderLen:ihl]
+	ip.payload = data[ihl:totalLen]
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (ip *IPv4) NextLayerType() LayerType {
+	if ip.FragOff != 0 {
+		// Non-first fragments carry no transport header.
+		return LayerTypePayload
+	}
+	switch ip.Protocol {
+	case ProtoTCP:
+		return LayerTypeTCP
+	case ProtoUDP:
+		return LayerTypeUDP
+	default:
+		return LayerTypePayload
+	}
+}
+
+// LayerPayload implements Layer.
+func (ip *IPv4) LayerPayload() []byte { return ip.payload }
+
+// AppendTo implements Layer.
+func (ip *IPv4) AppendTo(b []byte) ([]byte, error) {
+	if !ip.Src.Is4() || !ip.Dst.Is4() {
+		return nil, fmt.Errorf("%w: IPv4 layer with non-v4 addresses", ErrBadHeader)
+	}
+	totalLen := IPv4HeaderLen + len(b)
+	if totalLen > 0xffff {
+		return nil, fmt.Errorf("%w: payload too large for IPv4 (%d bytes)", ErrBadHeader, totalLen)
+	}
+	hdr := make([]byte, IPv4HeaderLen, totalLen)
+	hdr[0] = 4<<4 | IPv4HeaderLen/4
+	hdr[1] = ip.TOS
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(totalLen))
+	binary.BigEndian.PutUint16(hdr[4:6], ip.ID)
+	binary.BigEndian.PutUint16(hdr[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	ttl := ip.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	hdr[8] = ttl
+	hdr[9] = ip.Protocol
+	src, dst := ip.Src.As4(), ip.Dst.As4()
+	copy(hdr[12:16], src[:])
+	copy(hdr[16:20], dst[:])
+	binary.BigEndian.PutUint16(hdr[10:12], internetChecksum(0, hdr))
+	return append(hdr, b...), nil
+}

@@ -1,0 +1,91 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IPv6HeaderLen is the length of the fixed IPv6 header.
+const IPv6HeaderLen = 40
+
+// IPv6 is the fixed IPv6 header. Extension headers are not interpreted;
+// a packet whose NextHeader is not TCP or UDP decodes with an opaque
+// payload.
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	NextHeader   uint8
+	HopLimit     uint8
+	Src          netip.Addr
+	Dst          netip.Addr
+
+	payload []byte
+}
+
+// LayerType implements Layer.
+func (ip *IPv6) LayerType() LayerType { return LayerTypeIPv6 }
+
+// DecodeFromBytes implements Layer.
+func (ip *IPv6) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv6HeaderLen {
+		return fmt.Errorf("%w: ipv6 needs %d bytes, have %d", ErrTruncated, IPv6HeaderLen, len(data))
+	}
+	if v := data[0] >> 4; v != 6 {
+		return fmt.Errorf("%w: version %d in IPv6 decoder", ErrBadVersion, v)
+	}
+	vtf := binary.BigEndian.Uint32(data[0:4])
+	ip.TrafficClass = uint8(vtf >> 20)
+	ip.FlowLabel = vtf & 0xfffff
+	payloadLen := int(binary.BigEndian.Uint16(data[4:6]))
+	ip.NextHeader = data[6]
+	ip.HopLimit = data[7]
+	var src, dst [16]byte
+	copy(src[:], data[8:24])
+	copy(dst[:], data[24:40])
+	ip.Src = netip.AddrFrom16(src)
+	ip.Dst = netip.AddrFrom16(dst)
+	if IPv6HeaderLen+payloadLen > len(data) {
+		return fmt.Errorf("%w: ipv6 payload length %d exceeds frame", ErrTruncated, payloadLen)
+	}
+	ip.payload = data[IPv6HeaderLen : IPv6HeaderLen+payloadLen]
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (ip *IPv6) NextLayerType() LayerType {
+	switch ip.NextHeader {
+	case ProtoTCP:
+		return LayerTypeTCP
+	case ProtoUDP:
+		return LayerTypeUDP
+	default:
+		return LayerTypePayload
+	}
+}
+
+// LayerPayload implements Layer.
+func (ip *IPv6) LayerPayload() []byte { return ip.payload }
+
+// AppendTo implements Layer.
+func (ip *IPv6) AppendTo(b []byte) ([]byte, error) {
+	if !ip.Src.Is6() || ip.Src.Is4In6() || !ip.Dst.Is6() || ip.Dst.Is4In6() {
+		return nil, fmt.Errorf("%w: IPv6 layer with non-v6 addresses", ErrBadHeader)
+	}
+	if len(b) > 0xffff {
+		return nil, fmt.Errorf("%w: payload too large for IPv6 (%d bytes)", ErrBadHeader, len(b))
+	}
+	hdr := make([]byte, IPv6HeaderLen, IPv6HeaderLen+len(b))
+	binary.BigEndian.PutUint32(hdr[0:4], 6<<28|uint32(ip.TrafficClass)<<20|ip.FlowLabel&0xfffff)
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(b)))
+	hdr[6] = ip.NextHeader
+	hop := ip.HopLimit
+	if hop == 0 {
+		hop = 64
+	}
+	hdr[7] = hop
+	src, dst := ip.Src.As16(), ip.Dst.As16()
+	copy(hdr[8:24], src[:])
+	copy(hdr[24:40], dst[:])
+	return append(hdr, b...), nil
+}

@@ -1,0 +1,179 @@
+// Package packet implements from-scratch encoding and decoding of the link,
+// network, and transport layers the campus tap observes: Ethernet II, IPv4,
+// IPv6, TCP, and UDP.
+//
+// The design follows the layer model popularized by gopacket: a Packet is a
+// byte slice decoded into a stack of Layers, each of which knows its own
+// header fields, its payload, and which layer type follows it. Decoding is
+// strict — truncated or internally inconsistent headers produce errors
+// rather than best-effort results — because the downstream flow assembler
+// must never account bytes against a mis-parsed five-tuple.
+package packet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LayerType identifies a protocol layer.
+type LayerType int
+
+// Layer types understood by this package.
+const (
+	LayerTypeEthernet LayerType = iota + 1
+	LayerTypeIPv4
+	LayerTypeIPv6
+	LayerTypeTCP
+	LayerTypeUDP
+	LayerTypePayload
+)
+
+// String returns the conventional protocol name.
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeEthernet:
+		return "Ethernet"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeIPv6:
+		return "IPv6"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypePayload:
+		return "Payload"
+	default:
+		return fmt.Sprintf("LayerType(%d)", int(t))
+	}
+}
+
+// Layer is one decoded protocol layer.
+type Layer interface {
+	// LayerType identifies the protocol of this layer.
+	LayerType() LayerType
+	// DecodeFromBytes parses the layer from data, which begins at this
+	// layer's first header byte and extends to the end of the packet.
+	DecodeFromBytes(data []byte) error
+	// NextLayerType reports the type of the layer carried in this layer's
+	// payload, or LayerTypePayload if opaque.
+	NextLayerType() LayerType
+	// LayerPayload returns the bytes following this layer's header.
+	LayerPayload() []byte
+	// AppendTo serializes the layer header followed by payload to b.
+	// Fields that depend on the payload (lengths, checksums) are computed
+	// during serialization.
+	AppendTo(b []byte) ([]byte, error)
+}
+
+// Decoding errors.
+var (
+	ErrTruncated   = errors.New("packet: truncated header")
+	ErrBadVersion  = errors.New("packet: IP version mismatch")
+	ErrBadHeader   = errors.New("packet: malformed header")
+	ErrBadChecksum = errors.New("packet: checksum mismatch")
+)
+
+// Packet is a fully decoded frame: an ordered stack of layers from the link
+// layer inward, plus the innermost opaque payload.
+type Packet struct {
+	Layers  []Layer
+	Payload []byte
+}
+
+// Decode parses an Ethernet frame into its layer stack. Transport checksums
+// are verified when verifyChecksums is true.
+func Decode(frame []byte, verifyChecksums bool) (*Packet, error) {
+	p := &Packet{}
+	data := frame
+	next := LayerTypeEthernet
+	var ipv4 *IPv4
+	var ipv6 *IPv6
+	for next != LayerTypePayload {
+		var l Layer
+		switch next {
+		case LayerTypeEthernet:
+			l = &Ethernet{}
+		case LayerTypeIPv4:
+			l = &IPv4{}
+		case LayerTypeIPv6:
+			l = &IPv6{}
+		case LayerTypeTCP:
+			l = &TCP{}
+		case LayerTypeUDP:
+			l = &UDP{}
+		default:
+			return nil, fmt.Errorf("packet: cannot decode layer type %v", next)
+		}
+		if err := l.DecodeFromBytes(data); err != nil {
+			return nil, fmt.Errorf("decoding %v: %w", next, err)
+		}
+		switch v := l.(type) {
+		case *IPv4:
+			ipv4 = v
+		case *IPv6:
+			ipv6 = v
+		case *TCP:
+			if verifyChecksums {
+				if err := verifyTransportChecksum(v.checksum, v.rawBytes, ipv4, ipv6, 6); err != nil {
+					return nil, err
+				}
+			}
+		case *UDP:
+			if verifyChecksums && v.checksum != 0 {
+				if err := verifyTransportChecksum(v.checksum, v.rawBytes, ipv4, ipv6, 17); err != nil {
+					return nil, err
+				}
+			}
+		}
+		p.Layers = append(p.Layers, l)
+		data = l.LayerPayload()
+		next = l.NextLayerType()
+	}
+	p.Payload = data
+	return p, nil
+}
+
+// Layer returns the first layer of the given type, or nil.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.Layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	return nil
+}
+
+// Serialize encodes a stack of layers (outermost first) followed by payload
+// into a wire-format frame. Length and checksum fields are computed
+// automatically; IP layers must precede their transport layer so pseudo-
+// header checksums can be formed.
+func Serialize(payload []byte, layers ...Layer) ([]byte, error) {
+	// Serialize from the innermost layer outward so each layer sees its
+	// completed payload.
+	buf := append([]byte(nil), payload...)
+	var ipv4 *IPv4
+	var ipv6 *IPv6
+	for _, l := range layers {
+		switch v := l.(type) {
+		case *IPv4:
+			ipv4 = v
+		case *IPv6:
+			ipv6 = v
+		}
+	}
+	for i := len(layers) - 1; i >= 0; i-- {
+		switch v := layers[i].(type) {
+		case *TCP:
+			v.ipv4, v.ipv6 = ipv4, ipv6
+		case *UDP:
+			v.ipv4, v.ipv6 = ipv4, ipv6
+		}
+		out, err := layers[i].AppendTo(buf)
+		if err != nil {
+			return nil, fmt.Errorf("serializing %v: %w", layers[i].LayerType(), err)
+		}
+		buf = out
+	}
+	return buf, nil
+}

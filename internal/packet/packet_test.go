@@ -1,0 +1,273 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mustAddr(t *testing.T, s string) netip.Addr {
+	t.Helper()
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func buildTCP4(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	frame, err := Serialize(payload,
+		&Ethernet{Dst: MustParseMAC("02:00:00:00:00:02"), Src: MustParseMAC("00:11:22:33:44:55"), EtherType: EtherTypeIPv4},
+		&IPv4{Src: mustAddr(t, "10.1.2.3"), Dst: mustAddr(t, "93.184.216.34"), Protocol: ProtoTCP, TTL: 64},
+		&TCP{SrcPort: 49152, DstPort: 443, Seq: 1000, Ack: 2000, Flags: FlagACK | FlagPSH, Window: 65535},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestTCP4RoundTrip(t *testing.T) {
+	payload := []byte("hello over tls, hypothetically")
+	frame := buildTCP4(t, payload)
+
+	p, err := Decode(frame, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Layers) != 3 {
+		t.Fatalf("decoded %d layers, want 3", len(p.Layers))
+	}
+	eth := p.Layer(LayerTypeEthernet).(*Ethernet)
+	if eth.Src.String() != "00:11:22:33:44:55" || eth.EtherType != EtherTypeIPv4 {
+		t.Errorf("ethernet mismatch: %+v", eth)
+	}
+	ip := p.Layer(LayerTypeIPv4).(*IPv4)
+	if ip.Src.String() != "10.1.2.3" || ip.Dst.String() != "93.184.216.34" || ip.Protocol != ProtoTCP {
+		t.Errorf("ipv4 mismatch: %+v", ip)
+	}
+	tcp := p.Layer(LayerTypeTCP).(*TCP)
+	if tcp.SrcPort != 49152 || tcp.DstPort != 443 || tcp.Seq != 1000 || tcp.Flags != FlagACK|FlagPSH {
+		t.Errorf("tcp mismatch: %+v", tcp)
+	}
+	if !bytes.Equal(p.Payload, payload) {
+		t.Errorf("payload mismatch: %q", p.Payload)
+	}
+}
+
+func TestUDP6RoundTrip(t *testing.T) {
+	payload := []byte{0xde, 0xad, 0xbe, 0xef}
+	frame, err := Serialize(payload,
+		&Ethernet{Dst: Broadcast, Src: MustParseMAC("aa:bb:cc:dd:ee:ff"), EtherType: EtherTypeIPv6},
+		&IPv6{Src: mustAddr(t, "2001:db8::1"), Dst: mustAddr(t, "2001:db8::53"), NextHeader: ProtoUDP},
+		&UDP{SrcPort: 5353, DstPort: 53},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Decode(frame, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := p.Layer(LayerTypeIPv6).(*IPv6)
+	if ip.Src.String() != "2001:db8::1" {
+		t.Errorf("ipv6 src = %v", ip.Src)
+	}
+	udp := p.Layer(LayerTypeUDP).(*UDP)
+	if udp.SrcPort != 5353 || udp.DstPort != 53 {
+		t.Errorf("udp ports = %d,%d", udp.SrcPort, udp.DstPort)
+	}
+	if !bytes.Equal(p.Payload, payload) {
+		t.Errorf("payload mismatch")
+	}
+}
+
+func TestChecksumCorruptionDetected(t *testing.T) {
+	frame := buildTCP4(t, []byte("payload bytes here"))
+	// Flip a payload byte: TCP checksum must catch it.
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := Decode(bad, true); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupted payload: err = %v, want ErrBadChecksum", err)
+	}
+	// Flip an IP header byte: IPv4 header checksum must catch it.
+	bad2 := append([]byte(nil), frame...)
+	bad2[EthernetHeaderLen+8] ^= 0xff // TTL
+	if _, err := Decode(bad2, true); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupted IP header: err = %v, want ErrBadChecksum", err)
+	}
+	// Without verification the payload corruption passes.
+	if _, err := Decode(bad, false); err != nil {
+		t.Errorf("verification off: err = %v", err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	frame := buildTCP4(t, []byte("a longer payload to truncate into the headers"))
+	for cut := 0; cut < EthernetHeaderLen+IPv4HeaderLen+TCPHeaderLen; cut++ {
+		if _, err := Decode(frame[:cut], false); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", cut)
+		}
+	}
+}
+
+func TestDecodeRandomGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		Decode(buf, true) // must not panic; errors are fine
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	frame := buildTCP4(t, nil)
+	// Claim IPv6 in the EtherType while carrying IPv4.
+	frame[12], frame[13] = 0x86, 0xdd
+	if _, err := Decode(frame, false); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestIPv4FragmentOpaque(t *testing.T) {
+	ip := &IPv4{Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"), Protocol: ProtoTCP, FragOff: 100}
+	frame, err := Serialize([]byte("fragment data"),
+		&Ethernet{EtherType: EtherTypeIPv4}, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Decode(frame, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Layer(LayerTypeTCP) != nil {
+		t.Error("non-first fragment decoded a TCP layer")
+	}
+}
+
+func TestUDPZeroChecksumSkipsVerification(t *testing.T) {
+	frame, err := Serialize([]byte("x"),
+		&Ethernet{EtherType: EtherTypeIPv4},
+		&IPv4{Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"), Protocol: ProtoUDP},
+		&UDP{SrcPort: 1, DstPort: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero out the UDP checksum (offset: eth 14 + ip 20 + 6).
+	frame[14+20+6], frame[14+20+7] = 0, 0
+	if _, err := Decode(frame, true); err != nil {
+		t.Errorf("zero UDP checksum rejected: %v", err)
+	}
+}
+
+func TestMACParsing(t *testing.T) {
+	m, err := ParseMAC("02:1a:2b:3c:4d:5e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "02:1a:2b:3c:4d:5e" {
+		t.Errorf("round trip = %q", m.String())
+	}
+	if !m.LocallyAdministered() {
+		t.Error("0x02 first octet should be locally administered")
+	}
+	if m.Multicast() {
+		t.Error("unicast flagged multicast")
+	}
+	if got := m.OUI(); got != [3]byte{0x02, 0x1a, 0x2b} {
+		t.Errorf("OUI = %v", got)
+	}
+	for _, bad := range []string{"", "02:1a:2b:3c:4d", "02:1a:2b:3c:4d:5e:6f", "zz:00:00:00:00:00", "021a:2b:3c:4d:5e"} {
+		if _, err := ParseMAC(bad); err == nil {
+			t.Errorf("ParseMAC(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestMACRoundTripProperty(t *testing.T) {
+	f := func(raw [6]byte) bool {
+		m := MAC(raw)
+		back, err := ParseMAC(m.String())
+		return err == nil && back == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCPRoundTripProperty(t *testing.T) {
+	f := func(srcPort, dstPort uint16, seq, ack uint32, window uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		frame, err := Serialize(payload,
+			&Ethernet{EtherType: EtherTypeIPv4},
+			&IPv4{Src: netip.MustParseAddr("172.16.0.9"), Dst: netip.MustParseAddr("8.8.8.8"), Protocol: ProtoTCP},
+			&TCP{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Ack: ack, Flags: FlagACK, Window: window},
+		)
+		if err != nil {
+			return false
+		}
+		p, err := Decode(frame, true)
+		if err != nil {
+			return false
+		}
+		tcp, ok := p.Layer(LayerTypeTCP).(*TCP)
+		if !ok {
+			return false
+		}
+		return tcp.SrcPort == srcPort && tcp.DstPort == dstPort &&
+			tcp.Seq == seq && tcp.Ack == ack && tcp.Window == window &&
+			bytes.Equal(p.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternetChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: 0x0001f203f4f5f6f7 → checksum 0x220d.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := internetChecksum(0, data); got != 0x220d {
+		t.Errorf("checksum = 0x%04x, want 0x220d", got)
+	}
+}
+
+func BenchmarkDecodeTCP4(b *testing.B) {
+	payload := bytes.Repeat([]byte{0xab}, 1200)
+	frame, err := Serialize(payload,
+		&Ethernet{EtherType: EtherTypeIPv4},
+		&IPv4{Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"), Protocol: ProtoTCP},
+		&TCP{SrcPort: 40000, DstPort: 443, Flags: FlagACK},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frame, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerializeTCP4(b *testing.B) {
+	payload := bytes.Repeat([]byte{0xcd}, 1200)
+	eth := &Ethernet{EtherType: EtherTypeIPv4}
+	ip := &IPv4{Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"), Protocol: ProtoTCP}
+	tcp := &TCP{SrcPort: 40000, DstPort: 443, Flags: FlagACK}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Serialize(payload, eth, ip, tcp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TCPHeaderLen is the length of a TCP header without options.
+const TCPHeaderLen = 20
+
+// TCP flag bits.
+const (
+	FlagFIN uint8 = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+)
+
+// TCP is a TCP segment header.
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+	Urgent  uint16
+	Options []byte
+
+	checksum uint16
+	rawBytes []byte // full segment as received, for checksum verification
+	payload  []byte
+	ipv4     *IPv4 // set by Serialize for pseudo-header computation
+	ipv6     *IPv6
+}
+
+// LayerType implements Layer.
+func (t *TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// DecodeFromBytes implements Layer.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < TCPHeaderLen {
+		return fmt.Errorf("%w: tcp needs %d bytes, have %d", ErrTruncated, TCPHeaderLen, len(data))
+	}
+	dataOff := int(data[12]>>4) * 4
+	if dataOff < TCPHeaderLen {
+		return fmt.Errorf("%w: tcp data offset %d below minimum", ErrBadHeader, dataOff)
+	}
+	if len(data) < dataOff {
+		return fmt.Errorf("%w: tcp header claims %d bytes, have %d", ErrTruncated, dataOff, len(data))
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	t.Options = data[TCPHeaderLen:dataOff]
+	t.rawBytes = data
+	t.payload = data[dataOff:]
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (t *TCP) NextLayerType() LayerType { return LayerTypePayload }
+
+// LayerPayload implements Layer.
+func (t *TCP) LayerPayload() []byte { return t.payload }
+
+// Checksum returns the checksum observed on the wire (valid after decode).
+func (t *TCP) Checksum() uint16 { return t.checksum }
+
+// AppendTo implements Layer. The options slice, if any, must be a multiple
+// of four bytes.
+func (t *TCP) AppendTo(b []byte) ([]byte, error) {
+	if len(t.Options)%4 != 0 {
+		return nil, fmt.Errorf("%w: tcp options length %d not a multiple of 4", ErrBadHeader, len(t.Options))
+	}
+	hdrLen := TCPHeaderLen + len(t.Options)
+	if hdrLen > 60 {
+		return nil, fmt.Errorf("%w: tcp header length %d exceeds 60", ErrBadHeader, hdrLen)
+	}
+	seg := make([]byte, hdrLen, hdrLen+len(b))
+	binary.BigEndian.PutUint16(seg[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(seg[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(seg[4:8], t.Seq)
+	binary.BigEndian.PutUint32(seg[8:12], t.Ack)
+	seg[12] = uint8(hdrLen/4) << 4
+	seg[13] = t.Flags
+	binary.BigEndian.PutUint16(seg[14:16], t.Window)
+	binary.BigEndian.PutUint16(seg[18:20], t.Urgent)
+	copy(seg[TCPHeaderLen:], t.Options)
+	seg = append(seg, b...)
+	sum, err := transportChecksum(seg, t.ipv4, t.ipv6, ProtoTCP)
+	if err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint16(seg[16:18], sum)
+	return seg, nil
+}

@@ -1,0 +1,72 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// UDP is a UDP datagram header.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+
+	checksum uint16
+	rawBytes []byte
+	payload  []byte
+	ipv4     *IPv4
+	ipv6     *IPv6
+}
+
+// LayerType implements Layer.
+func (u *UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// DecodeFromBytes implements Layer.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < UDPHeaderLen {
+		return fmt.Errorf("%w: udp needs %d bytes, have %d", ErrTruncated, UDPHeaderLen, len(data))
+	}
+	length := int(binary.BigEndian.Uint16(data[4:6]))
+	if length < UDPHeaderLen || length > len(data) {
+		return fmt.Errorf("%w: udp length %d outside [%d,%d]", ErrBadHeader, length, UDPHeaderLen, len(data))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.checksum = binary.BigEndian.Uint16(data[6:8])
+	u.rawBytes = data[:length]
+	u.payload = data[UDPHeaderLen:length]
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (u *UDP) NextLayerType() LayerType { return LayerTypePayload }
+
+// LayerPayload implements Layer.
+func (u *UDP) LayerPayload() []byte { return u.payload }
+
+// Checksum returns the checksum observed on the wire (valid after decode).
+func (u *UDP) Checksum() uint16 { return u.checksum }
+
+// AppendTo implements Layer.
+func (u *UDP) AppendTo(b []byte) ([]byte, error) {
+	length := UDPHeaderLen + len(b)
+	if length > 0xffff {
+		return nil, fmt.Errorf("%w: udp datagram too large (%d bytes)", ErrBadHeader, length)
+	}
+	seg := make([]byte, UDPHeaderLen, length)
+	binary.BigEndian.PutUint16(seg[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(seg[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(seg[4:6], uint16(length))
+	seg = append(seg, b...)
+	sum, err := transportChecksum(seg, u.ipv4, u.ipv6, ProtoUDP)
+	if err != nil {
+		return nil, err
+	}
+	if sum == 0 {
+		sum = 0xffff // RFC 768: transmitted zero means "no checksum"
+	}
+	binary.BigEndian.PutUint16(seg[6:8], sum)
+	return seg, nil
+}

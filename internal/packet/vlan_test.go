@@ -1,0 +1,88 @@
+package packet
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestVLANRoundTrip(t *testing.T) {
+	payload := []byte("tagged traffic")
+	frame, err := Serialize(payload,
+		&Ethernet{
+			Dst: MustParseMAC("00:00:5e:00:01:01"), Src: MustParseMAC("00:1b:21:00:00:01"),
+			EtherType: EtherTypeIPv4, VLAN: 120, Priority: 3,
+		},
+		&IPv4{Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("23.0.0.1"), Protocol: ProtoTCP},
+		&TCP{SrcPort: 40000, DstPort: 443, Flags: FlagACK},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Decode(frame, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth := p.Layer(LayerTypeEthernet).(*Ethernet)
+	if eth.VLAN != 120 || eth.Priority != 3 {
+		t.Errorf("tag = vlan %d prio %d", eth.VLAN, eth.Priority)
+	}
+	if eth.EtherType != EtherTypeIPv4 {
+		t.Errorf("inner ethertype = 0x%04x", eth.EtherType)
+	}
+	if p.Layer(LayerTypeTCP) == nil {
+		t.Error("TCP not decoded through the tag")
+	}
+	if !bytes.Equal(p.Payload, payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestVLANZeroEmitsUntagged(t *testing.T) {
+	frame, err := Serialize(nil, &Ethernet{EtherType: EtherTypeARP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != EthernetHeaderLen {
+		t.Errorf("untagged frame length = %d", len(frame))
+	}
+}
+
+func TestVLANIDOutOfRange(t *testing.T) {
+	if _, err := Serialize(nil, &Ethernet{EtherType: EtherTypeARP, VLAN: 5000}); err == nil {
+		t.Error("13-bit VLAN accepted")
+	}
+}
+
+func TestVLANTruncatedTag(t *testing.T) {
+	frame, _ := Serialize([]byte{1, 2, 3, 4}, &Ethernet{EtherType: EtherTypeIPv4, VLAN: 5})
+	// Cut inside the 802.1Q tag.
+	if _, err := Decode(frame[:15], false); err == nil {
+		t.Error("truncated tag accepted")
+	}
+}
+
+func TestVLANRoundTripProperty(t *testing.T) {
+	f := func(vlan uint16, prio uint8) bool {
+		vlan = vlan%4094 + 1 // 1..4094
+		prio &= 0x7
+		frame, err := Serialize([]byte("x"),
+			&Ethernet{EtherType: EtherTypeIPv4, VLAN: vlan, Priority: prio},
+			&IPv4{Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"), Protocol: ProtoUDP},
+			&UDP{SrcPort: 1, DstPort: 2},
+		)
+		if err != nil {
+			return false
+		}
+		p, err := Decode(frame, true)
+		if err != nil {
+			return false
+		}
+		eth := p.Layer(LayerTypeEthernet).(*Ethernet)
+		return eth.VLAN == vlan && eth.Priority == prio && p.Layer(LayerTypeUDP) != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package packetize lowers flow records to synthetic wire-format packet
+// sequences: TCP flows become SYN/SYN-ACK handshakes, data segments and a
+// FIN exchange; UDP flows become datagram exchanges. It is the inverse of
+// the flow assembler, used to materialize pcap captures from generated
+// flows — which lets the packet → flow extraction path (internal/packet,
+// internal/pcap, internal/flow) be exercised against ground truth.
+package packetize
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/packet"
+)
+
+// GatewayMAC is the router-side MAC on the mirrored segment.
+var GatewayMAC = packet.MustParseMAC("00:00:5e:00:01:01")
+
+// MaxSegment is the largest application payload carried per synthetic
+// packet. It deliberately exceeds a physical MTU (the tap model is a
+// segment-offload-style capture) to bound packet counts for large flows.
+const MaxSegment = 32 << 10
+
+// Emit converts one flow record to packets, invoking emit for each frame
+// with its timestamp. srcMAC is the client device's address.
+func Emit(r flow.Record, srcMAC packet.MAC, emit func(ts time.Time, frame []byte) error) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	switch r.Proto {
+	case flow.ProtoTCP:
+		return emitTCP(r, srcMAC, emit)
+	case flow.ProtoUDP:
+		return emitUDP(r, srcMAC, emit)
+	default:
+		return fmt.Errorf("packetize: unsupported protocol %v", r.Proto)
+	}
+}
+
+// chunks splits n bytes into MaxSegment-sized pieces.
+func chunks(n int64) []int {
+	if n <= 0 {
+		return nil
+	}
+	var out []int
+	for n > 0 {
+		c := int64(MaxSegment)
+		if n < c {
+			c = n
+		}
+		out = append(out, int(c))
+		n -= c
+	}
+	return out
+}
+
+type tcpStream struct {
+	r      flow.Record
+	srcMAC packet.MAC
+	emit   func(time.Time, []byte) error
+	seqC   uint32 // client seq
+	seqS   uint32 // server seq
+}
+
+// ipLayer builds the network layer matching the flow's address family.
+func ipLayer(src, dst netip.Addr, proto uint8) (packet.Layer, uint16) {
+	if src.Is4() {
+		return &packet.IPv4{Src: src, Dst: dst, Protocol: proto, TTL: 64}, packet.EtherTypeIPv4
+	}
+	return &packet.IPv6{Src: src, Dst: dst, NextHeader: proto, HopLimit: 64}, packet.EtherTypeIPv6
+}
+
+func (s *tcpStream) send(ts time.Time, fromClient bool, flags uint8, payload []byte) error {
+	eth := &packet.Ethernet{}
+	tcp := &packet.TCP{Flags: flags, Window: 65535}
+	var ip packet.Layer
+	if fromClient {
+		eth.Src, eth.Dst = s.srcMAC, GatewayMAC
+		ip, eth.EtherType = ipLayer(s.r.OrigAddr, s.r.RespAddr, packet.ProtoTCP)
+		tcp.SrcPort, tcp.DstPort = s.r.OrigPort, s.r.RespPort
+		tcp.Seq, tcp.Ack = s.seqC, s.seqS
+		s.seqC += uint32(len(payload))
+		if flags&(packet.FlagSYN|packet.FlagFIN) != 0 {
+			s.seqC++
+		}
+	} else {
+		eth.Src, eth.Dst = GatewayMAC, s.srcMAC
+		ip, eth.EtherType = ipLayer(s.r.RespAddr, s.r.OrigAddr, packet.ProtoTCP)
+		tcp.SrcPort, tcp.DstPort = s.r.RespPort, s.r.OrigPort
+		tcp.Seq, tcp.Ack = s.seqS, s.seqC
+		s.seqS += uint32(len(payload))
+		if flags&(packet.FlagSYN|packet.FlagFIN) != 0 {
+			s.seqS++
+		}
+	}
+	frame, err := packet.Serialize(payload, eth, ip, tcp)
+	if err != nil {
+		return err
+	}
+	return s.emit(ts, frame)
+}
+
+func emitTCP(r flow.Record, srcMAC packet.MAC, emit func(time.Time, []byte) error) error {
+	s := &tcpStream{r: r, srcMAC: srcMAC, emit: emit, seqC: 1000, seqS: 5000}
+	up := chunks(r.OrigBytes)
+	down := chunks(r.RespBytes)
+	total := 4 + len(up) + len(down) // handshake(2)+data+fin(2)
+	step := r.Duration / time.Duration(total+1)
+	if step <= 0 {
+		step = time.Microsecond
+	}
+	ts := r.Start
+	next := func() time.Time {
+		t := ts
+		ts = ts.Add(step)
+		return t
+	}
+	if err := s.send(next(), true, packet.FlagSYN, nil); err != nil {
+		return err
+	}
+	if err := s.send(next(), false, packet.FlagSYN|packet.FlagACK, nil); err != nil {
+		return err
+	}
+	// Interleave upstream and downstream data proportionally.
+	ui, di := 0, 0
+	for ui < len(up) || di < len(down) {
+		sendUp := ui < len(up) && (di >= len(down) || ui*(len(down)+1) <= di*(len(up)+1))
+		if sendUp {
+			if err := s.send(next(), true, packet.FlagACK|packet.FlagPSH, payload(up[ui])); err != nil {
+				return err
+			}
+			ui++
+		} else {
+			if err := s.send(next(), false, packet.FlagACK|packet.FlagPSH, payload(down[di])); err != nil {
+				return err
+			}
+			di++
+		}
+	}
+	if err := s.send(next(), true, packet.FlagFIN|packet.FlagACK, nil); err != nil {
+		return err
+	}
+	return s.send(r.End(), false, packet.FlagFIN|packet.FlagACK, nil)
+}
+
+func emitUDP(r flow.Record, srcMAC packet.MAC, emit func(time.Time, []byte) error) error {
+	up := chunks(r.OrigBytes)
+	down := chunks(r.RespBytes)
+	total := len(up) + len(down)
+	if total == 0 {
+		up = []int{0}
+		total = 1
+	}
+	step := r.Duration / time.Duration(total+1)
+	if step <= 0 {
+		step = time.Microsecond
+	}
+	ts := r.Start
+	send := func(fromClient bool, size int) error {
+		eth := &packet.Ethernet{}
+		udp := &packet.UDP{}
+		var ip packet.Layer
+		if fromClient {
+			eth.Src, eth.Dst = srcMAC, GatewayMAC
+			ip, eth.EtherType = ipLayer(r.OrigAddr, r.RespAddr, packet.ProtoUDP)
+			udp.SrcPort, udp.DstPort = r.OrigPort, r.RespPort
+		} else {
+			eth.Src, eth.Dst = GatewayMAC, srcMAC
+			ip, eth.EtherType = ipLayer(r.RespAddr, r.OrigAddr, packet.ProtoUDP)
+			udp.SrcPort, udp.DstPort = r.RespPort, r.OrigPort
+		}
+		frame, err := packet.Serialize(payload(size), eth, ip, udp)
+		if err != nil {
+			return err
+		}
+		t := ts
+		ts = ts.Add(step)
+		return emit(t, frame)
+	}
+	ui, di := 0, 0
+	for ui < len(up) || di < len(down) {
+		if ui < len(up) && (di >= len(down) || ui*(len(down)+1) <= di*(len(up)+1)) {
+			if err := send(true, up[ui]); err != nil {
+				return err
+			}
+			ui++
+		} else {
+			if err := send(false, down[di]); err != nil {
+				return err
+			}
+			di++
+		}
+	}
+	return nil
+}
+
+// payload builds a deterministic filler payload of the given size.
+func payload(size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}

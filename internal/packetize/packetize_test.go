@@ -1,0 +1,188 @@
+package packetize
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/packet"
+)
+
+var devMAC = packet.MustParseMAC("00:1b:21:aa:bb:cc")
+
+func sampleRecord(proto flow.Proto, orig, resp int64) flow.Record {
+	return flow.Record{
+		Start:     time.Date(2020, time.March, 2, 10, 0, 0, 0, time.UTC),
+		Duration:  90 * time.Second,
+		OrigAddr:  netip.MustParseAddr("10.20.30.40"),
+		OrigPort:  51000,
+		RespAddr:  netip.MustParseAddr("23.1.4.5"),
+		RespPort:  443,
+		Proto:     proto,
+		OrigBytes: orig,
+		RespBytes: resp,
+		OrigPkts:  1, RespPkts: 1,
+	}
+}
+
+// reassemble runs the emitted packets back through the flow assembler.
+func reassemble(t *testing.T, rec flow.Record) flow.Record {
+	t.Helper()
+	var out []flow.Record
+	asm := flow.NewAssembler(flow.Config{
+		LocalNets: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+	}, func(r flow.Record) { out = append(out, r) })
+	err := Emit(rec, devMAC, func(ts time.Time, frame []byte) error {
+		p, err := packet.Decode(frame, true)
+		if err != nil {
+			return err
+		}
+		info, ok := flow.InfoFromPacket(ts, p)
+		if !ok {
+			t.Fatal("emitted frame without transport info")
+		}
+		return asm.Add(info)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm.Flush()
+	if len(out) != 1 {
+		t.Fatalf("reassembled %d flows, want 1", len(out))
+	}
+	return out[0]
+}
+
+func TestTCPRoundTripThroughAssembler(t *testing.T) {
+	want := sampleRecord(flow.ProtoTCP, 12345, 5<<20)
+	got := reassemble(t, want)
+	if got.OrigAddr != want.OrigAddr || got.RespAddr != want.RespAddr ||
+		got.OrigPort != want.OrigPort || got.RespPort != want.RespPort {
+		t.Errorf("5-tuple mismatch: %v", got)
+	}
+	if got.OrigBytes != want.OrigBytes || got.RespBytes != want.RespBytes {
+		t.Errorf("bytes = %d/%d, want %d/%d", got.OrigBytes, got.RespBytes, want.OrigBytes, want.RespBytes)
+	}
+	if got.Duration <= 0 || got.Duration > want.Duration {
+		t.Errorf("duration = %v, flow was %v", got.Duration, want.Duration)
+	}
+}
+
+func TestUDPRoundTripThroughAssembler(t *testing.T) {
+	want := sampleRecord(flow.ProtoUDP, 4000, 900<<10)
+	want.RespPort = 8801
+	got := reassemble(t, want)
+	if got.Proto != flow.ProtoUDP {
+		t.Fatalf("proto = %v", got.Proto)
+	}
+	if got.OrigBytes != want.OrigBytes || got.RespBytes != want.RespBytes {
+		t.Errorf("bytes = %d/%d, want %d/%d", got.OrigBytes, got.RespBytes, want.OrigBytes, want.RespBytes)
+	}
+}
+
+func TestZeroByteFlows(t *testing.T) {
+	got := reassemble(t, sampleRecord(flow.ProtoTCP, 0, 0))
+	if got.OrigBytes != 0 || got.RespBytes != 0 {
+		t.Errorf("bytes = %d/%d", got.OrigBytes, got.RespBytes)
+	}
+	// UDP zero-byte flow still emits at least one datagram (the flow was
+	// observed).
+	got = reassemble(t, sampleRecord(flow.ProtoUDP, 0, 0))
+	if got.OrigPkts == 0 {
+		t.Error("no packets for zero-byte UDP flow")
+	}
+}
+
+func TestPacketsTimestampedWithinFlow(t *testing.T) {
+	rec := sampleRecord(flow.ProtoTCP, 100<<10, 2<<20)
+	var last time.Time
+	count := 0
+	err := Emit(rec, devMAC, func(ts time.Time, frame []byte) error {
+		if ts.Before(rec.Start) || ts.After(rec.End()) {
+			t.Fatalf("packet at %v outside flow window", ts)
+		}
+		if ts.Before(last) {
+			t.Fatal("timestamps not monotone")
+		}
+		last = ts
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count < 5 {
+		t.Errorf("only %d packets", count)
+	}
+}
+
+func TestInvalidRecordRejected(t *testing.T) {
+	bad := sampleRecord(flow.ProtoTCP, -1, 0)
+	if err := Emit(bad, devMAC, func(time.Time, []byte) error { return nil }); err == nil {
+		t.Error("negative bytes accepted")
+	}
+}
+
+func TestRandomFlowsConserveBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 30; i++ {
+		proto := flow.ProtoTCP
+		if i%2 == 1 {
+			proto = flow.ProtoUDP
+		}
+		rec := sampleRecord(proto, rng.Int63n(1<<21), rng.Int63n(1<<23))
+		rec.OrigPort = uint16(40000 + i)
+		got := reassemble(t, rec)
+		if got.OrigBytes != rec.OrigBytes || got.RespBytes != rec.RespBytes {
+			t.Fatalf("flow %d: bytes %d/%d, want %d/%d", i, got.OrigBytes, got.RespBytes, rec.OrigBytes, rec.RespBytes)
+		}
+	}
+}
+
+func BenchmarkEmitTCP(b *testing.B) {
+	rec := sampleRecord(flow.ProtoTCP, 64<<10, 4<<20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Emit(rec, devMAC, func(time.Time, []byte) error { return nil })
+	}
+}
+
+func TestIPv6FlowRoundTripThroughAssembler(t *testing.T) {
+	want := sampleRecord(flow.ProtoTCP, 30<<10, 2<<20)
+	want.OrigAddr = netip.MustParseAddr("2001:db8:cafe::21b:21ff:feaa:bbcc")
+	want.RespAddr = netip.MustParseAddr("2001:db8:1700::1:5")
+	var out []flow.Record
+	asm := flow.NewAssembler(flow.Config{
+		LocalNets: []netip.Prefix{netip.MustParsePrefix("2001:db8:cafe::/64")},
+	}, func(r flow.Record) { out = append(out, r) })
+	err := Emit(want, devMAC, func(ts time.Time, frame []byte) error {
+		p, err := packet.Decode(frame, true)
+		if err != nil {
+			return err
+		}
+		info, ok := flow.InfoFromPacket(ts, p)
+		if !ok {
+			t.Fatal("no transport info")
+		}
+		return asm.Add(info)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm.Flush()
+	if len(out) != 1 {
+		t.Fatalf("reassembled %d flows", len(out))
+	}
+	got := out[0]
+	if got.OrigAddr != want.OrigAddr || got.RespAddr != want.RespAddr {
+		t.Errorf("addresses: %v -> %v", got.OrigAddr, got.RespAddr)
+	}
+	if got.OrigBytes != want.OrigBytes || got.RespBytes != want.RespBytes {
+		t.Errorf("bytes = %d/%d, want %d/%d", got.OrigBytes, got.RespBytes, want.OrigBytes, want.RespBytes)
+	}
+	if got.State != flow.StateSF {
+		t.Errorf("state = %v, want SF", got.State)
+	}
+}

@@ -1,0 +1,217 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	base := time.Date(2020, time.February, 1, 8, 0, 0, 123456000, time.UTC)
+	frames := [][]byte{
+		[]byte("frame-one"),
+		bytes.Repeat([]byte{0x42}, 1500),
+		{}, // empty frame is legal
+	}
+	for i, f := range frames {
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Second), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != len(frames) {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Errorf("link type = %d", r.LinkType())
+	}
+	for i, f := range frames {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(rec.Data, f) {
+			t.Errorf("record %d data mismatch", i)
+		}
+		want := base.Add(time.Duration(i) * time.Second)
+		if !rec.Time.Equal(want) {
+			t.Errorf("record %d time = %v, want %v", i, rec.Time, want)
+		}
+		if rec.OrigLen != len(f) {
+			t.Errorf("record %d origlen = %d", i, rec.OrigLen)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("after last record err = %v, want EOF", err)
+	}
+}
+
+func TestEmptyCaptureIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("err = %v, want EOF", err)
+	}
+}
+
+func TestBigEndianFilesAccepted(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [globalHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], magicMicroseconds)
+	binary.BigEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.BigEndian.PutUint16(hdr[6:8], versionMinor)
+	binary.BigEndian.PutUint32(hdr[16:20], MaxSnapLen)
+	binary.BigEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr[:])
+	var rec [recordHeaderLen]byte
+	binary.BigEndian.PutUint32(rec[0:4], 1580544000)
+	binary.BigEndian.PutUint32(rec[4:8], 500000)
+	binary.BigEndian.PutUint32(rec[8:12], 3)
+	binary.BigEndian.PutUint32(rec[12:16], 3)
+	buf.Write(rec[:])
+	buf.Write([]byte{1, 2, 3})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, []byte{1, 2, 3}) {
+		t.Errorf("data = %v", got.Data)
+	}
+	if got.Time.Unix() != 1580544000 || got.Time.Nanosecond() != 500000000 {
+		t.Errorf("time = %v", got.Time)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	buf := bytes.NewReader(make([]byte, globalHeaderLen))
+	if _, err := NewReader(buf); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	buf := bytes.NewReader([]byte{0xd4, 0xc3})
+	if _, err := NewReader(buf); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestTruncatedRecordBody(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePacket(time.Now(), []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrRecordShort) {
+		t.Errorf("err = %v, want ErrRecordShort", err)
+	}
+}
+
+func TestOversizeRecordRejectedOnWrite(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.WritePacket(time.Now(), make([]byte, MaxSnapLen+1)); !errors.Is(err, ErrRecordHuge) {
+		t.Errorf("err = %v, want ErrRecordHuge", err)
+	}
+}
+
+func TestOversizeRecordRejectedOnRead(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WritePacket(time.Now(), []byte("ok"))
+	w.Flush()
+	raw := buf.Bytes()
+	// Corrupt the inclLen field of the first record to a huge value.
+	binary.LittleEndian.PutUint32(raw[globalHeaderLen+8:globalHeaderLen+12], MaxSnapLen+100)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrRecordHuge) {
+		t.Errorf("err = %v, want ErrRecordHuge", err)
+	}
+}
+
+func TestManyRecordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const n = 2000
+	sizes := make([]int, n)
+	base := time.Unix(1583000000, 0).UTC()
+	for i := range sizes {
+		sizes[i] = rng.Intn(1600)
+		frame := make([]byte, sizes[i])
+		rng.Read(frame)
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Millisecond), frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Data) != sizes[count] {
+			t.Fatalf("record %d size = %d, want %d", count, len(rec.Data), sizes[count])
+		}
+		count++
+	}
+	if count != n {
+		t.Errorf("read %d records, want %d", count, n)
+	}
+}
+
+func BenchmarkWritePacket(b *testing.B) {
+	frame := bytes.Repeat([]byte{0x55}, 1200)
+	w := NewWriter(io.Discard)
+	ts := time.Unix(1583000000, 0)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.WritePacket(ts, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The distinct-site counting ablation from DESIGN.md: the pipeline counts
+// distinct domains per device with exact bitmaps (possible because the
+// domain universe is closed); HyperLogLog is the open-world alternative.
+// These tests and benchmarks quantify the trade: HLL costs fixed memory per
+// device regardless of universe size, at a bounded relative error.
+
+// TestHLLvsExactOnDomainWorkload feeds both counters a realistic per-device
+// domain stream (Zipf-ish popularity, ~160 distinct of 300) and compares.
+func TestHLLvsExactOnDomainWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	zipf := rand.NewZipf(rng, 1.3, 1.0, 299)
+
+	for trial := 0; trial < 10; trial++ {
+		exact := map[uint64]bool{}
+		hll, err := NewHyperLogLog(12) // 4 KiB per device
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5000; i++ {
+			d := zipf.Uint64()
+			exact[d] = true
+			hll.AddString(fmt.Sprintf("domain-%d.example", d))
+		}
+		got := hll.Estimate()
+		want := float64(len(exact))
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("trial %d: HLL %.0f vs exact %.0f (rel err %.3f)", trial, got, want, rel)
+		}
+	}
+}
+
+// TestDistinctGrowthRatioPreservedByHLL checks the §4.1 use case: the
+// Feb→Apr/May distinct-site growth *ratio* survives HLL estimation.
+func TestDistinctGrowthRatioPreservedByHLL(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	febZipf := rand.NewZipf(rng, 1.4, 1.0, 299)
+	postZipf := rand.NewZipf(rng, 1.2, 1.0, 299) // broader browsing
+
+	febExact, postExact := map[uint64]bool{}, map[uint64]bool{}
+	febHLL, _ := NewHyperLogLog(12)
+	postHLL, _ := NewHyperLogLog(12)
+	for i := 0; i < 4000; i++ {
+		d := febZipf.Uint64()
+		febExact[d] = true
+		febHLL.AddUint64(d)
+	}
+	for i := 0; i < 8000; i++ {
+		d := postZipf.Uint64()
+		postExact[d] = true
+		postHLL.AddUint64(d)
+	}
+	exactRatio := float64(len(postExact)) / float64(len(febExact))
+	hllRatio := postHLL.Estimate() / febHLL.Estimate()
+	if math.Abs(hllRatio-exactRatio)/exactRatio > 0.12 {
+		t.Errorf("growth ratio: exact %.3f vs HLL %.3f", exactRatio, hllRatio)
+	}
+}
+
+func BenchmarkDistinctExact(b *testing.B) {
+	domains := make([]string, 300)
+	for i := range domains {
+		domains[i] = fmt.Sprintf("domain-%d.example", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	set := map[string]bool{}
+	for i := 0; i < b.N; i++ {
+		set[domains[i%300]] = true
+	}
+}
+
+func BenchmarkDistinctHLL(b *testing.B) {
+	domains := make([]string, 300)
+	for i := range domains {
+		domains[i] = fmt.Sprintf("domain-%d.example", i)
+	}
+	hll, _ := NewHyperLogLog(12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hll.AddString(domains[i%300])
+	}
+}

@@ -1,0 +1,37 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+func ExampleSummarize() {
+	durations := []float64{0.5, 1.2, 0.8, 3.0, 0.9, 1.1, 14.0, 0.7}
+	s := stats.Summarize(durations)
+	fmt.Printf("n=%d median=%.2f q3=%.2f\n", s.N, s.Median, s.Q3)
+	// Output: n=8 median=1.00 q3=1.65
+}
+
+func ExampleMovingAverage() {
+	daily := []float64{10, 20, 30, 40, 50}
+	fmt.Println(stats.MovingAverage(daily, 3))
+	// Output: [10 15 20 30 40]
+}
+
+func ExampleHyperLogLog() {
+	hll, _ := stats.NewHyperLogLog(14)
+	for i := 0; i < 1000; i++ {
+		hll.AddString(fmt.Sprintf("site-%d.example", i%250)) // 250 distinct
+	}
+	fmt.Printf("estimate within 5%%: %v\n", hll.Estimate() > 237 && hll.Estimate() < 263)
+	// Output: estimate within 5%: true
+}
+
+func ExampleKSTwoSample() {
+	domestic := []float64{1, 2, 2, 3, 3, 3, 4, 4, 5, 6}
+	international := []float64{4, 5, 5, 6, 6, 7, 7, 8, 9, 10}
+	r := stats.KSTwoSample(domestic, international)
+	fmt.Printf("D=%.2f different=%v\n", r.D, r.P < 0.05)
+	// Output: D=0.70 different=true
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestHLLPrecisionBounds(t *testing.T) {
+	for _, p := range []uint8{0, 3, 19, 200} {
+		if _, err := NewHyperLogLog(p); err == nil {
+			t.Errorf("precision %d accepted", p)
+		}
+	}
+	for _, p := range []uint8{4, 14, 18} {
+		if _, err := NewHyperLogLog(p); err != nil {
+			t.Errorf("precision %d rejected: %v", p, err)
+		}
+	}
+}
+
+func TestHLLAccuracy(t *testing.T) {
+	h, err := NewHyperLogLog(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 10, 100, 1000, 50000, 500000} {
+		h.Reset()
+		for i := 0; i < n; i++ {
+			h.AddString(fmt.Sprintf("site-%d.example.com", i))
+		}
+		est := h.Estimate()
+		if n == 0 {
+			if est != 0 {
+				t.Errorf("empty HLL estimate = %v", est)
+			}
+			continue
+		}
+		relErr := math.Abs(est-float64(n)) / float64(n)
+		// p=14 has ~0.8% standard error; allow 5 sigma.
+		if relErr > 0.05 {
+			t.Errorf("n=%d: estimate %.0f (rel err %.3f)", n, est, relErr)
+		}
+	}
+}
+
+func TestHLLDuplicatesDoNotInflate(t *testing.T) {
+	h, _ := NewHyperLogLog(12)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 500; i++ {
+			h.AddUint64(uint64(i))
+		}
+	}
+	est := h.Estimate()
+	if math.Abs(est-500)/500 > 0.1 {
+		t.Errorf("estimate after duplicate floods = %v, want ≈500", est)
+	}
+}
+
+func TestHLLMerge(t *testing.T) {
+	a, _ := NewHyperLogLog(12)
+	b, _ := NewHyperLogLog(12)
+	for i := 0; i < 10000; i++ {
+		if i%2 == 0 {
+			a.AddUint64(uint64(i))
+		} else {
+			b.AddUint64(uint64(i))
+		}
+	}
+	// Overlap: both see 2000 common extra items.
+	for i := 10000; i < 12000; i++ {
+		a.AddUint64(uint64(i))
+		b.AddUint64(uint64(i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	est := a.Estimate()
+	if math.Abs(est-12000)/12000 > 0.06 {
+		t.Errorf("merged estimate = %v, want ≈12000", est)
+	}
+}
+
+func TestHLLMergePrecisionMismatch(t *testing.T) {
+	a, _ := NewHyperLogLog(12)
+	b, _ := NewHyperLogLog(13)
+	if err := a.Merge(b); err == nil {
+		t.Error("precision mismatch accepted")
+	}
+}
+
+func TestHLLMergeEqualsUnionProperty(t *testing.T) {
+	// Estimate(merge(A,B)) == Estimate(HLL fed A∪B) exactly, register by
+	// register, because merge takes the max of registers.
+	a, _ := NewHyperLogLog(10)
+	b, _ := NewHyperLogLog(10)
+	u, _ := NewHyperLogLog(10)
+	for i := 0; i < 5000; i++ {
+		v := uint64(i * 2654435761)
+		switch i % 3 {
+		case 0:
+			a.AddUint64(v)
+			u.AddUint64(v)
+		case 1:
+			b.AddUint64(v)
+			u.AddUint64(v)
+		default:
+			a.AddUint64(v)
+			b.AddUint64(v)
+			u.AddUint64(v)
+		}
+	}
+	a.Merge(b)
+	if a.Estimate() != u.Estimate() {
+		t.Errorf("merge estimate %v != union estimate %v", a.Estimate(), u.Estimate())
+	}
+}
+
+func BenchmarkHLLAdd(b *testing.B) {
+	h, _ := NewHyperLogLog(14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.AddUint64(uint64(i))
+	}
+}
+
+func BenchmarkHLLAddString(b *testing.B) {
+	h, _ := NewHyperLogLog(14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.AddString("www.example-service.com")
+	}
+}

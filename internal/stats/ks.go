@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSResult is the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	// D is the supremum distance between the two empirical CDFs.
+	D float64
+	// P is the asymptotic two-sided p-value (small P → the samples come
+	// from different distributions).
+	P  float64
+	N1 int
+	N2 int
+}
+
+// KSTwoSample runs the two-sample Kolmogorov–Smirnov test, the tool the
+// reproduction uses to quantify the paper's claims that sub-populations
+// behave differently (e.g. Figure 6's domestic vs international session
+// distributions). Empty samples yield D=0, P=1.
+func KSTwoSample(a, b []float64) KSResult {
+	r := KSResult{N1: len(a), N2: len(b), P: 1}
+	if len(a) == 0 || len(b) == 0 {
+		return r
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+
+	var i, j int
+	var d float64
+	for i < len(as) && j < len(bs) {
+		x := as[i]
+		if bs[j] < x {
+			x = bs[j]
+		}
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(as)) - float64(j)/float64(len(bs)))
+		if diff > d {
+			d = diff
+		}
+	}
+	r.D = d
+
+	// Asymptotic p-value with the Stephens small-sample correction.
+	n := float64(len(as)) * float64(len(bs)) / float64(len(as)+len(bs))
+	sqrtN := math.Sqrt(n)
+	lambda := (sqrtN + 0.12 + 0.11/sqrtN) * d
+	r.P = kolmogorovQ(lambda)
+	return r
+}
+
+// kolmogorovQ is the survival function of the Kolmogorov distribution:
+// Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}.
+func kolmogorovQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
+}

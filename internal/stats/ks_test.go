@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	r := KSTwoSample(a, a)
+	if r.D != 0 {
+		t.Errorf("D = %v for identical samples", r.D)
+	}
+	if r.P < 0.99 {
+		t.Errorf("P = %v for identical samples", r.P)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(i) + 1000
+	}
+	r := KSTwoSample(a, b)
+	if r.D != 1 {
+		t.Errorf("D = %v for disjoint samples, want 1", r.D)
+	}
+	if r.P > 1e-6 {
+		t.Errorf("P = %v for disjoint samples", r.P)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	r := KSTwoSample(nil, []float64{1, 2})
+	if r.D != 0 || r.P != 1 {
+		t.Errorf("empty sample: %+v", r)
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	// Samples from the same lognormal: the test should rarely reject.
+	rejections := 0
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		a := make([]float64, 200)
+		b := make([]float64, 200)
+		for i := range a {
+			a[i] = math.Exp(rng.NormFloat64())
+		}
+		for i := range b {
+			b[i] = math.Exp(rng.NormFloat64())
+		}
+		if KSTwoSample(a, b).P < 0.05 {
+			rejections++
+		}
+	}
+	// Expected false-positive rate 5%; allow up to 7 of 50.
+	if rejections > 7 {
+		t.Errorf("rejected %d/50 same-distribution pairs", rejections)
+	}
+}
+
+func TestKSShiftedDistribution(t *testing.T) {
+	// A modest location shift must be detected at n=300.
+	rng := rand.New(rand.NewSource(9))
+	a := make([]float64, 300)
+	b := make([]float64, 300)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 0.5
+	}
+	r := KSTwoSample(a, b)
+	if r.P > 0.01 {
+		t.Errorf("shift undetected: %+v", r)
+	}
+}
+
+func TestKSKnownValue(t *testing.T) {
+	// Hand-computable case: a={1,2,3,4}, b={3,4,5,6}. The max CDF gap is
+	// at x∈[2,3): F_a=0.5, F_b=0 → D=0.5.
+	r := KSTwoSample([]float64{1, 2, 3, 4}, []float64{3, 4, 5, 6})
+	if math.Abs(r.D-0.5) > 1e-12 {
+		t.Errorf("D = %v, want 0.5", r.D)
+	}
+}
+
+func TestKolmogorovQBounds(t *testing.T) {
+	if kolmogorovQ(0) != 1 || kolmogorovQ(-1) != 1 {
+		t.Error("Q(≤0) != 1")
+	}
+	if q := kolmogorovQ(10); q > 1e-12 {
+		t.Errorf("Q(10) = %v", q)
+	}
+	// Known reference: Q(1.36) ≈ 0.049 (the classic 5% critical value).
+	if q := kolmogorovQ(1.36); math.Abs(q-0.049) > 0.003 {
+		t.Errorf("Q(1.36) = %v, want ≈0.049", q)
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for l := 0.1; l < 3; l += 0.1 {
+		q := kolmogorovQ(l)
+		if q > prev {
+			t.Fatalf("Q not monotone at λ=%.1f", l)
+		}
+		prev = q
+	}
+}
+
+func BenchmarkKSTwoSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 1000)
+	y := make([]float64, 1000)
+	for i := range x {
+		x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()+0.1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KSTwoSample(x, y)
+	}
+}

@@ -1,0 +1,110 @@
+// Package stats provides the statistical machinery the paper's analyses
+// rest on: quantile summaries for box-and-whisker plots, means vs. medians
+// (Figure 2's central observation), moving averages (Figure 8), hour-of-week
+// traffic matrices (Figure 3), cardinality estimation for distinct-site
+// counts (§4.1), and reservoir sampling for the manual-review accuracy
+// experiment (§3).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is the box-and-whisker description used throughout the paper's
+// figures: whiskers at the 1st and 95th percentiles, the quartile box, and
+// the 99th percentile tail the text references for TikTok.
+type Summary struct {
+	N      int
+	Min    float64
+	P1     float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	P95    float64
+	P99    float64
+	Max    float64
+	Mean   float64
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of sorted using linear
+// interpolation between order statistics (the "R-7" rule used by most
+// plotting libraries). sorted must be in ascending order and non-empty.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summarize computes a Summary of values. The input slice is not modified.
+// An empty input yields a zero-N summary with NaN statistics.
+func Summarize(values []float64) Summary {
+	s := Summary{N: len(values)}
+	if len(values) == 0 {
+		nan := math.NaN()
+		s.Min, s.P1, s.Q1, s.Median, s.Q3, s.P95, s.P99, s.Max, s.Mean =
+			nan, nan, nan, nan, nan, nan, nan, nan, nan
+		return s
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.P1 = Quantile(sorted, 0.01)
+	s.Q1 = Quantile(sorted, 0.25)
+	s.Median = Quantile(sorted, 0.50)
+	s.Q3 = Quantile(sorted, 0.75)
+	s.P95 = Quantile(sorted, 0.95)
+	s.P99 = Quantile(sorted, 0.99)
+	s.Mean = sum / float64(len(sorted))
+	return s
+}
+
+// Median returns the median of values (not necessarily sorted), or NaN for
+// an empty input.
+func Median(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return Quantile(sorted, 0.5)
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g p1=%.3g q1=%.3g med=%.3g q3=%.3g p95=%.3g p99=%.3g max=%.3g mean=%.3g",
+		s.N, s.Min, s.P1, s.Q1, s.Median, s.Q3, s.P95, s.P99, s.Max, s.Mean)
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileKnownValues(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+		{0.125, 1.5}, // interpolation between 1 and 2
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%.3f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+}
+
+func TestQuantileSingle(t *testing.T) {
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := Quantile([]float64{7}, q); got != 7 {
+			t.Errorf("Quantile([7], %v) = %v", q, got)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i + 1) // 1..100
+	}
+	// Shuffle: Summarize must not require sorted input.
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+
+	s := Summarize(vals)
+	if s.N != 100 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Median-50.5) > 1e-9 {
+		t.Errorf("median = %v", s.Median)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Q1-25.75) > 1e-9 || math.Abs(s.Q3-75.25) > 1e-9 {
+		t.Errorf("quartiles = %v, %v", s.Q1, s.Q3)
+	}
+	if s.P95 < s.Q3 || s.P99 < s.P95 || s.P1 > s.Q1 {
+		t.Errorf("percentile ordering broken: %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || !math.IsNaN(s.Median) || !math.IsNaN(s.Mean) {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Summarize(vals)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := raw[:0]
+		for _, v := range raw {
+			// Constrain to the magnitudes the pipeline produces (byte
+			// counts, durations) — finite and far from overflow.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e15 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := Summarize(vals)
+		ordered := s.Min <= s.P1 && s.P1 <= s.Q1 && s.Q1 <= s.Median &&
+			s.Median <= s.Q3 && s.Q3 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max
+		return ordered && s.Mean >= s.Min && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianMatchesSortDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 100
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		var want float64
+		if n%2 == 1 {
+			want = sorted[n/2]
+		} else {
+			want = (sorted[n/2-1] + sorted[n/2]) / 2
+		}
+		if got := Median(vals); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("n=%d: median %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) {
+		t.Error("empty mean/median not NaN")
+	}
+}

@@ -1,0 +1,323 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/campus"
+)
+
+// buildPopulation materializes the device population from the config,
+// deterministically under cfg.Seed.
+func buildPopulation(cfg Config) []*Device {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nStudents := cfg.scaled(cfg.Students)
+	var devices []*Device
+
+	breakDay, _ := campus.DayOf(campus.BreakStart)
+	april1 := campus.FirstDay(campus.April)
+
+	addDevice := func(d *Device) {
+		d.Index = len(devices)
+		devices = append(devices, d)
+	}
+
+	for s := 0; s < nStudents; s++ {
+		intl := rng.Float64() < cfg.IntlFraction
+		homeHeavy := intl && rng.Float64() < cfg.HomeHeavyFraction
+		homeRegion := ""
+		if intl {
+			homeRegion = sampleHomeRegion(rng)
+		}
+
+		// Stay/leave decision, with Switch owners nudged toward staying
+		// (calibrates the post-shutdown Switch count).
+		ownsSwitch := rng.Float64() < 0.073
+		stayP := cfg.DomesticStayRate
+		if intl {
+			stayP = cfg.IntlStayRate
+		}
+		if ownsSwitch {
+			stayP = math.Min(1, stayP*cfg.SwitchOwnerStayBoost)
+		}
+		stays := rng.Float64() < stayP
+		departDay := campus.Day(campus.NumDays)
+		if !stays {
+			// Draw even in counterfactual mode so both worlds share one
+			// population (same students, devices and MACs), then discard:
+			// nobody leaves a campus with no pandemic.
+			d := sampleDeparture(rng)
+			if !cfg.NoPandemic {
+				departDay = d
+			}
+		}
+
+		student := studentDevices{
+			rng: rng, cfg: cfg,
+			intl: intl, homeHeavy: homeHeavy, homeRegion: homeRegion,
+			stays: stays, departDay: departDay,
+		}
+
+		// Phone: everyone has one.
+		addDevice(student.phone())
+		// Laptop: nearly everyone.
+		if rng.Float64() < 0.97 {
+			addDevice(student.laptopOrDesktop(KindLaptop))
+		}
+		// Second machine for some.
+		if rng.Float64() < 0.08 {
+			addDevice(student.laptopOrDesktop(KindDesktop))
+		}
+		// IoT devices for a minority of rooms.
+		if rng.Float64() < 0.10 {
+			n := 1 + poisson(rng, 0.5)
+			for i := 0; i < n; i++ {
+				addDevice(student.iot())
+			}
+		}
+		// Consoles.
+		if ownsSwitch {
+			addDevice(student.console(KindSwitch))
+		}
+		if rng.Float64() < 0.040 {
+			addDevice(student.console(KindPlayStation))
+		}
+		if rng.Float64() < 0.025 {
+			addDevice(student.console(KindXbox))
+		}
+	}
+
+	// Brand-new Switches appearing during lock-down (§5.3.2: 40) — a
+	// pandemic phenomenon, absent from the counterfactual.
+	newSwitches := cfg.scaled(cfg.NewSwitchCount)
+	if cfg.NoPandemic {
+		newSwitches = 0
+	}
+	for i := 0; i < newSwitches; i++ {
+		arrive := april1 + campus.Day(rng.Intn(45))
+		st := studentDevices{rng: rng, cfg: cfg, stays: true, departDay: campus.NumDays}
+		d := st.console(KindSwitch)
+		d.ArriveDay = arrive
+		addDevice(d)
+	}
+
+	// Short-lived visitor devices, to exercise the 14-day filter.
+	for i := 0; i < cfg.scaled(int(float64(cfg.Students)*cfg.VisitorFraction)); i++ {
+		arrive := campus.Day(1 + rng.Intn(int(breakDay)-9))
+		span := campus.Day(2 + rng.Intn(7))
+		st := studentDevices{rng: rng, cfg: cfg, stays: false, departDay: arrive + span}
+		d := st.phone()
+		d.ArriveDay = arrive
+		addDevice(d)
+	}
+
+	return devices
+}
+
+// sampleDeparture draws a leaver's departure day: a trickle in February, an
+// early wave after the state of emergency, the main exodus between the WHO
+// declaration and the break, the rest during break or (rarely) April.
+func sampleDeparture(rng *rand.Rand) campus.Day {
+	seD, _ := campus.DayOf(campus.StateOfEmergency)  // day 32 (Mar 4)
+	whoD, _ := campus.DayOf(campus.PandemicDeclared) // Mar 11
+	breakD, _ := campus.DayOf(campus.BreakStart)     // Mar 22
+	breakEndD, _ := campus.DayOf(campus.BreakEnd)    // Mar 30
+	r := rng.Float64()
+	switch {
+	case r < 0.03: // February trickle
+		return campus.Day(5 + rng.Intn(int(seD)-5))
+	case r < 0.15: // Mar 4–10: leaving before classes went remote
+		return seD + campus.Day(rng.Intn(int(whoD-seD)))
+	case r < 0.72: // Mar 11–21: the main wave
+		return whoD + campus.Day(rng.Intn(int(breakD-whoD)))
+	case r < 0.97: // during break
+		return breakD + campus.Day(rng.Intn(int(breakEndD-breakD)))
+	default: // lingered into April
+		return breakEndD + campus.Day(rng.Intn(20))
+	}
+}
+
+// studentDevices shares one student's context across their devices.
+type studentDevices struct {
+	rng        *rand.Rand
+	cfg        Config
+	intl       bool
+	homeHeavy  bool
+	homeRegion string
+	stays      bool
+	departDay  campus.Day
+}
+
+// stealthRates: probability a device uses a randomized MAC and never shows
+// a User-Agent. Higher among the staying population — which is what makes
+// "unclassified" dominate Figure 1 after the shutdown while keeping the
+// overall classifier accuracy near the paper's 84/100.
+func (s *studentDevices) stealthP(kind Kind) float64 {
+	switch kind {
+	case KindPhone:
+		if s.stays {
+			return 0.52
+		}
+		return 0.16
+	case KindLaptop, KindDesktop:
+		if s.stays {
+			return 0.42
+		}
+		return 0.10
+	default:
+		return 0
+	}
+}
+
+func (s *studentDevices) base(kind Kind) *Device {
+	v6 := false
+	switch kind {
+	case KindPhone, KindLaptop, KindDesktop:
+		v6 = s.rng.Float64() < 0.5
+	}
+	return &Device{
+		Kind:       kind,
+		Intl:       s.intl,
+		HomeHeavy:  s.homeHeavy,
+		HomeRegion: s.homeRegion,
+		ArriveDay:  0,
+		DepartDay:  s.departDay,
+		Intensity:  logNormal(s.rng, 0, 0.8),
+		V6Capable:  v6,
+	}
+}
+
+func (s *studentDevices) phone() *Device {
+	d := s.base(KindPhone)
+	d.Stealth = s.rng.Float64() < s.stealthP(KindPhone)
+	model := phoneModels[pickWeighted(s.rng, weightsOfPhones())]
+	d.MAC = mintMAC(s.rng, vendorOUI(s.rng, model.vendor), d.Stealth)
+	if !d.Stealth {
+		d.UserAgent = model.ua
+	}
+	// Social media usage (monthly-n calibration in profiles.go). Keyed on
+	// the home-heavy trait: the distinctly "international" social pattern
+	// belongs to students oriented toward home-country services — the
+	// same students the midpoint method identifies. Moderate
+	// international students pattern like domestic ones, so the
+	// identified/unidentified split stays behaviorally coherent.
+	fbP, igP := 0.72, 0.65
+	if s.homeHeavy {
+		fbP, igP = 0.85, 0.66
+	}
+	d.FacebookUser = s.rng.Float64() < fbP
+	d.InstagramUser = s.rng.Float64() < igP
+	d.TikTokAdoptMonth = sampleTikTokAdoption(s.rng, s.homeHeavy)
+	// A few phones browse in desktop mode: affirmative misclassification
+	// fodder (§3's 2/100). A third of those do it *exclusively* — every
+	// User-Agent they ever show looks like a desktop, so the classifier
+	// affirmatively gets them wrong.
+	d.desktopModeBrowser = !d.Stealth && s.rng.Float64() < 0.05
+	if d.desktopModeBrowser && s.rng.Float64() < 0.5 {
+		d.UserAgent = desktopModeUA
+	}
+	return d
+}
+
+func (s *studentDevices) laptopOrDesktop(kind Kind) *Device {
+	d := s.base(kind)
+	d.Stealth = s.rng.Float64() < s.stealthP(kind)
+	model := laptopModels[pickWeighted(s.rng, weightsOfLaptops())]
+	d.MAC = mintMAC(s.rng, vendorOUI(s.rng, model.vendor), d.Stealth)
+	if !d.Stealth {
+		d.UserAgent = model.ua
+	}
+	// Steam monthly activity (Figure 7's n counts), keyed like social
+	// behavior on the home-heavy trait.
+	probs := steamMonthlyDomestic
+	if s.homeHeavy {
+		probs = steamMonthlyIntl
+	}
+	for m := campus.February; m < campus.NumMonths; m++ {
+		d.SteamMonthly[m] = s.rng.Float64() < probs[m]
+	}
+	return d
+}
+
+func (s *studentDevices) iot() *Device {
+	d := s.base(KindIoT)
+	d.Intensity = logNormal(s.rng, 0, 1.5) // heavy tail: Figure 2's IoT mean ≫ median
+	weights := make([]int, len(iotPlatforms))
+	for i, p := range iotPlatforms {
+		weights[i] = p.weight
+	}
+	p := iotPlatforms[pickWeighted(s.rng, weights)]
+	d.IoTPlatform = p.platform
+	vendor := p.vendor
+	// A third of IoT hardware ships with no-name ODM radios whose OUIs
+	// the registry does not know — for those devices the Saidi signature
+	// is the only classification evidence, which is what makes the
+	// threshold choice matter (§3).
+	if s.rng.Float64() < 0.35 {
+		vendor = "generic-odm"
+	}
+	d.MAC = mintMAC(s.rng, vendorOUI(s.rng, vendor), false)
+	// Streaming boxes and TVs sometimes reveal a UA.
+	if (p.platform == "roku" || p.platform == "samsung-tv" || p.platform == "lg-tv") && s.rng.Float64() < 0.5 {
+		switch p.platform {
+		case "roku":
+			d.UserAgent = "Roku/DVP-9.21 (519.21E04111A)"
+		case "samsung-tv":
+			d.UserAgent = "Mozilla/5.0 (SMART-TV; Linux; Tizen 5.5) AppleWebKit/537.36"
+		case "lg-tv":
+			d.UserAgent = "Mozilla/5.0 (Web0S; Linux/SmartTV) AppleWebKit/537.36"
+		}
+	}
+	return d
+}
+
+func (s *studentDevices) console(kind Kind) *Device {
+	d := s.base(kind)
+	vendor := map[Kind]string{
+		KindSwitch:      "Nintendo",
+		KindPlayStation: "Sony Interactive",
+		KindXbox:        "Microsoft Xbox",
+	}[kind]
+	d.MAC = mintMAC(s.rng, vendorOUI(s.rng, vendor), false)
+	if s.rng.Float64() < 0.3 {
+		d.UserAgent = consoleUA[kind]
+	}
+	return d
+}
+
+func weightsOfPhones() []int {
+	w := make([]int, len(phoneModels))
+	for i, m := range phoneModels {
+		w[i] = m.weight
+	}
+	return w
+}
+
+func weightsOfLaptops() []int {
+	w := make([]int, len(laptopModels))
+	for i, m := range laptopModels {
+		w[i] = m.weight
+	}
+	return w
+}
+
+// poisson draws a Poisson variate by inversion (fine for small lambda).
+func poisson(rng *rand.Rand, lambda float64) int {
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 100 {
+			return k
+		}
+	}
+}
+
+// logNormal draws exp(N(mu, sigma)).
+func logNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}

@@ -1,0 +1,178 @@
+package universe
+
+// Catalog returns the full service catalog. The entries encode the
+// structural facts the paper's methods depend on:
+//
+//   - Multi-domain properties: Facebook serves facebook.com, facebook.net
+//     and fbcdn.net, and those domains also carry Instagram content (§5.2's
+//     disambiguation heuristic exists because of this).
+//   - The Steam domains come from Steam support's whitelist (§5.3.1), the
+//     Nintendo domains from direct measurement cross-checked against 90DNS
+//     (§5.3.2), split into gameplay and non-gameplay sets.
+//   - The tap excludes certain high-volume networks (§3): parts of UCSD,
+//     Google Cloud, Amazon, Microsoft Azure, Riot Games, Twitch, Qualys,
+//     and Apple.
+//   - The population-split analysis excludes the Akamai, AWS, Cloudfront
+//     and Optimizely CDNs from midpoint computation (§4.2).
+//   - Foreign services are hosted in their home regions, so a student whose
+//     traffic mostly targets them has a non-US weighted midpoint.
+func Catalog() []Service {
+	return []Service{
+		// ---- Conferencing / education (the "work" side) ----
+		{Name: "zoom", Category: CatConferencing, Region: RegionUSWest, Domains: []string{"zoom.us", "zoomcdn.net"}, Prefixes16: 4},
+		{Name: "webex", Category: CatConferencing, Region: RegionUSWest, Domains: []string{"webex.com"}},
+		{Name: "teams", Category: CatConferencing, Region: RegionUSEast, Domains: []string{"teams.microsoft.com", "skype.com"}},
+		{Name: "canvas", Category: CatEducation, Region: RegionUSEast, Domains: []string{"instructure.com", "canvas-user-content.com"}, CDN: "cloudfront"},
+		{Name: "piazza", Category: CatEducation, Region: RegionUSEast, Domains: []string{"piazza.com"}, CDN: "cloudfront"},
+		{Name: "gradescope", Category: CatEducation, Region: RegionUSWest, Domains: []string{"gradescope.com"}, CDN: "cloudfront"},
+		{Name: "coursera", Category: CatEducation, Region: RegionUSEast, Domains: []string{"coursera.org"}, CDN: "cloudfront"},
+		{Name: "stackoverflow", Category: CatEducation, Region: RegionUSEast, Domains: []string{"stackoverflow.com", "sstatic.net"}},
+		{Name: "github", Category: CatEducation, Region: RegionUSEast, Domains: []string{"github.com", "githubusercontent.com"}},
+		{Name: "overleaf", Category: CatEducation, Region: RegionEurope, Domains: []string{"overleaf.com"}},
+		{Name: "wikipedia", Category: CatEducation, Region: RegionUSEast, Domains: []string{"wikipedia.org", "wikimedia.org"}},
+
+		// ---- US social media ----
+		{Name: "facebook", Category: CatSocial, Region: RegionUSWest, Domains: []string{"facebook.com", "facebook.net", "fbcdn.net"}, Prefixes16: 2},
+		{Name: "instagram", Category: CatSocial, Region: RegionUSWest, Domains: []string{"instagram.com", "cdninstagram.com"}},
+		{Name: "tiktok", Category: CatSocial, Region: RegionUSWest, Domains: []string{"tiktok.com", "tiktokcdn.com", "tiktokv.com", "muscdn.com"}, Prefixes16: 2},
+		{Name: "twitter", Category: CatSocial, Region: RegionUSWest, Domains: []string{"twitter.com", "twimg.com"}},
+		{Name: "snapchat", Category: CatSocial, Region: RegionUSWest, Domains: []string{"snapchat.com", "sc-cdn.net"}},
+		{Name: "reddit", Category: CatSocial, Region: RegionUSWest, Domains: []string{"reddit.com", "redd.it", "redditmedia.com"}, CDN: "fastly"},
+		{Name: "pinterest", Category: CatSocial, Region: RegionUSWest, Domains: []string{"pinterest.com", "pinimg.com"}},
+		{Name: "linkedin", Category: CatSocial, Region: RegionUSEast, Domains: []string{"linkedin.com", "licdn.com"}},
+
+		// ---- Messaging ----
+		{Name: "discord", Category: CatMessaging, Region: RegionUSWest, Domains: []string{"discord.com", "discordapp.com", "discord.gg"}},
+		{Name: "whatsapp", Category: CatMessaging, Region: RegionUSWest, Domains: []string{"whatsapp.com", "whatsapp.net"}},
+		{Name: "telegram", Category: CatMessaging, Region: RegionEurope, Domains: []string{"telegram.org", "t.me"}},
+		{Name: "slack", Category: CatMessaging, Region: RegionUSEast, Domains: []string{"slack.com", "slack-edge.com"}},
+		{Name: "groupme", Category: CatMessaging, Region: RegionUSEast, Domains: []string{"groupme.com"}},
+
+		// ---- Video streaming ----
+		{Name: "netflix", Category: CatVideo, Region: RegionUSEast, Domains: []string{"netflix.com", "nflxvideo.net", "nflximg.net"}, Prefixes16: 4},
+		{Name: "youtube", Category: CatVideo, Region: RegionUSWest, Domains: []string{"youtube.com", "googlevideo.com", "ytimg.com"}, Prefixes16: 4},
+		{Name: "hulu", Category: CatVideo, Region: RegionUSEast, Domains: []string{"hulu.com", "hulustream.com"}, Prefixes16: 2},
+		{Name: "disneyplus", Category: CatVideo, Region: RegionUSEast, Domains: []string{"disneyplus.com", "dssott.com"}, CDN: "cloudfront"},
+		{Name: "hbomax", Category: CatVideo, Region: RegionUSEast, Domains: []string{"hbomax.com", "hbomaxcdn.com"}, CDN: "akamai"},
+		{Name: "vimeo", Category: CatVideo, Region: RegionUSEast, Domains: []string{"vimeo.com", "vimeocdn.com"}, CDN: "fastly"},
+
+		// ---- Music ----
+		{Name: "spotify", Category: CatMusic, Region: RegionUSEast, Domains: []string{"spotify.com", "scdn.co", "spotifycdn.com"}},
+		{Name: "soundcloud", Category: CatMusic, Region: RegionUSEast, Domains: []string{"soundcloud.com", "sndcdn.com"}},
+		{Name: "pandora", Category: CatMusic, Region: RegionUSWest, Domains: []string{"pandora.com"}},
+
+		// ---- Gaming ----
+		{Name: "steam", Category: CatGaming, Region: RegionUSWest, Prefixes16: 2, Domains: []string{
+			"steampowered.com", "steamcommunity.com", "steamcontent.com",
+			"steamstatic.com", "steamusercontent.com",
+		}},
+		{Name: "nintendo", Category: CatGaming, Region: RegionUSWest, Prefixes16: 2, Domains: []string{
+			// Gameplay / online-service domains.
+			"npns.srv.nintendo.net", "nex.nintendo.net", "baas.nintendo.com",
+			// Non-gameplay: downloads, system updates, eshop, telemetry.
+			"atum.hac.lp1.d4c.nintendo.net", "sun.hac.lp1.d4c.nintendo.net",
+			"ecs-lp1.hac.shop.nintendo.net", "ctest.cdn.nintendo.net",
+			"conntest.nintendowifi.net", "accounts.nintendo.com",
+			"receive-lp1.dg.srv.nintendo.net",
+		}},
+		{Name: "playstation", Category: CatGaming, Region: RegionUSWest, Domains: []string{"playstation.net", "playstation.com", "sonyentertainmentnetwork.com"}},
+		{Name: "xbox", Category: CatGaming, Region: RegionUSEast, Domains: []string{"xboxlive.com", "xbox.com"}},
+		{Name: "epicgames", Category: CatGaming, Region: RegionUSEast, Domains: []string{"epicgames.com", "epicgames.dev", "unrealengine.com"}},
+		{Name: "blizzard", Category: CatGaming, Region: RegionUSWest, Domains: []string{"battle.net", "blizzard.com", "blzddist1-a.akamaihd.net"}},
+		{Name: "minecraft", Category: CatGaming, Region: RegionUSEast, Domains: []string{"minecraft.net", "mojang.com"}},
+
+		// ---- General web / search / mail ----
+		{Name: "google", Category: CatWeb, Region: RegionUSWest, Domains: []string{"google.com", "gstatic.com", "googleapis.com", "gmail.com"}, Prefixes16: 2},
+		{Name: "bing", Category: CatWeb, Region: RegionUSEast, Domains: []string{"bing.com"}},
+		{Name: "duckduckgo", Category: CatWeb, Region: RegionUSEast, Domains: []string{"duckduckgo.com"}},
+		{Name: "outlook", Category: CatWeb, Region: RegionUSEast, Domains: []string{"outlook.com", "office365.com", "office.com"}},
+		{Name: "dropbox", Category: CatWeb, Region: RegionUSWest, Domains: []string{"dropbox.com", "dropboxusercontent.com"}},
+		{Name: "ebay", Category: CatWeb, Region: RegionUSWest, Domains: []string{"ebay.com", "ebaystatic.com"}},
+		{Name: "etsy", Category: CatWeb, Region: RegionUSEast, Domains: []string{"etsy.com", "etsystatic.com"}, CDN: "fastly"},
+		{Name: "doordash", Category: CatWeb, Region: RegionUSWest, Domains: []string{"doordash.com"}},
+		{Name: "instacart", Category: CatWeb, Region: RegionUSWest, Domains: []string{"instacart.com"}},
+
+		// ---- News ----
+		{Name: "nytimes", Category: CatNews, Region: RegionUSEast, Domains: []string{"nytimes.com", "nyt.com"}, CDN: "fastly"},
+		{Name: "cnn", Category: CatNews, Region: RegionUSEast, Domains: []string{"cnn.com"}, CDN: "akamai"},
+		{Name: "washingtonpost", Category: CatNews, Region: RegionUSEast, Domains: []string{"washingtonpost.com"}},
+		{Name: "guardian", Category: CatNews, Region: RegionEurope, Domains: []string{"theguardian.com", "guim.co.uk"}, CDN: "fastly"},
+
+		// ---- Chinese services ----
+		{Name: "wechat", Category: CatMessaging, Region: RegionChina, Domains: []string{"weixin.qq.com", "wechat.com", "wx.qq.com"}, Prefixes16: 2},
+		{Name: "qq", Category: CatSocial, Region: RegionChina, Domains: []string{"qq.com", "gtimg.com", "qpic.cn"}},
+		{Name: "bilibili", Category: CatVideo, Region: RegionChina, Domains: []string{"bilibili.com", "hdslb.com", "biliapi.net"}, Prefixes16: 2},
+		{Name: "iqiyi", Category: CatVideo, Region: RegionChina, Domains: []string{"iqiyi.com", "qy.net"}, Prefixes16: 2},
+		{Name: "youku", Category: CatVideo, Region: RegionChina, Domains: []string{"youku.com", "ykimg.com"}},
+		{Name: "weibo", Category: CatSocial, Region: RegionChina, Domains: []string{"weibo.com", "weibo.cn", "sinaimg.cn"}},
+		{Name: "baidu", Category: CatWeb, Region: RegionChina, Domains: []string{"baidu.com", "bdstatic.com"}},
+		{Name: "netease", Category: CatWeb, Region: RegionChina, Domains: []string{"163.com", "netease.com", "music.163.com"}},
+		{Name: "zhihu", Category: CatSocial, Region: RegionChina, Domains: []string{"zhihu.com", "zhimg.com"}},
+		{Name: "douyu", Category: CatVideo, Region: RegionChina, Domains: []string{"douyu.com", "douyucdn.cn"}},
+		{Name: "taobao", Category: CatWeb, Region: RegionChina, Domains: []string{"taobao.com", "alicdn.com", "tmall.com"}},
+		{Name: "tencent-games", Category: CatGaming, Region: RegionChina, Domains: []string{"wegame.com", "gcloud.qq.com"}},
+
+		// ---- Korean / Japanese / Indian / other international ----
+		{Name: "naver", Category: CatWeb, Region: RegionKorea, Domains: []string{"naver.com", "pstatic.net"}},
+		{Name: "kakao", Category: CatMessaging, Region: RegionKorea, Domains: []string{"kakao.com", "kakaocdn.net"}},
+		{Name: "afreecatv", Category: CatVideo, Region: RegionKorea, Domains: []string{"afreecatv.com"}},
+		{Name: "line", Category: CatMessaging, Region: RegionJapan, Domains: []string{"line.me", "line-scdn.net"}},
+		{Name: "niconico", Category: CatVideo, Region: RegionJapan, Domains: []string{"nicovideo.jp", "nimg.jp"}},
+		{Name: "yahoo-jp", Category: CatWeb, Region: RegionJapan, Domains: []string{"yahoo.co.jp", "yimg.jp"}},
+		{Name: "hotstar", Category: CatVideo, Region: RegionIndia, Domains: []string{"hotstar.com"}},
+		{Name: "jio", Category: CatWeb, Region: RegionIndia, Domains: []string{"jio.com", "jiocinema.com"}},
+		{Name: "bbc", Category: CatNews, Region: RegionEurope, Domains: []string{"bbc.co.uk", "bbci.co.uk"}},
+		{Name: "vk", Category: CatSocial, Region: RegionEurope, Domains: []string{"vk.com", "userapi.com"}},
+		{Name: "globo", Category: CatNews, Region: RegionBrazil, Domains: []string{"globo.com", "glbimg.com"}},
+		{Name: "televisa", Category: CatVideo, Region: RegionMexico, Domains: []string{"televisa.com", "blim.com"}},
+
+		// ---- IoT backends (Saidi-style signatures key on these) ----
+		// Convention: Domains[0] is the vendor's public website (what a
+		// human browses; NOT part of the device signature); Domains[1:]
+		// are the backend endpoints devices contact — the signature.
+		{Name: "tuya", Category: CatIoT, Region: RegionChina, Domains: []string{"tuya.com", "tuyaus.com", "tuyacn.com", "airtake.com"}},
+		{Name: "smartthings", Category: CatIoT, Region: RegionUSEast, Domains: []string{"smartthings.com", "api.smartthings.com", "dls.smartthings.com", "fw-update.smartthings.com"}},
+		{Name: "ring", Category: CatIoT, Region: RegionUSEast, Domains: []string{"ring.com", "ring-edge.com", "fw.ring.com", "clips.ring.com"}},
+		{Name: "hue", Category: CatIoT, Region: RegionEurope, Domains: []string{"meethue.com", "api.meethue.com", "diagnostics.meethue.com", "ws.meethue.com"}},
+		{Name: "wyze", Category: CatIoT, Region: RegionUSWest, Domains: []string{"wyze.com", "api.wyzecam.com", "wyze-device-alarm.com", "logs.wyzecam.com"}},
+		{Name: "sonos", Category: CatIoT, Region: RegionUSEast, Domains: []string{"sonos.com", "api.sonos.com", "update.sonos.com", "sonos.radio"}},
+		{Name: "kasa", Category: CatIoT, Region: RegionUSWest, Domains: []string{"kasasmart.com", "tplinkcloud.com", "tplinkra.com", "devs.tplinkcloud.com"}},
+		{Name: "roku", Category: CatIoT, Region: RegionUSWest, Domains: []string{"roku.com", "api.roku.com", "logs.roku.com", "rokucdn.com"}},
+		{Name: "samsung-tv", Category: CatIoT, Region: RegionKorea, Domains: []string{"samsung.com", "samsungcloudsolution.com", "samsungotn.net", "samsungacr.com"}},
+		{Name: "lg-tv", Category: CatIoT, Region: RegionKorea, Domains: []string{"lg.com", "lgtvsdp.com", "lgappstv.com", "lgtvcommon.com"}},
+		{Name: "nest", Category: CatIoT, Region: RegionUSWest, Domains: []string{"nest.com", "home.nest.com", "transport.home.nest.com", "logsink.home.nest.com"}},
+		{Name: "ecobee", Category: CatIoT, Region: RegionUSEast, Domains: []string{"ecobee.com", "api.ecobee.com", "tropo.ecobee.com", "fw.ecobee.com"}},
+
+		// ---- Infrastructure ----
+		{Name: "ntp", Category: CatInfra, Region: RegionUSWest, Domains: []string{"pool.ntp.org", "time.nist.gov"}},
+		{Name: "digicert", Category: CatInfra, Region: RegionUSWest, Domains: []string{"ocsp.digicert.com", "digicert.com"}},
+		{Name: "letsencrypt", Category: CatInfra, Region: RegionUSWest, Domains: []string{"letsencrypt.org"}},
+		{Name: "windowsupdate", Category: CatInfra, Region: RegionUSEast, Domains: []string{"windowsupdate.com", "update.microsoft.com"}, Prefixes16: 2},
+		{Name: "mozilla", Category: CatInfra, Region: RegionUSWest, Domains: []string{"mozilla.org", "firefox.com", "detectportal.firefox.com"}},
+		{Name: "ubuntu", Category: CatInfra, Region: RegionEurope, Domains: []string{"ubuntu.com", "canonical.com"}},
+
+		// ---- Campus ----
+		{Name: "ucsd", Category: CatCampus, Region: RegionCampus, Domains: []string{"ucsd.edu", "canvas.ucsd.edu", "tritonlink.ucsd.edu"}},
+		{Name: "ucsd-datacenter", Category: CatCampus, Region: RegionCampus, Domains: []string{"cluster.ucsd.edu", "backup.ucsd.edu"}, TapExcluded: true},
+
+		// ---- Tap-excluded high-volume networks (§3) ----
+		{Name: "google-cloud", Category: CatCloud, Region: RegionUSWest, Domains: []string{"googleusercontent.com", "appspot.com", "cloud.google.com"}, Prefixes16: 2, TapExcluded: true},
+		{Name: "amazon", Category: CatWeb, Region: RegionUSWest, Domains: []string{"amazon.com", "primevideo.com", "media-amazon.com"}, Prefixes16: 2, TapExcluded: true},
+		{Name: "azure", Category: CatCloud, Region: RegionUSEast, Domains: []string{"azure.com", "azurewebsites.net", "windows.net"}, Prefixes16: 2, TapExcluded: true},
+		{Name: "riotgames", Category: CatGaming, Region: RegionUSWest, Domains: []string{"riotgames.com", "leagueoflegends.com", "riotcdn.net"}, Prefixes16: 2, TapExcluded: true},
+		{Name: "twitch", Category: CatVideo, Region: RegionUSWest, Domains: []string{"twitch.tv", "ttvnw.net", "jtvnw.net"}, Prefixes16: 2, TapExcluded: true},
+		{Name: "qualys", Category: CatInfra, Region: RegionUSWest, Domains: []string{"qualys.com"}, TapExcluded: true},
+		{Name: "apple", Category: CatWeb, Region: RegionUSWest, Domains: []string{"apple.com", "icloud.com", "mzstatic.com", "push.apple.com"}, Prefixes16: 2, TapExcluded: true},
+
+		// ---- CDNs ----
+		// Akamai, AWS/Cloudfront and Optimizely are excluded from the
+		// geolocation midpoint (§4.2). Fastly and Cloudflare are not in
+		// the paper's exclusion list; their US-located IPs are one reason
+		// the midpoint classifier is conservative.
+		{Name: "akamai", Category: CatCDN, Region: RegionUSEast, Domains: []string{"akamaitechnologies.com", "akamaiedge.net", "akamaihd.net"}, Prefixes16: 4, GeoExcludedCDN: true},
+		{Name: "cloudfront", Category: CatCDN, Region: RegionUSEast, Domains: []string{"cloudfront.net", "amazonaws.com"}, Prefixes16: 4, GeoExcludedCDN: true},
+		{Name: "optimizely", Category: CatCDN, Region: RegionUSWest, Domains: []string{"optimizely.com", "optimizelyapis.com"}, GeoExcludedCDN: true},
+		{Name: "fastly", Category: CatCDN, Region: RegionUSEast, Domains: []string{"fastly.net", "fastlylb.net"}, Prefixes16: 2},
+		{Name: "cloudflare", Category: CatCDN, Region: RegionUSEast, Domains: []string{"cloudflare.com", "cdnjs.cloudflare.com"}, Prefixes16: 2},
+	}
+}

@@ -1,0 +1,48 @@
+// Package universe defines the synthetic Internet the simulation runs
+// against: the catalog of services students contact (US and foreign social
+// media, video, gaming, education, IoT backends, CDNs), the domains each
+// service serves, and a deterministic IPv4 address plan that places every
+// service's prefixes in a geographic region.
+//
+// The catalog substitutes for the real Internet's DNS and routing state.
+// Because the paper's methods operate purely on (domain name, server IP,
+// geolocation) tuples, reproducing those methods only requires that the
+// synthetic universe preserve the same structure: multi-domain services
+// (facebook.com/fbcdn.net), shared CDN hosting, foreign services hosted
+// abroad, and the tap's excluded high-volume networks.
+package universe
+
+// Region is a coarse geographic hosting region with a representative
+// datacenter coordinate used by the geolocation database.
+type Region struct {
+	Code string
+	Name string
+	Lat  float64
+	Lon  float64
+	// US reports whether coordinates in this region fall inside the
+	// United States for the paper's domestic/international midpoint test.
+	US bool
+	// baseOctet is the first octet of the /8 block the address plan
+	// carves this region's service prefixes from.
+	baseOctet uint8
+}
+
+// Hosting regions. Coordinates are representative datacenter metros.
+var (
+	RegionUSWest = Region{Code: "us-west", Name: "United States (West)", Lat: 37.35, Lon: -121.95, US: true, baseOctet: 23}
+	RegionUSEast = Region{Code: "us-east", Name: "United States (East)", Lat: 39.04, Lon: -77.49, US: true, baseOctet: 34}
+	RegionChina  = Region{Code: "cn", Name: "China", Lat: 31.23, Lon: 121.47, US: false, baseOctet: 36}
+	RegionKorea  = Region{Code: "kr", Name: "South Korea", Lat: 37.57, Lon: 126.98, US: false, baseOctet: 58}
+	RegionJapan  = Region{Code: "jp", Name: "Japan", Lat: 35.68, Lon: 139.69, US: false, baseOctet: 61}
+	RegionIndia  = Region{Code: "in", Name: "India", Lat: 19.08, Lon: 72.88, US: false, baseOctet: 49}
+	RegionEurope = Region{Code: "eu", Name: "Europe", Lat: 50.11, Lon: 8.68, US: false, baseOctet: 62}
+	RegionBrazil = Region{Code: "br", Name: "Brazil", Lat: -23.55, Lon: -46.63, US: false, baseOctet: 45}
+	RegionMexico = Region{Code: "mx", Name: "Mexico", Lat: 19.43, Lon: -99.13, US: false, baseOctet: 41}
+	RegionCampus = Region{Code: "campus", Name: "UC San Diego", Lat: 32.88, Lon: -117.23, US: true, baseOctet: 132}
+)
+
+// Regions lists every hosting region in the address plan.
+var Regions = []Region{
+	RegionUSWest, RegionUSEast, RegionChina, RegionKorea, RegionJapan,
+	RegionIndia, RegionEurope, RegionBrazil, RegionMexico, RegionCampus,
+}

@@ -1,0 +1,297 @@
+package universe
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// PrefixInfo describes one allocated prefix for geolocation-style
+// databases: where it is, who owns it, and whether the paper's analyses
+// treat it specially.
+type PrefixInfo struct {
+	Prefix      netip.Prefix
+	Owner       string // hosting service name (CDN name for CDN-hosted)
+	Region      Region
+	CDN         bool
+	GeoExcluded bool
+	TapExcluded bool
+}
+
+// AddrInfo is the registry's answer for one server address.
+type AddrInfo struct {
+	Domain  string   // the domain this address serves
+	Service *Service // the service that owns the domain
+	Host    *Service // the hosting entity (== Service, or its CDN)
+	Region  Region   // hosting region (the CDN's for CDN-hosted domains)
+}
+
+// IPsPerDomain is how many distinct addresses each domain resolves to.
+const IPsPerDomain = 4
+
+// ResidenceNet is the campus residential network whose devices the tap
+// observes (clients are DHCP-assigned inside it).
+var ResidenceNet = netip.MustParsePrefix("10.0.0.0/8")
+
+// ResidenceNetV6 is the dual-stack residence prefix. Clients autoconfigure
+// via SLAAC, embedding their MAC as an EUI-64 interface identifier — the
+// pipeline normalizes v6 flows by extracting it (no DHCPv6 logs needed).
+var ResidenceNetV6 = netip.MustParsePrefix("2001:db8:cafe::/64")
+
+// IPv6sPerDomain is how many IPv6 addresses each domain resolves to.
+const IPv6sPerDomain = 2
+
+// Registry is the materialized universe: the catalog plus a deterministic
+// IPv4 address plan. Build it once with New; all lookups are read-only and
+// safe for concurrent use.
+type Registry struct {
+	services    []Service
+	byName      map[string]*Service
+	byDomain    map[string]*Service
+	prefixes    []PrefixInfo
+	hostPfx     map[string][]netip.Prefix // prefixes per hosting service
+	hostPfx6    map[string]netip.Prefix   // one /48 per hosting service
+	domainIPs   map[string][]netip.Addr
+	domainIPv6s map[string][]netip.Addr
+	byAddr      map[netip.Addr]AddrInfo
+	resolver    netip.Addr
+}
+
+// New builds the registry from the standard catalog.
+func New() (*Registry, error) {
+	return build(Catalog())
+}
+
+// build materializes a catalog into a registry.
+func build(catalog []Service) (*Registry, error) {
+	r := &Registry{
+		services:    catalog,
+		byName:      make(map[string]*Service),
+		byDomain:    make(map[string]*Service),
+		hostPfx:     make(map[string][]netip.Prefix),
+		hostPfx6:    make(map[string]netip.Prefix),
+		domainIPs:   make(map[string][]netip.Addr),
+		domainIPv6s: make(map[string][]netip.Addr),
+		byAddr:      make(map[netip.Addr]AddrInfo),
+	}
+	regionNext := make(map[string]int) // next second octet per region
+	for i := range r.services {
+		s := &r.services[i]
+		if s.Name == "" || len(s.Domains) == 0 {
+			return nil, fmt.Errorf("universe: service %d missing name or domains", i)
+		}
+		if _, dup := r.byName[s.Name]; dup {
+			return nil, fmt.Errorf("universe: duplicate service %q", s.Name)
+		}
+		r.byName[s.Name] = s
+		for _, d := range s.Domains {
+			if _, dup := r.byDomain[d]; dup {
+				return nil, fmt.Errorf("universe: domain %q claimed twice", d)
+			}
+			r.byDomain[d] = s
+		}
+		// Self-hosted services get prefixes; CDN-hosted ones use the
+		// CDN's (allocated when the CDN's own entry is processed).
+		if s.CDN == "" {
+			n := s.Prefixes16
+			if n < 1 {
+				n = 1
+			}
+			for k := 0; k < n; k++ {
+				second := regionNext[s.Region.Code]
+				regionNext[s.Region.Code]++
+				if second > 255 {
+					return nil, fmt.Errorf("universe: region %s out of /16 space", s.Region.Code)
+				}
+				p := netip.PrefixFrom(netip.AddrFrom4([4]byte{s.Region.baseOctet, byte(second), 0, 0}), 16)
+				r.hostPfx[s.Name] = append(r.hostPfx[s.Name], p)
+				r.prefixes = append(r.prefixes, PrefixInfo{
+					Prefix:      p,
+					Owner:       s.Name,
+					Region:      s.Region,
+					CDN:         s.Category == CatCDN,
+					GeoExcluded: s.GeoExcludedCDN,
+					TapExcluded: s.TapExcluded,
+				})
+			}
+			// One /48 of dual-stack space per hosting service, derived
+			// from its first v4 prefix so the plan stays deterministic:
+			// a.b.0.0/16 → 2001:db8:<a·256+b>::/48 (skipping the
+			// residence /48 is unnecessary — region octets never produce
+			// 0xcafe).
+			v4 := r.hostPfx[s.Name][0].Addr().As4()
+			p6 := netip.PrefixFrom(netip.AddrFrom16([16]byte{
+				0x20, 0x01, 0x0d, 0xb8, v4[0], v4[1],
+			}), 48)
+			r.hostPfx6[s.Name] = p6
+			r.prefixes = append(r.prefixes, PrefixInfo{
+				Prefix:      p6,
+				Owner:       s.Name,
+				Region:      s.Region,
+				CDN:         s.Category == CatCDN,
+				GeoExcluded: s.GeoExcludedCDN,
+				TapExcluded: s.TapExcluded,
+			})
+		}
+	}
+	// Second pass: assign per-domain addresses out of each domain's
+	// hosting prefixes.
+	for i := range r.services {
+		s := &r.services[i]
+		host := s
+		if s.CDN != "" {
+			h, ok := r.byName[s.CDN]
+			if !ok {
+				return nil, fmt.Errorf("universe: service %q references unknown CDN %q", s.Name, s.CDN)
+			}
+			host = h
+		}
+		pfxs := r.hostPfx[host.Name]
+		if len(pfxs) == 0 {
+			return nil, fmt.Errorf("universe: host %q has no prefixes", host.Name)
+		}
+		hostRegion := host.Region
+		pfx6 := r.hostPfx6[host.Name]
+		for _, d := range s.Domains {
+			ips := make([]netip.Addr, 0, IPsPerDomain)
+			for k := 0; len(ips) < IPsPerDomain; k++ {
+				h := hashString(fmt.Sprintf("%s#%d", d, k))
+				pfx := pfxs[h%uint64(len(pfxs))]
+				off := uint16(h >> 16)
+				if off < 256 {
+					off += 256 // keep clear of the low /24
+				}
+				base := pfx.Addr().As4()
+				addr := netip.AddrFrom4([4]byte{base[0], base[1], byte(off >> 8), byte(off)})
+				if _, taken := r.byAddr[addr]; taken {
+					continue
+				}
+				r.byAddr[addr] = AddrInfo{Domain: d, Service: s, Host: host, Region: hostRegion}
+				ips = append(ips, addr)
+			}
+			r.domainIPs[d] = ips
+
+			// Dual-stack AAAA records out of the host's /48.
+			ip6s := make([]netip.Addr, 0, IPv6sPerDomain)
+			for k := 0; len(ip6s) < IPv6sPerDomain; k++ {
+				h := hashString(fmt.Sprintf("%s#v6#%d", d, k))
+				b := pfx6.Addr().As16()
+				b[6] = byte(h >> 8)
+				b[7] = byte(h)
+				b[14] = byte(h >> 24)
+				b[15] = byte(h >> 16)
+				if b[15] == 0 {
+					b[15] = 1
+				}
+				addr := netip.AddrFrom16(b)
+				if _, taken := r.byAddr[addr]; taken {
+					continue
+				}
+				r.byAddr[addr] = AddrInfo{Domain: d, Service: s, Host: host, Region: hostRegion}
+				ip6s = append(ip6s, addr)
+			}
+			r.domainIPv6s[d] = ip6s
+		}
+	}
+	// The campus resolver lives in the visible UCSD prefix at a fixed
+	// host address.
+	ucsdPfx := r.hostPfx["ucsd"]
+	if len(ucsdPfx) == 0 {
+		return nil, fmt.Errorf("universe: catalog missing ucsd service")
+	}
+	base := ucsdPfx[0].Addr().As4()
+	r.resolver = netip.AddrFrom4([4]byte{base[0], base[1], 1, 53})
+	return r, nil
+}
+
+// hashString is 64-bit FNV-1a.
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Services returns the catalog entries in declaration order.
+func (r *Registry) Services() []Service { return r.services }
+
+// ServiceByName returns the named service, or nil.
+func (r *Registry) ServiceByName(name string) *Service { return r.byName[name] }
+
+// ServiceForDomain returns the service owning the exact domain, or, when no
+// exact entry exists, the owner of the longest registered suffix (so
+// "www.facebook.com" resolves to the facebook entry). Returns nil when no
+// registered domain matches.
+func (r *Registry) ServiceForDomain(domain string) *Service {
+	for {
+		if s, ok := r.byDomain[domain]; ok {
+			return s
+		}
+		dot := strings.IndexByte(domain, '.')
+		if dot < 0 {
+			return nil
+		}
+		domain = domain[dot+1:]
+	}
+}
+
+// DomainIPs returns the addresses the given registered domain resolves to.
+func (r *Registry) DomainIPs(domain string) []netip.Addr { return r.domainIPs[domain] }
+
+// ResolveIP deterministically picks one of the domain's addresses using
+// salt (e.g. a hash of client and time bucket), mimicking DNS round-robin.
+func (r *Registry) ResolveIP(domain string, salt uint64) (netip.Addr, bool) {
+	ips := r.domainIPs[domain]
+	if len(ips) == 0 {
+		return netip.Addr{}, false
+	}
+	return ips[salt%uint64(len(ips))], true
+}
+
+// DomainIPv6s returns the AAAA addresses of a registered domain.
+func (r *Registry) DomainIPv6s(domain string) []netip.Addr { return r.domainIPv6s[domain] }
+
+// ResolveIPv6 is ResolveIP for AAAA records.
+func (r *Registry) ResolveIPv6(domain string, salt uint64) (netip.Addr, bool) {
+	ips := r.domainIPv6s[domain]
+	if len(ips) == 0 {
+		return netip.Addr{}, false
+	}
+	return ips[salt%uint64(len(ips))], true
+}
+
+// LookupAddr returns ownership information for a server address assigned by
+// the plan.
+func (r *Registry) LookupAddr(addr netip.Addr) (AddrInfo, bool) {
+	info, ok := r.byAddr[addr]
+	return info, ok
+}
+
+// TapExcluded reports whether flows to addr are dropped by the capture
+// mirror (§3's excluded high-volume networks).
+func (r *Registry) TapExcluded(addr netip.Addr) bool {
+	info, ok := r.byAddr[addr]
+	return ok && info.Host.TapExcluded
+}
+
+// Prefixes returns the full allocated prefix table, the input for building
+// geolocation databases.
+func (r *Registry) Prefixes() []PrefixInfo { return r.prefixes }
+
+// ResolverAddr returns the campus DNS resolver's address.
+func (r *Registry) ResolverAddr() netip.Addr { return r.resolver }
+
+// Domains returns every registered domain (order unspecified).
+func (r *Registry) Domains() []string {
+	out := make([]string, 0, len(r.byDomain))
+	for d := range r.byDomain {
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,321 @@
+package universe
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func mustRegistry(t testing.TB) *Registry {
+	t.Helper()
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCatalogBuilds(t *testing.T) {
+	r := mustRegistry(t)
+	if len(r.Services()) < 60 {
+		t.Errorf("catalog has %d services, expected a rich universe (≥60)", len(r.Services()))
+	}
+}
+
+func TestPaperCriticalServicesPresent(t *testing.T) {
+	r := mustRegistry(t)
+	for _, name := range []string{"zoom", "facebook", "instagram", "tiktok", "steam", "nintendo"} {
+		if r.ServiceByName(name) == nil {
+			t.Errorf("service %q missing from catalog", name)
+		}
+	}
+	// Facebook must carry the shared domains driving the §5.2 heuristic.
+	fb := r.ServiceByName("facebook")
+	want := map[string]bool{"facebook.com": false, "facebook.net": false, "fbcdn.net": false}
+	for _, d := range fb.Domains {
+		if _, ok := want[d]; ok {
+			want[d] = true
+		}
+	}
+	for d, seen := range want {
+		if !seen {
+			t.Errorf("facebook missing domain %s", d)
+		}
+	}
+}
+
+func TestTapExclusionsMatchPaper(t *testing.T) {
+	r := mustRegistry(t)
+	for _, name := range []string{"google-cloud", "amazon", "azure", "riotgames", "twitch", "qualys", "apple"} {
+		s := r.ServiceByName(name)
+		if s == nil || !s.TapExcluded {
+			t.Errorf("%q should be tap-excluded (§3)", name)
+		}
+	}
+	for _, name := range []string{"zoom", "facebook", "steam", "netflix", "youtube"} {
+		if s := r.ServiceByName(name); s == nil || s.TapExcluded {
+			t.Errorf("%q must be visible to the tap", name)
+		}
+	}
+}
+
+func TestGeoExcludedCDNsMatchPaper(t *testing.T) {
+	r := mustRegistry(t)
+	for _, name := range []string{"akamai", "cloudfront", "optimizely"} {
+		if s := r.ServiceByName(name); s == nil || !s.GeoExcludedCDN {
+			t.Errorf("%q should be geo-excluded (§4.2)", name)
+		}
+	}
+	// Fastly/Cloudflare deliberately NOT excluded (conservativeness source).
+	for _, name := range []string{"fastly", "cloudflare"} {
+		if s := r.ServiceByName(name); s == nil || s.GeoExcludedCDN {
+			t.Errorf("%q must not be geo-excluded", name)
+		}
+	}
+}
+
+func TestEveryDomainResolves(t *testing.T) {
+	r := mustRegistry(t)
+	for _, s := range r.Services() {
+		for _, d := range s.Domains {
+			ips := r.DomainIPs(d)
+			if len(ips) != IPsPerDomain {
+				t.Fatalf("domain %s has %d IPs", d, len(ips))
+			}
+			for _, ip := range ips {
+				info, ok := r.LookupAddr(ip)
+				if !ok {
+					t.Fatalf("IP %v of %s not in byAddr", ip, d)
+				}
+				if info.Domain != d {
+					t.Fatalf("IP %v attributed to %s, want %s", ip, info.Domain, d)
+				}
+				if info.Service.Name != s.Name {
+					t.Fatalf("IP %v service %s, want %s", ip, info.Service.Name, s.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestEveryDomainResolvesV6(t *testing.T) {
+	r := mustRegistry(t)
+	for _, s := range r.Services() {
+		for _, d := range s.Domains {
+			ips := r.DomainIPv6s(d)
+			if len(ips) != IPv6sPerDomain {
+				t.Fatalf("domain %s has %d AAAA records", d, len(ips))
+			}
+			for _, ip := range ips {
+				if !ip.Is6() || ip.Is4In6() {
+					t.Fatalf("AAAA for %s is not IPv6: %v", d, ip)
+				}
+				if ResidenceNetV6.Contains(ip) {
+					t.Fatalf("AAAA for %s collides with residence prefix: %v", d, ip)
+				}
+				info, ok := r.LookupAddr(ip)
+				if !ok || info.Domain != d {
+					t.Fatalf("AAAA %v for %s attributed to %+v (ok=%v)", ip, d, info, ok)
+				}
+			}
+		}
+	}
+}
+
+func TestResolveIPv6Deterministic(t *testing.T) {
+	r := mustRegistry(t)
+	a1, ok1 := r.ResolveIPv6("facebook.com", 7)
+	a2, ok2 := r.ResolveIPv6("facebook.com", 7)
+	if !ok1 || !ok2 || a1 != a2 {
+		t.Errorf("ResolveIPv6 not deterministic: %v %v", a1, a2)
+	}
+	if _, ok := r.ResolveIPv6("nope.example", 1); ok {
+		t.Error("unknown domain resolved over v6")
+	}
+}
+
+func TestAddressesUniqueAcrossDomains(t *testing.T) {
+	r := mustRegistry(t)
+	seen := map[netip.Addr]string{}
+	for _, s := range r.Services() {
+		for _, d := range s.Domains {
+			for _, ip := range r.DomainIPs(d) {
+				if prev, dup := seen[ip]; dup {
+					t.Fatalf("IP %v assigned to both %s and %s", ip, prev, d)
+				}
+				seen[ip] = d
+			}
+		}
+	}
+}
+
+func TestCDNHostedDomainsLiveInCDNPrefixes(t *testing.T) {
+	r := mustRegistry(t)
+	for _, name := range []string{"nytimes", "reddit", "canvas"} {
+		s := r.ServiceByName(name)
+		if s == nil || s.CDN == "" {
+			t.Fatalf("%q should be CDN-hosted", name)
+		}
+		for _, ip := range r.DomainIPs(s.Domains[0]) {
+			info, _ := r.LookupAddr(ip)
+			if info.Host.Name != s.CDN {
+				t.Errorf("%s IP %v hosted by %s, want %s", name, ip, info.Host.Name, s.CDN)
+			}
+			if info.Host.Category != CatCDN {
+				t.Errorf("%s host %s not a CDN", name, info.Host.Name)
+			}
+		}
+	}
+}
+
+func TestSuffixDomainLookup(t *testing.T) {
+	r := mustRegistry(t)
+	cases := []struct {
+		domain, service string
+	}{
+		{"facebook.com", "facebook"},
+		{"www.facebook.com", "facebook"},
+		{"static.xx.fbcdn.net", "facebook"},
+		{"us04web.zoom.us", "zoom"},
+		{"cdn.cloud.tiktokcdn.com", "tiktok"},
+		{"atum.hac.lp1.d4c.nintendo.net", "nintendo"},
+	}
+	for _, c := range cases {
+		s := r.ServiceForDomain(c.domain)
+		if s == nil || s.Name != c.service {
+			t.Errorf("ServiceForDomain(%q) = %v, want %s", c.domain, s, c.service)
+		}
+	}
+	if s := r.ServiceForDomain("definitely-not-registered.example"); s != nil {
+		t.Errorf("unregistered domain matched %s", s.Name)
+	}
+}
+
+func TestResolveIPDeterministic(t *testing.T) {
+	r := mustRegistry(t)
+	a1, ok1 := r.ResolveIP("facebook.com", 12345)
+	a2, ok2 := r.ResolveIP("facebook.com", 12345)
+	if !ok1 || !ok2 || a1 != a2 {
+		t.Errorf("ResolveIP not deterministic: %v %v", a1, a2)
+	}
+	if _, ok := r.ResolveIP("nope.example", 1); ok {
+		t.Error("unknown domain resolved")
+	}
+	// Different salts should cover all IPs eventually.
+	seen := map[netip.Addr]bool{}
+	for salt := uint64(0); salt < 64; salt++ {
+		ip, _ := r.ResolveIP("facebook.com", salt)
+		seen[ip] = true
+	}
+	if len(seen) != IPsPerDomain {
+		t.Errorf("round robin covered %d/%d addresses", len(seen), IPsPerDomain)
+	}
+}
+
+func TestPrefixesDisjoint(t *testing.T) {
+	r := mustRegistry(t)
+	pfx := r.Prefixes()
+	if len(pfx) == 0 {
+		t.Fatal("no prefixes")
+	}
+	for i := range pfx {
+		for j := i + 1; j < len(pfx); j++ {
+			if pfx[i].Prefix.Overlaps(pfx[j].Prefix) {
+				t.Fatalf("prefixes overlap: %v (%s) and %v (%s)",
+					pfx[i].Prefix, pfx[i].Owner, pfx[j].Prefix, pfx[j].Owner)
+			}
+		}
+	}
+	// No prefix may fall inside the residential client network.
+	for _, p := range pfx {
+		if ResidenceNet.Overlaps(p.Prefix) {
+			t.Errorf("prefix %v (%s) collides with residence network", p.Prefix, p.Owner)
+		}
+	}
+}
+
+func TestForeignServicesAbroad(t *testing.T) {
+	r := mustRegistry(t)
+	for _, name := range []string{"wechat", "bilibili", "naver", "line", "hotstar", "bbc"} {
+		s := r.ServiceByName(name)
+		if s == nil {
+			t.Fatalf("missing %q", name)
+		}
+		if s.Region.US {
+			t.Errorf("%q hosted in the US; must be foreign for the midpoint analysis", name)
+		}
+		for _, ip := range r.DomainIPs(s.Domains[0]) {
+			info, _ := r.LookupAddr(ip)
+			if info.Region.US {
+				t.Errorf("%s IP %v located in US region", name, ip)
+			}
+		}
+	}
+}
+
+func TestTapExcludedLookup(t *testing.T) {
+	r := mustRegistry(t)
+	ip, _ := r.ResolveIP("twitch.tv", 0)
+	if !r.TapExcluded(ip) {
+		t.Error("twitch IP not tap-excluded")
+	}
+	ip, _ = r.ResolveIP("facebook.com", 0)
+	if r.TapExcluded(ip) {
+		t.Error("facebook IP tap-excluded")
+	}
+	if r.TapExcluded(netip.MustParseAddr("192.0.2.1")) {
+		t.Error("unknown IP tap-excluded")
+	}
+}
+
+func TestResolverAddr(t *testing.T) {
+	r := mustRegistry(t)
+	res := r.ResolverAddr()
+	if !res.IsValid() || !res.Is4() {
+		t.Fatalf("resolver = %v", res)
+	}
+	ucsd := r.ServiceByName("ucsd")
+	if ucsd == nil {
+		t.Fatal("no ucsd service")
+	}
+	if res.As4()[0] != RegionCampus.baseOctet {
+		t.Errorf("resolver %v not in campus block", res)
+	}
+}
+
+func TestDuplicateDomainRejected(t *testing.T) {
+	bad := []Service{
+		{Name: "a", Region: RegionUSWest, Domains: []string{"dup.com"}},
+		{Name: "b", Region: RegionUSWest, Domains: []string{"dup.com"}},
+		{Name: "ucsd", Region: RegionCampus, Domains: []string{"ucsd.edu"}},
+	}
+	if _, err := build(bad); err == nil {
+		t.Error("duplicate domain accepted")
+	}
+}
+
+func TestUnknownCDNRejected(t *testing.T) {
+	bad := []Service{
+		{Name: "a", Region: RegionUSWest, Domains: []string{"a.com"}, CDN: "ghost-cdn"},
+		{Name: "ucsd", Region: RegionCampus, Domains: []string{"ucsd.edu"}},
+	}
+	if _, err := build(bad); err == nil {
+		t.Error("unknown CDN accepted")
+	}
+}
+
+func BenchmarkLookupAddr(b *testing.B) {
+	r := mustRegistry(b)
+	ip, _ := r.ResolveIP("facebook.com", 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.LookupAddr(ip)
+	}
+}
+
+func BenchmarkServiceForDomainSuffix(b *testing.B) {
+	r := mustRegistry(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.ServiceForDomain("static.xx.fbcdn.net")
+	}
+}

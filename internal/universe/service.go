@@ -1,0 +1,88 @@
+package universe
+
+// Category is the broad application class of a service, used by the trace
+// generator's behavioral model (which classes rise or fall across the
+// lock-down) and by analysis labels.
+type Category int
+
+// Application classes.
+const (
+	CatWeb Category = iota
+	CatSocial
+	CatVideo
+	CatGaming
+	CatEducation
+	CatConferencing
+	CatMessaging
+	CatMusic
+	CatNews
+	CatIoT
+	CatInfra
+	CatCDN
+	CatCloud
+	CatCampus
+)
+
+// String returns the category label.
+func (c Category) String() string {
+	switch c {
+	case CatWeb:
+		return "web"
+	case CatSocial:
+		return "social"
+	case CatVideo:
+		return "video"
+	case CatGaming:
+		return "gaming"
+	case CatEducation:
+		return "education"
+	case CatConferencing:
+		return "conferencing"
+	case CatMessaging:
+		return "messaging"
+	case CatMusic:
+		return "music"
+	case CatNews:
+		return "news"
+	case CatIoT:
+		return "iot"
+	case CatInfra:
+		return "infra"
+	case CatCDN:
+		return "cdn"
+	case CatCloud:
+		return "cloud"
+	case CatCampus:
+		return "campus"
+	default:
+		return "unknown"
+	}
+}
+
+// Service is one entry in the catalog: a named web property with the set of
+// domains it serves and where it is hosted.
+type Service struct {
+	// Name is the catalog key ("facebook", "zoom", "steam", ...).
+	Name string
+	// Category is the application class.
+	Category Category
+	// Region locates the service's own infrastructure.
+	Region Region
+	// Domains are the DNS names the service answers for. The first domain
+	// is the canonical one.
+	Domains []string
+	// CDN, when non-empty, names the CDN service whose prefixes host
+	// these domains instead of the service's own prefixes.
+	CDN string
+	// Prefixes16 is how many /16 prefixes the address plan allocates to
+	// the service (minimum 1 when self-hosted).
+	Prefixes16 int
+	// TapExcluded marks networks the campus tap drops due to volume
+	// (§3: parts of UCSD, Google Cloud, Amazon, Azure, Riot, Twitch,
+	// Qualys, Apple). Flows to these prefixes never reach the pipeline.
+	TapExcluded bool
+	// GeoExcludedCDN marks CDNs the population-split analysis skips when
+	// computing geographic midpoints (§4.2: Akamai, AWS, Cloudfront,
+	// Optimizely).
+	GeoExcludedCDN bool
+}

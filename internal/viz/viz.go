@@ -1,0 +1,206 @@
+// Package viz renders experiment results as CSV files (for external
+// plotting) and compact ASCII charts (for terminal reports). It is the
+// output layer of the cmd/lockdown harness and the examples.
+package viz
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits a header row followed by columnar series. All columns must
+// share the rows' length; the label column supplies row names (dates,
+// months, hours).
+func WriteCSV(w io.Writer, labelHeader string, labels []string, columns map[string][]float64, order []string) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{labelHeader}, order...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, col := range order {
+		if len(columns[col]) != len(labels) {
+			return fmt.Errorf("viz: column %q has %d rows, labels have %d", col, len(columns[col]), len(labels))
+		}
+	}
+	row := make([]string, len(header))
+	for i, label := range labels {
+		row[0] = label
+		for j, col := range order {
+			row[j+1] = strconv.FormatFloat(columns[col][i], 'g', 8, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Chart renders one or more series as an ASCII line chart. Each series is
+// drawn with its own glyph; values are scaled into height rows.
+type Chart struct {
+	Title  string
+	Height int // default 12
+	Width  int // downsampled point count; default len(series)
+	// Format renders axis values; defaults to SIBytes.
+	Format func(float64) string
+}
+
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c Chart) Render(w io.Writer, labels []string, series map[string][]float64, order []string) error {
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	n := 0
+	for _, name := range order {
+		if len(series[name]) > n {
+			n = len(series[name])
+		}
+	}
+	if n == 0 {
+		_, err := fmt.Fprintf(w, "%s\n  (no data)\n", c.Title)
+		return err
+	}
+	width := c.Width
+	if width <= 0 || width > n {
+		width = n
+	}
+	// Downsample each series to width points by averaging buckets.
+	ds := make(map[string][]float64, len(order))
+	maxVal := 0.0
+	for _, name := range order {
+		src := series[name]
+		out := make([]float64, width)
+		for i := 0; i < width; i++ {
+			lo := i * len(src) / width
+			hi := (i + 1) * len(src) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			var sum float64
+			cnt := 0
+			for j := lo; j < hi && j < len(src); j++ {
+				sum += src[j]
+				cnt++
+			}
+			if cnt > 0 {
+				out[i] = sum / float64(cnt)
+			}
+			if out[i] > maxVal {
+				maxVal = out[i]
+			}
+		}
+		ds[name] = out
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, name := range order {
+		g := glyphs[si%len(glyphs)]
+		for x, v := range ds[name] {
+			if v <= 0 {
+				continue
+			}
+			r := int(math.Round(v / maxVal * float64(height-1)))
+			if r > height-1 {
+				r = height - 1
+			}
+			grid[height-1-r][x] = g
+		}
+	}
+	format := c.Format
+	if format == nil {
+		format = SIBytes
+	}
+	for r, rowBytes := range grid {
+		val := maxVal * float64(height-1-r) / float64(height-1)
+		sb.WriteString(fmt.Sprintf("%10s |%s|\n", format(val), rowBytes))
+	}
+	// X-axis labels: first, middle, last.
+	if len(labels) > 0 {
+		first := labels[0]
+		mid := labels[len(labels)/2]
+		last := labels[len(labels)-1]
+		axis := fmt.Sprintf("%10s  %-*s", "", width, "")
+		_ = axis
+		sb.WriteString(fmt.Sprintf("%10s  %s%s%s\n", "",
+			pad(first, width/3), pad(mid, width/3), last))
+	}
+	for si, name := range order {
+		sb.WriteString(fmt.Sprintf("%10s  [%c] %s\n", "", glyphs[si%len(glyphs)], name))
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// SIBytes formats a byte count with binary SI suffixes.
+func SIBytes(v float64) string {
+	abs := math.Abs(v)
+	switch {
+	case abs >= 1<<40:
+		return fmt.Sprintf("%.1fTB", v/(1<<40))
+	case abs >= 1<<30:
+		return fmt.Sprintf("%.1fGB", v/(1<<30))
+	case abs >= 1<<20:
+		return fmt.Sprintf("%.1fMB", v/(1<<20))
+	case abs >= 1<<10:
+		return fmt.Sprintf("%.1fKB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}
+
+// BoxRow renders one box-and-whisker line on a log scale between lo and hi:
+// percentile markers for P1, Q1, median, Q3, P95.
+func BoxRow(label string, p1, q1, med, q3, p95, lo, hi float64, width int) string {
+	if width <= 10 {
+		width = 40
+	}
+	pos := func(v float64) int {
+		if v <= lo {
+			return 0
+		}
+		if v >= hi {
+			return width - 1
+		}
+		return int(math.Log(v/lo) / math.Log(hi/lo) * float64(width-1))
+	}
+	row := []byte(strings.Repeat(" ", width))
+	for i := pos(q1); i <= pos(q3) && i < width; i++ {
+		row[i] = '='
+	}
+	set := func(v float64, ch byte) {
+		p := pos(v)
+		if p >= 0 && p < width {
+			row[p] = ch
+		}
+	}
+	set(p1, '|')
+	set(p95, '|')
+	set(med, 'M')
+	return fmt.Sprintf("%-28s [%s]", label, row)
+}

@@ -1,0 +1,126 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, "day",
+		[]string{"2020-02-01", "2020-02-02"},
+		map[string][]float64{"a": {1, 2}, "b": {3.5, 4.5}},
+		[]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "day,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "2020-02-01,1,3.5" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestWriteCSVLengthMismatch(t *testing.T) {
+	err := WriteCSV(&bytes.Buffer{}, "day",
+		[]string{"a", "b"},
+		map[string][]float64{"x": {1}},
+		[]string{"x"})
+	if err == nil {
+		t.Error("mismatched column accepted")
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	var buf bytes.Buffer
+	c := Chart{Title: "test chart", Height: 6, Width: 30}
+	series := map[string][]float64{
+		"up":   make([]float64, 100),
+		"down": make([]float64, 100),
+	}
+	for i := 0; i < 100; i++ {
+		series["up"][i] = float64(i)
+		series["down"][i] = float64(100 - i)
+	}
+	labels := make([]string, 100)
+	for i := range labels {
+		labels[i] = "L"
+	}
+	if err := c.Render(&buf, labels, series, []string{"up", "down"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "test chart") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "[*] up") || !strings.Contains(out, "[o] down") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.ContainsAny(out, "*o") {
+		t.Error("no data glyphs plotted")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Chart{Title: "empty"}).Render(&buf, nil, map[string][]float64{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("empty chart = %q", buf.String())
+	}
+}
+
+func TestSIBytes(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0B",
+		512:     "512B",
+		2048:    "2.0KB",
+		3 << 20: "3.0MB",
+		5 << 30: "5.0GB",
+		2 << 40: "2.0TB",
+	}
+	for v, want := range cases {
+		if got := SIBytes(v); got != want {
+			t.Errorf("SIBytes(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestBoxRow(t *testing.T) {
+	row := BoxRow("label", 0.01, 0.1, 1, 10, 100, 0.001, 1000, 60)
+	if !strings.Contains(row, "label") {
+		t.Error("missing label")
+	}
+	if !strings.Contains(row, "M") {
+		t.Error("missing median marker")
+	}
+	if !strings.Contains(row, "=") {
+		t.Error("missing IQR box")
+	}
+	if strings.Count(row, "|") < 2 {
+		t.Error("missing whiskers")
+	}
+	// Median position should be mid-scale (log center of 0.001..1000 is 1).
+	idx := strings.IndexByte(row, 'M')
+	open := strings.IndexByte(row, '[')
+	rel := float64(idx-open-1) / 60
+	if rel < 0.4 || rel > 0.6 {
+		t.Errorf("median at relative position %.2f, want ≈0.5", rel)
+	}
+}
+
+func TestBoxRowClamping(t *testing.T) {
+	// Values outside [lo, hi] clamp to the edges without panicking.
+	row := BoxRow("x", 1e-9, 1e-6, 1, 1e6, 1e9, 0.001, 1000, 40)
+	if len(row) == 0 {
+		t.Error("empty row")
+	}
+}

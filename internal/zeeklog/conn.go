@@ -1,0 +1,131 @@
+package zeeklog
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+
+	"repro/internal/flow"
+)
+
+// ConnSchema is the subset of Zeek's conn.log that the pipeline consumes.
+var ConnSchema = Schema{
+	Path: "conn",
+	Fields: []Field{
+		{"ts", "time"},
+		{"id.orig_h", "addr"},
+		{"id.orig_p", "port"},
+		{"id.resp_h", "addr"},
+		{"id.resp_p", "port"},
+		{"proto", "enum"},
+		{"service", "string"},
+		{"conn_state", "string"},
+		{"duration", "interval"},
+		{"orig_bytes", "count"},
+		{"resp_bytes", "count"},
+		{"orig_pkts", "count"},
+		{"resp_pkts", "count"},
+	},
+}
+
+// ConnWriter writes flow records as a Zeek conn.log.
+type ConnWriter struct {
+	w *Writer
+}
+
+// NewConnWriter returns a conn.log writer on w.
+func NewConnWriter(w io.Writer) *ConnWriter {
+	return &ConnWriter{w: NewWriter(w, ConnSchema)}
+}
+
+// Write emits one flow record.
+func (c *ConnWriter) Write(r flow.Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	return c.w.Write([]string{
+		FormatTime(r.Start),
+		r.OrigAddr.String(),
+		strconv.Itoa(int(r.OrigPort)),
+		r.RespAddr.String(),
+		strconv.Itoa(int(r.RespPort)),
+		r.Proto.String(),
+		FormatString(r.Service),
+		r.State.String(),
+		FormatInterval(r.Duration),
+		FormatCount(r.OrigBytes),
+		FormatCount(r.RespBytes),
+		FormatCount(r.OrigPkts),
+		FormatCount(r.RespPkts),
+	})
+}
+
+// Count returns the number of records written.
+func (c *ConnWriter) Count() int { return c.w.Count() }
+
+// Close flushes the log.
+func (c *ConnWriter) Close() error { return c.w.Close() }
+
+// ConnReader reads a conn.log back into flow records.
+type ConnReader struct {
+	r *Reader
+}
+
+// NewConnReader validates the header of r and returns a reader.
+func NewConnReader(r io.Reader) (*ConnReader, error) {
+	rd, err := NewReader(r, ConnSchema)
+	if err != nil {
+		return nil, err
+	}
+	return &ConnReader{r: rd}, nil
+}
+
+// Next returns the next record or io.EOF.
+func (c *ConnReader) Next() (flow.Record, error) {
+	values, err := c.r.Next()
+	if err != nil {
+		return flow.Record{}, err
+	}
+	var rec flow.Record
+	if rec.Start, err = ParseTime(values[0]); err != nil {
+		return rec, err
+	}
+	if rec.OrigAddr, err = netip.ParseAddr(values[1]); err != nil {
+		return rec, fmt.Errorf("zeeklog: bad orig addr %q: %w", values[1], err)
+	}
+	op, err := strconv.ParseUint(values[2], 10, 16)
+	if err != nil {
+		return rec, fmt.Errorf("zeeklog: bad orig port %q: %w", values[2], err)
+	}
+	rec.OrigPort = uint16(op)
+	if rec.RespAddr, err = netip.ParseAddr(values[3]); err != nil {
+		return rec, fmt.Errorf("zeeklog: bad resp addr %q: %w", values[3], err)
+	}
+	rp, err := strconv.ParseUint(values[4], 10, 16)
+	if err != nil {
+		return rec, fmt.Errorf("zeeklog: bad resp port %q: %w", values[4], err)
+	}
+	rec.RespPort = uint16(rp)
+	if rec.Proto, err = flow.ParseProto(values[5]); err != nil {
+		return rec, err
+	}
+	rec.Service = ParseString(values[6])
+	rec.State = flow.ParseConnState(values[7])
+	if rec.Duration, err = ParseInterval(values[8]); err != nil {
+		return rec, err
+	}
+	if rec.OrigBytes, err = ParseCount(values[9]); err != nil {
+		return rec, err
+	}
+	if rec.RespBytes, err = ParseCount(values[10]); err != nil {
+		return rec, err
+	}
+	if rec.OrigPkts, err = ParseCount(values[11]); err != nil {
+		return rec, err
+	}
+	if rec.RespPkts, err = ParseCount(values[12]); err != nil {
+		return rec, err
+	}
+	return rec, rec.Validate()
+}

@@ -1,0 +1,160 @@
+package zeeklog
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+)
+
+func randomRecord(rng *rand.Rand) flow.Record {
+	protos := []flow.Proto{flow.ProtoTCP, flow.ProtoUDP}
+	services := []string{"", "http", "tls", "dns"}
+	states := []flow.ConnState{flow.StateOther, flow.StateSF, flow.StateS0, flow.StateRSTO}
+	var o4, r4 [4]byte
+	rng.Read(o4[:])
+	rng.Read(r4[:])
+	return flow.Record{
+		Start:     time.Unix(1580000000+int64(rng.Intn(10000000)), int64(rng.Intn(1e6))*1000).UTC(),
+		Duration:  time.Duration(rng.Intn(3600000)) * time.Millisecond,
+		OrigAddr:  netip.AddrFrom4(o4),
+		OrigPort:  uint16(rng.Intn(65536)),
+		RespAddr:  netip.AddrFrom4(r4),
+		RespPort:  uint16(rng.Intn(65536)),
+		Proto:     protos[rng.Intn(2)],
+		OrigBytes: int64(rng.Intn(1e9)),
+		RespBytes: int64(rng.Intn(1e9)),
+		OrigPkts:  int64(rng.Intn(1e6)),
+		RespPkts:  int64(rng.Intn(1e6)),
+		Service:   services[rng.Intn(len(services))],
+		State:     states[rng.Intn(len(states))],
+	}
+}
+
+func TestConnRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var buf bytes.Buffer
+	w := NewConnWriter(&buf)
+	var want []flow.Record
+	for i := 0; i < 300; i++ {
+		r := randomRecord(rng)
+		want = append(want, r)
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != len(want) {
+		t.Errorf("Count = %d", w.Count())
+	}
+
+	r, err := NewConnReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, exp := range want {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !got.Start.Equal(exp.Start) {
+			t.Errorf("record %d start %v != %v", i, got.Start, exp.Start)
+		}
+		// Durations round-trip through microsecond text encoding.
+		diff := got.Duration - exp.Duration
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > time.Microsecond {
+			t.Errorf("record %d duration %v != %v", i, got.Duration, exp.Duration)
+		}
+		got.Start, got.Duration = exp.Start, exp.Duration
+		if got != exp {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, got, exp)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("trailing err = %v", err)
+	}
+}
+
+func TestConnWriterRejectsInvalid(t *testing.T) {
+	w := NewConnWriter(io.Discard)
+	bad := flow.Record{Proto: 99}
+	if err := w.Write(bad); err == nil {
+		t.Error("invalid record accepted")
+	}
+}
+
+func TestConnReaderIPv6(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewConnWriter(&buf)
+	rec := flow.Record{
+		Start:    time.Unix(1583020800, 0).UTC(),
+		OrigAddr: netip.MustParseAddr("2001:db8::9"),
+		OrigPort: 54321,
+		RespAddr: netip.MustParseAddr("2606:4700::6810:1"),
+		RespPort: 443,
+		Proto:    flow.ProtoTCP,
+		Service:  "tls",
+	}
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	r, err := NewConnReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OrigAddr != rec.OrigAddr || got.RespAddr != rec.RespAddr || got.Service != "tls" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func BenchmarkConnWrite(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	rec := randomRecord(rng)
+	w := NewConnWriter(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConnRead(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	var buf bytes.Buffer
+	w := NewConnWriter(&buf)
+	for i := 0; i < 1000; i++ {
+		w.Write(randomRecord(rng))
+	}
+	w.Close()
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewConnReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package zeeklog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzConnReader feeds arbitrary text through the conn.log reader: it must
+// never panic, and every record it accepts must validate.
+func FuzzConnReader(f *testing.F) {
+	valid := "#separator \\x09\n#path\tconn\n" +
+		"#fields\tts\tid.orig_h\tid.orig_p\tid.resp_h\tid.resp_p\tproto\tservice\tconn_state\tduration\torig_bytes\tresp_bytes\torig_pkts\tresp_pkts\n" +
+		"#types\ttime\taddr\tport\taddr\tport\tenum\tstring\tstring\tinterval\tcount\tcount\tcount\tcount\n" +
+		"1583020800.000000\t10.0.0.1\t50000\t23.0.0.1\t443\ttcp\ttls\tSF\t1.500000\t100\t2000\t3\t4\n"
+	f.Add(valid)
+	f.Add("")
+	f.Add("#fields\tonly")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		r, err := NewConnReader(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			rec, err := r.Next()
+			if err != nil {
+				return
+			}
+			if err := rec.Validate(); err != nil {
+				t.Fatalf("reader accepted invalid record: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,260 @@
+// Package zeeklog reads and writes Zeek-style tab-separated log files: a
+// commented header declaring the path, field names and types, one record
+// per line, and the Zeek conventions for unset ("-") and empty ("(empty)")
+// values. The campus pipeline's inputs (conn, dhcp, dns, http logs) all use
+// this envelope, mirroring the format the real measurement system consumed.
+package zeeklog
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Zeek value conventions.
+const (
+	Separator = "\t"
+	Unset     = "-"
+	Empty     = "(empty)"
+)
+
+// Errors returned by the reader.
+var (
+	ErrBadHeader    = errors.New("zeeklog: malformed header")
+	ErrFieldCount   = errors.New("zeeklog: wrong field count")
+	ErrTypeMismatch = errors.New("zeeklog: header types do not match schema")
+)
+
+// Schema describes one log type: its Zeek path and ordered field
+// name/type pairs.
+type Schema struct {
+	Path   string
+	Fields []Field
+}
+
+// Field is one column.
+type Field struct {
+	Name string
+	Type string // Zeek type name: time, interval, addr, port, count, int, string, bool, double
+}
+
+// Writer emits records under a schema.
+type Writer struct {
+	w      *bufio.Writer
+	schema Schema
+	wrote  bool
+	count  int
+}
+
+// NewWriter returns a writer for the given schema. The header is written on
+// the first record (or at Close for an empty log).
+func NewWriter(w io.Writer, schema Schema) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), schema: schema}
+}
+
+func (w *Writer) writeHeader() error {
+	names := make([]string, len(w.schema.Fields))
+	types := make([]string, len(w.schema.Fields))
+	for i, f := range w.schema.Fields {
+		names[i], types[i] = f.Name, f.Type
+	}
+	var sb strings.Builder
+	sb.WriteString("#separator \\x09\n")
+	sb.WriteString("#set_separator\t,\n")
+	sb.WriteString("#empty_field\t(empty)\n")
+	sb.WriteString("#unset_field\t-\n")
+	fmt.Fprintf(&sb, "#path\t%s\n", w.schema.Path)
+	fmt.Fprintf(&sb, "#fields\t%s\n", strings.Join(names, Separator))
+	fmt.Fprintf(&sb, "#types\t%s\n", strings.Join(types, Separator))
+	w.wrote = true
+	_, err := w.w.WriteString(sb.String())
+	return err
+}
+
+// Write emits one record. values must match the schema arity; the caller is
+// responsible for Zeek-encoding each value (see the Format helpers).
+func (w *Writer) Write(values []string) error {
+	if len(values) != len(w.schema.Fields) {
+		return fmt.Errorf("%w: got %d values for %d fields", ErrFieldCount, len(values), len(w.schema.Fields))
+	}
+	if !w.wrote {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	for i, v := range values {
+		if i > 0 {
+			if err := w.w.WriteByte('\t'); err != nil {
+				return err
+			}
+		}
+		if _, err := w.w.WriteString(v); err != nil {
+			return err
+		}
+	}
+	w.count++
+	return w.w.WriteByte('\n')
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.count }
+
+// Close flushes the writer, emitting the header and a #close trailer.
+func (w *Writer) Close() error {
+	if !w.wrote {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	if _, err := w.w.WriteString("#close\n"); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader consumes records under a schema, validating the header against it.
+type Reader struct {
+	s      *bufio.Scanner
+	schema Schema
+	line   int
+}
+
+// NewReader parses the header from r and validates it against schema.
+func NewReader(r io.Reader, schema Schema) (*Reader, error) {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	rd := &Reader{s: s, schema: schema}
+	var sawFields bool
+	for s.Scan() {
+		rd.line++
+		line := s.Text()
+		if !strings.HasPrefix(line, "#") {
+			return nil, fmt.Errorf("%w: data before #fields at line %d", ErrBadHeader, rd.line)
+		}
+		parts := strings.Split(line, Separator)
+		switch {
+		case strings.HasPrefix(parts[0], "#fields"):
+			if err := rd.checkColumns(parts[1:], func(f Field) string { return f.Name }); err != nil {
+				return nil, err
+			}
+			sawFields = true
+		case strings.HasPrefix(parts[0], "#types"):
+			if err := rd.checkColumns(parts[1:], func(f Field) string { return f.Type }); err != nil {
+				return nil, err
+			}
+			if !sawFields {
+				return nil, fmt.Errorf("%w: #types before #fields", ErrBadHeader)
+			}
+			return rd, nil
+		}
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("%w: missing #fields/#types", ErrBadHeader)
+}
+
+func (r *Reader) checkColumns(got []string, sel func(Field) string) error {
+	if len(got) != len(r.schema.Fields) {
+		return fmt.Errorf("%w: %d columns, schema has %d", ErrTypeMismatch, len(got), len(r.schema.Fields))
+	}
+	for i, f := range r.schema.Fields {
+		if got[i] != sel(f) {
+			return fmt.Errorf("%w: column %d is %q, want %q", ErrTypeMismatch, i, got[i], sel(f))
+		}
+	}
+	return nil
+}
+
+// Next returns the next record's raw values, or io.EOF. Comment lines
+// (including #close) are skipped.
+func (r *Reader) Next() ([]string, error) {
+	for r.s.Scan() {
+		r.line++
+		line := r.s.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		values := strings.Split(line, Separator)
+		if len(values) != len(r.schema.Fields) {
+			return nil, fmt.Errorf("%w at line %d: %d values", ErrFieldCount, r.line, len(values))
+		}
+		return values, nil
+	}
+	if err := r.s.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// FormatTime encodes a timestamp as Zeek epoch seconds with microsecond
+// precision.
+func FormatTime(t time.Time) string {
+	return strconv.FormatFloat(float64(t.UnixMicro())/1e6, 'f', 6, 64)
+}
+
+// ParseTime decodes a Zeek epoch timestamp.
+func ParseTime(s string) (time.Time, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("zeeklog: bad time %q: %w", s, err)
+	}
+	return time.UnixMicro(int64(math.Round(f * 1e6))).UTC(), nil
+}
+
+// FormatInterval encodes a duration as fractional seconds.
+func FormatInterval(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', 6, 64)
+}
+
+// ParseInterval decodes a fractional-seconds duration.
+func ParseInterval(s string) (time.Duration, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("zeeklog: bad interval %q: %w", s, err)
+	}
+	return time.Duration(f * float64(time.Second)), nil
+}
+
+// FormatCount encodes a non-negative integer.
+func FormatCount(v int64) string { return strconv.FormatInt(v, 10) }
+
+// ParseCount decodes a count field.
+func ParseCount(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("zeeklog: bad count %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// FormatString encodes a string value, mapping "" to the empty marker and
+// escaping embedded separators.
+func FormatString(s string) string {
+	if s == "" {
+		return Empty
+	}
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\t", "\\x09")
+	s = strings.ReplaceAll(s, "\n", "\\x0a")
+	return s
+}
+
+// ParseString decodes a string value.
+func ParseString(s string) string {
+	switch s {
+	case Empty:
+		return ""
+	case Unset:
+		return ""
+	}
+	s = strings.ReplaceAll(s, "\\x09", "\t")
+	s = strings.ReplaceAll(s, "\\x0a", "\n")
+	s = strings.ReplaceAll(s, "\\\\", "\\")
+	return s
+}
