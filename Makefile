@@ -2,7 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench cover figures figures-full examples clean
+.PHONY: all build vet test test-short race lint ci bench cover figures figures-full examples clean
+
+BENCH_JSON ?= BENCH_$(shell date +%F).json
 
 all: build vet test
 
@@ -18,8 +20,28 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+race:
+	$(GO) test -race -short ./...
+
+# Prefer golangci-lint (same config CI uses); fall back to go vet when the
+# binary isn't installed so the target still catches the worst offenders.
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run; \
+	else \
+		echo "golangci-lint not installed; falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
+
+ci: build vet test race lint
+
+# Go micro-benchmarks plus a machine-readable end-to-end bench report
+# (BENCH_<date>.json) that cmd/benchdiff can gate on.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/lockdown -scale 0.05 -quiet -out results-bench \
+		-bench-json $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -41,4 +63,4 @@ examples:
 	$(GO) run ./examples/counterfactual
 
 clean:
-	rm -rf results results_full
+	rm -rf results results_full results-bench

@@ -23,6 +23,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/httplog"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/universe"
 )
@@ -241,6 +242,41 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	pipe, err := core.NewPipeline(reg, core.Options{Key: []byte("throughput-bench-key-0123456789abc")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		day := campus.Day(i % campus.NumDays)
+		if err := gen.RunDays(pipe, day, day+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := pipe.Stats()
+	b.ReportMetric(float64(st.FlowsProcessed)/float64(b.N), "flows/day")
+}
+
+// BenchmarkPipelineThroughputObserved is BenchmarkPipelineThroughput with
+// the observability layer enabled — the delta between the two is the
+// instrumentation cost (counters every flow, timings 1-in-64 sampled).
+// BenchmarkPipelineThroughput itself runs with a nil Metrics and so also
+// measures the disabled fast path.
+func BenchmarkPipelineThroughputObserved(b *testing.B) {
+	reg, err := universe.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.Scale = benchScale
+	gen, err := trace.New(cfg, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := core.NewPipeline(reg, core.Options{
+		Key: []byte("throughput-bench-key-0123456789abc"),
+		Obs: obs.NewMetrics(),
+	})
 	if err != nil {
 		b.Fatal(err)
 	}

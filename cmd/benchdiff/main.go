@@ -1,0 +1,75 @@
+// Command benchdiff compares two machine-readable bench reports written by
+// `lockdown -bench-json` (BENCH_<date>.json) and exits non-zero when the
+// new run regressed beyond the tolerance — the CI gate for the pipeline's
+// throughput and per-figure compute times.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_2026-08-01.json -new BENCH_2026-08-05.json [-max-regress 0.10]
+//
+// Throughput metrics (flows/sec, bytes/sec) regress by dropping; timing
+// metrics (wall seconds, per-figure milliseconds) regress by growing.
+// Metrics present in only one report are skipped, so figures can be added
+// or retired without breaking the gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline bench report")
+	newPath := flag.String("new", "", "candidate bench report")
+	maxRegress := flag.Float64("max-regress", 0.10, "tolerated fractional slowdown (0.10 = 10%)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	code, err := run(os.Stdout, *oldPath, *newPath, *maxRegress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(w *os.File, oldPath, newPath string, maxRegress float64) (int, error) {
+	oldR, err := obs.LoadBench(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newR, err := obs.LoadBench(newPath)
+	if err != nil {
+		return 0, err
+	}
+	if oldR.Scale != newR.Scale || oldR.Shards != newR.Shards {
+		fmt.Fprintf(w, "note: comparing different configurations (scale %g/%g, shards %d/%d)\n",
+			oldR.Scale, newR.Scale, oldR.Shards, newR.Shards)
+	}
+	deltas := obs.CompareBench(oldR, newR, maxRegress)
+	if len(deltas) == 0 {
+		return 0, fmt.Errorf("reports share no comparable metrics")
+	}
+	fmt.Fprintf(w, "%-28s %14s %14s %8s\n", "metric", "old", "new", "ratio")
+	regressions := 0
+	for _, d := range deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  << REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-28s %14.2f %14.2f %7.2fx%s\n", d.Metric, d.Old, d.New, d.Ratio, mark)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d metric(s) regressed beyond %.0f%% (baseline %s, candidate %s)\n",
+			regressions, maxRegress*100, oldR.Date, newR.Date)
+		return 1, nil
+	}
+	fmt.Fprintf(w, "\nno regressions beyond %.0f%%\n", maxRegress*100)
+	return 0, nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func writeReport(t *testing.T, dir, name string, fps, fig1 float64) string {
+	t.Helper()
+	r := &obs.BenchReport{
+		Date: "2026-08-05", Scale: 0.05, Shards: 1, Seed: 1, WallSeconds: 20,
+		Ingest:    obs.IngestBench{Flows: 1000000, FlowsPerSec: fps, BytesPerSec: 5e8, Seconds: 18, Bytes: 9e9},
+		FiguresMS: map[string]float64{"fig1": fig1},
+	}
+	path := filepath.Join(dir, name)
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchdiff(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", 100000, 10)
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	okP := writeReport(t, dir, "ok.json", 97000, 10.4)
+	if code, err := run(devnull, oldP, okP, 0.10); err != nil || code != 0 {
+		t.Errorf("within-tolerance diff: code %d, err %v", code, err)
+	}
+
+	badP := writeReport(t, dir, "bad.json", 70000, 10)
+	if code, err := run(devnull, oldP, badP, 0.10); err != nil || code != 1 {
+		t.Errorf("regressed diff: code %d, err %v; want 1, nil", code, err)
+	}
+
+	if _, err := run(devnull, oldP, filepath.Join(dir, "missing.json"), 0.10); err == nil {
+		t.Error("missing report should error")
+	}
+}

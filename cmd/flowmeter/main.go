@@ -5,6 +5,7 @@
 // Usage:
 //
 //	flowmeter -in capture.pcap -out conn.log [-local 10.0.0.0/8] [-verify]
+//	          [-progress 5s]  emit live packet/byte rates while reading
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/flow"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/pcap"
 	"repro/internal/zeeklog"
@@ -26,18 +28,19 @@ func main() {
 	out := flag.String("out", "conn.log", "output conn.log path")
 	local := flag.String("local", "10.0.0.0/8", "client (originator) network")
 	verify := flag.Bool("verify", false, "verify transport checksums")
+	progress := flag.Duration("progress", 0, "emit a progress line at this interval (0 = off)")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "flowmeter: -in is required")
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *local, *verify); err != nil {
+	if err := run(*in, *out, *local, *verify, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "flowmeter:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, local string, verify bool) error {
+func run(in, out, local string, verify bool, progress time.Duration) error {
 	start := time.Now()
 	localNet, err := netip.ParsePrefix(local)
 	if err != nil {
@@ -65,6 +68,15 @@ func run(in, out, local string, verify bool) error {
 		}
 	})
 
+	var metrics *obs.Metrics
+	var prog *obs.Progress
+	if progress > 0 {
+		metrics = obs.NewMetrics()
+		prog = obs.NewProgress(metrics, &obs.TextReporter{W: os.Stderr}, progress)
+		prog.SetLabel("flowmeter")
+		prog.Start()
+	}
+
 	var packets, skipped int64
 	for {
 		rec, err := reader.Next()
@@ -75,6 +87,7 @@ func run(in, out, local string, verify bool) error {
 			return err
 		}
 		packets++
+		metrics.Add(obs.StageIngest, int64(len(rec.Data)))
 		p, err := packet.Decode(rec.Data, verify)
 		if err != nil {
 			skipped++
@@ -90,6 +103,7 @@ func run(in, out, local string, verify bool) error {
 		}
 	}
 	asm.Flush()
+	prog.Stop()
 	if writeErr != nil {
 		return writeErr
 	}

@@ -6,10 +6,14 @@
 // Usage:
 //
 //	lockdown [-scale 0.05] [-seed 1] [-out results/] [-quiet]
-//	         [-logs dataset/]   ingest a tracegen dataset instead of generating
-//	         [-shards N]        parallelize ingest across N pipeline shards
-//	         [-yoy]             also simulate the counterfactual baseline year
-//	         [-cpuprofile f]    write a CPU profile
+//	         [-logs dataset/]    ingest a tracegen dataset instead of generating
+//	         [-shards N]         parallelize ingest across N pipeline shards
+//	         [-yoy]              also simulate the counterfactual baseline year
+//	         [-cpuprofile f]     write a CPU profile
+//	         [-progress 5s]      emit live ingest progress (events/sec, ETA)
+//	         [-progress-format text|json]
+//	         [-debug-addr host:port]  expvar + pprof endpoint while running
+//	         [-bench-json path]  write a machine-readable BENCH_<date>.json
 //
 // Scale 1.0 reproduces paper-scale population counts (~32k peak devices,
 // tens of millions of flows; allow several minutes and ~2 GB RAM). The
@@ -19,30 +23,60 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"repro/internal/anonymize"
+	"repro/internal/campus"
 	"repro/internal/core"
 	"repro/internal/devclass"
 	"repro/internal/experiments"
 	"repro/internal/logsink"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/trace"
 	"repro/internal/universe"
 )
 
+// config carries one run's settings (flag values; tests drive run directly).
+type config struct {
+	scale          float64
+	seed           int64
+	out            string
+	logs           string
+	shards         int
+	yoy            bool
+	quiet          bool
+	progressEvery  time.Duration
+	progressFormat string
+	debugAddr      string
+	benchJSON      string
+
+	// key fixes the pseudonymization key (nil = random); tests use it to
+	// make two runs comparable.
+	key []byte
+	// statusW receives status and progress lines (default os.Stderr).
+	statusW io.Writer
+}
+
 func main() {
-	scale := flag.Float64("scale", 0.05, "population scale (1.0 = paper scale)")
-	seed := flag.Int64("seed", 1, "generator seed")
-	out := flag.String("out", "results", "output directory for CSVs and report")
-	logs := flag.String("logs", "", "ingest a tracegen dataset directory instead of generating live")
-	shards := flag.Int("shards", 1, "pipeline shards (0 = GOMAXPROCS; >1 parallelizes ingest)")
-	yoy := flag.Bool("yoy", false, "also simulate the counterfactual baseline year (doubles runtime)")
-	quiet := flag.Bool("quiet", false, "suppress the terminal report")
+	var cfg config
+	flag.Float64Var(&cfg.scale, "scale", 0.05, "population scale (1.0 = paper scale)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "generator seed")
+	flag.StringVar(&cfg.out, "out", "results", "output directory for CSVs and report")
+	flag.StringVar(&cfg.logs, "logs", "", "ingest a tracegen dataset directory instead of generating live")
+	flag.IntVar(&cfg.shards, "shards", 1, "pipeline shards (0 = GOMAXPROCS; >1 parallelizes ingest)")
+	flag.BoolVar(&cfg.yoy, "yoy", false, "also simulate the counterfactual baseline year (doubles runtime)")
+	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the terminal report")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	flag.DurationVar(&cfg.progressEvery, "progress", 0, "emit a progress line at this interval (0 = off)")
+	flag.StringVar(&cfg.progressFormat, "progress-format", "text", "progress line format: text or json")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve expvar + pprof on this address while running (e.g. localhost:6060)")
+	flag.StringVar(&cfg.benchJSON, "bench-json", "", "write a machine-readable bench report (a .json path, or a directory receiving BENCH_<date>.json)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -58,7 +92,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	if err := run(*scale, *seed, *out, *logs, *shards, *yoy, *quiet); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lockdown:", err)
 		os.Exit(1)
 	}
@@ -71,33 +105,72 @@ type ingestPipeline interface {
 	Finalize() *core.Dataset
 }
 
-func run(scale float64, seed int64, outDir, logsDir string, shards int, yoy, quiet bool) error {
+func run(cfg config) error {
 	start := time.Now()
+	statusW := cfg.statusW
+	if statusW == nil {
+		statusW = os.Stderr
+	}
 	reg, err := universe.New()
 	if err != nil {
 		return err
 	}
+
+	// Observability: metrics exist whenever any consumer (progress lines,
+	// debug endpoint, bench report) needs them; otherwise the pipeline
+	// runs the uninstrumented fast path.
+	var metrics *obs.Metrics
+	if cfg.progressEvery > 0 || cfg.debugAddr != "" || cfg.benchJSON != "" {
+		metrics = obs.NewMetrics()
+	}
+	if cfg.debugAddr != "" {
+		dbg, err := obs.ServeDebug(cfg.debugAddr, metrics)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(statusW, "debug endpoint on http://%s/debug/vars (pprof under /debug/pprof/)\n", dbg.Addr())
+	}
+	var prog *obs.Progress
+	if cfg.progressEvery > 0 {
+		var rep obs.Reporter
+		switch cfg.progressFormat {
+		case "", "text":
+			rep = &obs.TextReporter{W: statusW}
+		case "json":
+			rep = &obs.JSONReporter{W: statusW}
+		default:
+			return fmt.Errorf("bad -progress-format %q, want text or json", cfg.progressFormat)
+		}
+		prog = obs.NewProgress(metrics, rep, cfg.progressEvery)
+		prog.SetLabel("ingest")
+	}
+
 	var pipe ingestPipeline
-	if shards == 1 {
-		pipe, err = core.NewPipeline(reg, core.Options{})
+	opts := core.Options{Key: cfg.key, Obs: metrics}
+	if cfg.shards == 1 {
+		pipe, err = core.NewPipeline(reg, opts)
 	} else {
-		pipe, err = core.NewShardedPipeline(reg, core.Options{}, shards)
+		pipe, err = core.NewShardedPipeline(reg, opts, cfg.shards)
 	}
 	if err != nil {
 		return err
 	}
+
 	truth := map[anonymize.DeviceID]devclass.Type{}
-	if logsDir != "" {
-		fmt.Fprintf(os.Stderr, "replaying dataset from %s...\n", logsDir)
-		if err := logsink.Replay(logsDir, pipe); err != nil {
+	ingestStart := time.Now()
+	if cfg.logs != "" {
+		fmt.Fprintf(statusW, "replaying dataset from %s...\n", cfg.logs)
+		prog.Start()
+		if err := logsink.Replay(cfg.logs, pipe); err != nil {
 			return err
 		}
 		// Ground truth for the accuracy experiment: rebuild the same
 		// population the dataset was generated from (same scale/seed).
-		cfg := trace.DefaultConfig()
-		cfg.Scale = scale
-		cfg.Seed = seed
-		gen, err := trace.New(cfg, reg)
+		gcfg := trace.DefaultConfig()
+		gcfg.Scale = cfg.scale
+		gcfg.Seed = cfg.seed
+		gen, err := trace.New(gcfg, reg)
 		if err != nil {
 			return err
 		}
@@ -105,59 +178,78 @@ func run(scale float64, seed int64, outDir, logsDir string, shards int, yoy, qui
 			truth[pipe.DeviceID(d.MAC)] = d.Kind.TruthType()
 		}
 	} else {
-		cfg := trace.DefaultConfig()
-		cfg.Scale = scale
-		cfg.Seed = seed
-		gen, err := trace.New(cfg, reg)
+		gcfg := trace.DefaultConfig()
+		gcfg.Scale = cfg.scale
+		gcfg.Seed = cfg.seed
+		gen, err := trace.New(gcfg, reg)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "generating %d devices over 121 days (scale %.3g)...\n", len(gen.Devices()), scale)
-		if err := gen.Run(pipe); err != nil {
-			return err
+		fmt.Fprintf(statusW, "generating %d devices over %d days (scale %.3g)...\n",
+			len(gen.Devices()), campus.NumDays, cfg.scale)
+		prog.SetTotal(int64(campus.NumDays))
+		prog.Start()
+		// Day-at-a-time driving is stream-identical to one Run call (the
+		// generator derives all state per (device, day)) and gives the
+		// progress reporter exact day-level completion for its ETA.
+		for day := campus.Day(0); day < campus.NumDays; day++ {
+			if err := gen.RunDays(pipe, day, day+1); err != nil {
+				return err
+			}
+			prog.SetDone(int64(day) + 1)
 		}
 		for _, d := range gen.Devices() {
 			truth[pipe.DeviceID(d.MAC)] = d.Kind.TruthType()
 		}
 	}
 	ds := pipe.Finalize()
-	fmt.Fprintf(os.Stderr, "pipeline: %d flows, %d devices, %s processed in %v\n",
-		ds.Stats.FlowsProcessed, len(ds.Devices), siBytes(float64(ds.Stats.BytesProcessed)), time.Since(start).Round(time.Second))
+	ingestDur := time.Since(ingestStart)
+	prog.Stop()
+	fmt.Fprintf(statusW, "pipeline: %d flows, %d devices, %s processed in %v\n",
+		ds.Stats.FlowsProcessed, len(ds.Devices), siBytes(float64(ds.Stats.BytesProcessed)), ingestDur.Round(time.Second))
 
-	if err := os.MkdirAll(outDir, 0o755); err != nil {
+	if err := os.MkdirAll(cfg.out, 0o755); err != nil {
 		return err
 	}
-	res := results{
-		scale:       scale,
-		fig1:        experiments.Fig1(ds),
-		fig2:        experiments.Fig2(ds),
-		fig3:        experiments.Fig3(ds),
-		fig4:        experiments.Fig4(ds),
-		fig5:        experiments.Fig5(ds),
-		fig6:        experiments.Fig6(ds),
-		fig7:        experiments.Fig7(ds),
-		fig8:        experiments.Fig8(ds),
-		head:        experiments.Headline(ds),
-		pop:         experiments.Population(ds),
-		acc:         experiments.Accuracy(ds, truth, 100, seed),
-		cdnAblate:   experiments.CDNAblation(ds),
-		iotSweep:    experiments.IoTThresholdSweep(ds, truth, []float64{0.25, 0.5, 0.75, 1.0}),
-		workPlay:    experiments.WorkLeisure(ds),
-		zoomWknd:    experiments.ZoomWeekend(ds),
-		convergence: experiments.DiurnalConvergence(ds),
-		stats:       ds.Stats,
+	// Each figure is timed individually so the bench report can localize
+	// regressions to one analysis.
+	figMS := make(map[string]float64, 16)
+	timed := func(name string, f func()) {
+		t0 := time.Now()
+		f()
+		figMS[name] = float64(time.Since(t0).Nanoseconds()) / 1e6
 	}
-	if yoy && logsDir == "" {
-		fmt.Fprintln(os.Stderr, "simulating counterfactual baseline year...")
-		cfg := trace.DefaultConfig()
-		cfg.Scale = scale
-		cfg.Seed = seed
-		cfg.NoPandemic = true
-		baseGen, err := trace.New(cfg, reg)
+	res := results{scale: cfg.scale, stats: ds.Stats}
+	timed("fig1", func() { res.fig1 = experiments.Fig1(ds) })
+	timed("fig2", func() { res.fig2 = experiments.Fig2(ds) })
+	timed("fig3", func() { res.fig3 = experiments.Fig3(ds) })
+	timed("fig4", func() { res.fig4 = experiments.Fig4(ds) })
+	timed("fig5", func() { res.fig5 = experiments.Fig5(ds) })
+	timed("fig6", func() { res.fig6 = experiments.Fig6(ds) })
+	timed("fig7", func() { res.fig7 = experiments.Fig7(ds) })
+	timed("fig8", func() { res.fig8 = experiments.Fig8(ds) })
+	timed("headline", func() { res.head = experiments.Headline(ds) })
+	timed("population", func() { res.pop = experiments.Population(ds) })
+	timed("accuracy", func() { res.acc = experiments.Accuracy(ds, truth, 100, cfg.seed) })
+	timed("cdn_ablation", func() { res.cdnAblate = experiments.CDNAblation(ds) })
+	timed("iot_sweep", func() {
+		res.iotSweep = experiments.IoTThresholdSweep(ds, truth, []float64{0.25, 0.5, 0.75, 1.0})
+	})
+	timed("work_leisure", func() { res.workPlay = experiments.WorkLeisure(ds) })
+	timed("zoom_weekend", func() { res.zoomWknd = experiments.ZoomWeekend(ds) })
+	timed("convergence", func() { res.convergence = experiments.DiurnalConvergence(ds) })
+
+	if cfg.yoy && cfg.logs == "" {
+		fmt.Fprintln(statusW, "simulating counterfactual baseline year...")
+		gcfg := trace.DefaultConfig()
+		gcfg.Scale = cfg.scale
+		gcfg.Seed = cfg.seed
+		gcfg.NoPandemic = true
+		baseGen, err := trace.New(gcfg, reg)
 		if err != nil {
 			return err
 		}
-		basePipe, err := core.NewPipeline(reg, core.Options{})
+		basePipe, err := core.NewPipeline(reg, core.Options{Key: cfg.key})
 		if err != nil {
 			return err
 		}
@@ -167,10 +259,11 @@ func run(scale float64, seed int64, outDir, logsDir string, shards int, yoy, qui
 		y := experiments.YearOverYear(ds, basePipe.Finalize())
 		res.yoy = &y
 	}
-	if err := res.writeCSVs(outDir); err != nil {
+	timed("render_csv", func() { err = res.writeCSVs(cfg.out) })
+	if err != nil {
 		return err
 	}
-	reportPath := filepath.Join(outDir, "report.txt")
+	reportPath := filepath.Join(cfg.out, "report.txt")
 	f, err := os.Create(reportPath)
 	if err != nil {
 		return err
@@ -182,12 +275,46 @@ func run(scale float64, seed int64, outDir, logsDir string, shards int, yoy, qui
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if !quiet {
+	if !cfg.quiet {
 		if err := res.report(os.Stdout); err != nil {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s and per-figure CSVs to %s/ in %v total\n",
-		reportPath, outDir, time.Since(start).Round(time.Second))
+
+	if cfg.benchJSON != "" {
+		shards := cfg.shards
+		if sp, ok := pipe.(*core.ShardedPipeline); ok {
+			shards = sp.Shards()
+		}
+		br := &obs.BenchReport{
+			Date:        time.Now().UTC().Format("2006-01-02"),
+			GoVersion:   runtime.Version(),
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			CPUs:        runtime.NumCPU(),
+			Scale:       cfg.scale,
+			Shards:      shards,
+			Seed:        cfg.seed,
+			WallSeconds: time.Since(start).Seconds(),
+			Ingest: obs.IngestBench{
+				Events:      metrics.Events(),
+				Flows:       ds.Stats.FlowsProcessed,
+				Bytes:       ds.Stats.BytesProcessed,
+				Seconds:     ingestDur.Seconds(),
+				FlowsPerSec: float64(ds.Stats.FlowsProcessed) / ingestDur.Seconds(),
+				BytesPerSec: float64(ds.Stats.BytesProcessed) / ingestDur.Seconds(),
+			},
+			FiguresMS: figMS,
+			Stages:    metrics.Snapshot().Stages,
+		}
+		path := obs.BenchPath(cfg.benchJSON, br.Date)
+		if err := br.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(statusW, "wrote bench report to %s\n", path)
+	}
+
+	fmt.Fprintf(statusW, "wrote %s and per-figure CSVs to %s/ in %v total\n",
+		reportPath, cfg.out, time.Since(start).Round(time.Second))
 	return nil
 }

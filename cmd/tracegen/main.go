@@ -7,6 +7,7 @@
 //
 //	tracegen -out dataset/ [-scale 0.05] [-seed 1] [-days 0:121]
 //	tracegen -pcap capture.pcap -scale 0.002 -days 10:11
+//	tracegen -out dataset/ -progress 5s   emit live event rates and ETA
 package main
 
 import (
@@ -18,7 +19,12 @@ import (
 	"time"
 
 	"repro/internal/campus"
+	"repro/internal/dhcp"
+	"repro/internal/dnssim"
+	"repro/internal/flow"
+	"repro/internal/httplog"
 	"repro/internal/logsink"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/universe"
 )
@@ -32,6 +38,7 @@ func main() {
 	gz := flag.Bool("gzip", false, "compress the log files (.gz)")
 	rotate := flag.Bool("rotate", false, "rotate into one directory per study day (Zeek-style)")
 	noPandemic := flag.Bool("no-pandemic", false, "generate the counterfactual baseline world")
+	progress := flag.Duration("progress", 0, "emit a progress line at this interval (0 = off)")
 	flag.Parse()
 
 	if (*out == "") == (*pcapOut == "") {
@@ -43,10 +50,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(2)
 	}
-	if err := run(*out, *pcapOut, *scale, *seed, from, to, *gz, *rotate, *noPandemic); err != nil {
+	if err := run(*out, *pcapOut, *scale, *seed, from, to, *gz, *rotate, *noPandemic, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
+}
+
+// countingSink wraps a sink with obs intake counters (flows carry their
+// byte volume; DNS/HTTP/lease events count as unit events).
+type countingSink struct {
+	trace.Sink
+	m *obs.Metrics
+}
+
+func (s countingSink) Flow(r flow.Record) {
+	s.m.Add(obs.StageIngest, r.TotalBytes())
+	s.Sink.Flow(r)
+}
+
+func (s countingSink) DNS(e dnssim.Entry) {
+	s.m.Add(obs.StageIngest, 0)
+	s.Sink.DNS(e)
+}
+
+func (s countingSink) HTTPMeta(e httplog.Entry) {
+	s.m.Add(obs.StageIngest, 0)
+	s.Sink.HTTPMeta(e)
+}
+
+func (s countingSink) Lease(l dhcp.Lease) {
+	s.m.Add(obs.StageIngest, 0)
+	s.Sink.Lease(l)
 }
 
 func parseDays(spec string) (campus.Day, campus.Day, error) {
@@ -65,7 +99,7 @@ func parseDays(spec string) (campus.Day, campus.Day, error) {
 	return campus.Day(from), campus.Day(to), nil
 }
 
-func run(out, pcapOut string, scale float64, seed int64, from, to campus.Day, gz, rotate, noPandemic bool) error {
+func run(out, pcapOut string, scale float64, seed int64, from, to campus.Day, gz, rotate, noPandemic bool, progress time.Duration) error {
 	start := time.Now()
 	reg, err := universe.New()
 	if err != nil {
@@ -97,10 +131,27 @@ func run(out, pcapOut string, scale float64, seed int64, from, to campus.Day, gz
 	if err != nil {
 		return err
 	}
-	if err := gen.RunDays(w, from, to); err != nil {
-		w.Close()
-		return err
+	var sink trace.Sink = w
+	var prog *obs.Progress
+	if progress > 0 {
+		m := obs.NewMetrics()
+		sink = countingSink{Sink: w, m: m}
+		prog = obs.NewProgress(m, &obs.TextReporter{W: os.Stderr}, progress)
+		prog.SetLabel("tracegen")
+		prog.SetTotal(int64(to - from))
+		prog.Start()
 	}
+	// Day-at-a-time driving is stream-identical to one RunDays call and
+	// feeds the reporter exact day-level completion.
+	for day := from; day < to; day++ {
+		if err := gen.RunDays(sink, day, day+1); err != nil {
+			prog.Stop()
+			w.Close()
+			return err
+		}
+		prog.SetDone(int64(day - from + 1))
+	}
+	prog.Stop()
 	if err := w.Close(); err != nil {
 		return err
 	}

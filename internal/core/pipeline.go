@@ -33,6 +33,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/geo"
 	"repro/internal/httplog"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/universe"
 )
@@ -52,6 +53,11 @@ type Options struct {
 	// DisableTapFilter processes flows to excluded networks instead of
 	// dropping them (ablation).
 	DisableTapFilter bool
+	// Obs receives per-stage counters and sampled timings; nil disables
+	// instrumentation entirely (zero-allocation fast path). A sharded
+	// pipeline shares one Metrics across every shard — all counters are
+	// atomic.
+	Obs *obs.Metrics
 }
 
 // Stats counts what the pipeline saw and filtered.
@@ -97,6 +103,9 @@ type Pipeline struct {
 	// SHA-256 on the hot path.
 	idCache map[packet.MAC]anonymize.DeviceID
 	weeks   [4]weekWindow
+
+	// om is the observability sink (nil when disabled; see Options.Obs).
+	om *obs.Metrics
 
 	stats     Stats
 	finalized bool
@@ -260,6 +269,7 @@ func NewPipeline(reg *universe.Registry, opts Options) (*Pipeline, error) {
 		domainBit:  domainBit,
 		devices:    make(map[anonymize.DeviceID]*deviceState),
 		idCache:    make(map[packet.MAC]anonymize.DeviceID),
+		om:         opts.Obs,
 	}
 	p.geoCls = geo.NewClassifier(p.geoDB)
 	p.geoCls.IncludeCDNs = opts.IncludeCDNsInMidpoint
@@ -333,6 +343,7 @@ func (idx leaseIndex) lookup(addr netip.Addr, t time.Time) (packet.MAC, bool) {
 // in non-decreasing start order.
 func (p *Pipeline) Lease(l dhcp.Lease) {
 	p.stats.Leases++
+	p.om.Add(obs.StageIngest, 0)
 	p.leaseIdx.observe(l)
 }
 
@@ -352,12 +363,14 @@ func (p *Pipeline) lookupMAC(addr netip.Addr, t time.Time) (packet.MAC, bool) {
 // DNS implements trace.Sink: feed the labeler.
 func (p *Pipeline) DNS(e dnssim.Entry) {
 	p.stats.DNSEntries++
+	p.om.Add(obs.StageIngest, 0)
 	p.labeler.Observe(e)
 }
 
 // HTTPMeta implements trace.Sink: collect User-Agent evidence.
 func (p *Pipeline) HTTPMeta(e httplog.Entry) {
 	p.stats.HTTPEntries++
+	p.om.Add(obs.StageIngest, 0)
 	mac, ok := p.lookupMAC(e.Client, e.Time)
 	if !ok || e.UserAgent == "" {
 		return
@@ -373,20 +386,36 @@ func (p *Pipeline) HTTPMeta(e httplog.Entry) {
 }
 
 // Flow implements trace.Sink: the main ingest path.
+//
+// Observability (when Options.Obs is set) counts the flow at every stage
+// and, for a sampled subset, laps a timer across the stage boundaries. The
+// out-of-window drop is attributed to the tap-filter stage (both are
+// capture-boundary cuts). With a nil Metrics every instrumentation call is
+// an inlined nil-check no-op.
 func (p *Pipeline) Flow(r flow.Record) {
+	m := p.om
+	t := m.Now()
+	if m != nil {
+		m.Add(obs.StageIngest, r.TotalBytes())
+	}
 	// The tap's excluded high-volume networks never reach the pipeline.
 	if !p.opts.DisableTapFilter && p.reg.TapExcluded(r.RespAddr) {
 		p.stats.FlowsTapDropped++
+		m.Drop(obs.StageTapFilter)
 		return
 	}
 	day, ok := campus.DayOf(r.Start)
 	if !ok {
 		p.stats.FlowsOutOfWindow++
+		m.Drop(obs.StageTapFilter)
 		return
 	}
+	m.Add(obs.StageTapFilter, 0)
+	t = m.Lap(obs.StageTapFilter, t)
 	mac, ok := p.lookupMAC(r.OrigAddr, r.Start)
 	if !ok {
 		p.stats.FlowsUnattributed++
+		m.Drop(obs.StageDHCPNormalize)
 		return
 	}
 	p.stats.FlowsProcessed++
@@ -394,6 +423,9 @@ func (p *Pipeline) Flow(r flow.Record) {
 	p.stats.BytesProcessed += bytes
 
 	id := p.DeviceID(mac)
+	m.Add(obs.StageDHCPNormalize, 0)
+	m.Add(obs.StageAggregate, bytes)
+	t = m.Lap(obs.StageDHCPNormalize, t)
 	p.presence.Observe(id, day)
 	d := p.device(id)
 	d.mac = mac
@@ -410,11 +442,17 @@ func (p *Pipeline) Flow(r flow.Record) {
 		}
 	}
 
+	t = m.Lap(obs.StageAggregate, t)
+
 	// Domain labeling via the DNS join.
 	domain, labeled := p.labeler.Label(r.RespAddr, r.Start)
 	if !labeled {
 		p.stats.FlowsUnlabeled++
+		m.Drop(obs.StageDNSLabel)
+	} else {
+		m.Add(obs.StageDNSLabel, 0)
 	}
+	t = m.Lap(obs.StageDNSLabel, t)
 
 	month, inMonth := campus.MonthOf(r.Start)
 
@@ -445,9 +483,16 @@ func (p *Pipeline) Flow(r flow.Record) {
 	// Switch detection sees every flow (it needs the total-bytes
 	// denominator).
 	p.switchDet.AddFlow(uint64(id), domain, bytes)
+	t = m.Lap(obs.StageAggregate, t)
 
 	// Application accounting.
 	app, matched := p.matcher.App(domain, r.RespAddr)
+	if matched {
+		m.Add(obs.StageAppsigMatch, bytes)
+	} else {
+		m.Drop(obs.StageAppsigMatch)
+	}
+	t = m.Lap(obs.StageAppsigMatch, t)
 
 	// Work/leisure category accounting (extension analysis). Zoom media
 	// flows connect by direct IP outside the domain-mapped space, so the
@@ -463,6 +508,7 @@ func (p *Pipeline) Flow(r flow.Record) {
 	}
 
 	if !matched {
+		m.Lap(obs.StageAggregate, t)
 		return
 	}
 	switch app {
@@ -476,7 +522,10 @@ func (p *Pipeline) Flow(r flow.Record) {
 			d.zoomHourly[idx][r.Start.In(campus.Timezone).Hour()] += float32(bytes)
 		}
 	case appsig.AppFacebook, appsig.AppInstagram, appsig.AppTikTok:
+		m.Add(obs.StageSessionStitch, bytes)
+		ts := m.Now()
 		p.stitcher.Add(uint64(id), app, domain, r.Start, r.Duration, bytes)
+		m.Lap(obs.StageSessionStitch, ts)
 	case appsig.AppSteam:
 		if inMonth {
 			d.steam[month].Bytes += bytes
@@ -490,6 +539,7 @@ func (p *Pipeline) Flow(r flow.Record) {
 			d.gameplay[day] += float32(bytes)
 		}
 	}
+	m.Lap(obs.StageAggregate, t)
 }
 
 // onSession receives stitched sessions and accounts monthly durations.

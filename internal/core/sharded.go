@@ -11,6 +11,7 @@ import (
 	"repro/internal/dnssim"
 	"repro/internal/flow"
 	"repro/internal/httplog"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/universe"
 )
@@ -31,6 +32,7 @@ type ShardedPipeline struct {
 	done         []chan struct{}
 	dispatchIdx  leaseIndex
 	unattributed int64
+	om           *obs.Metrics
 	finalized    bool
 }
 
@@ -55,7 +57,11 @@ func NewShardedPipeline(reg *universe.Registry, opts Options, n int) (*ShardedPi
 		}
 		opts.Key = pseudo.Key()
 	}
-	sp := &ShardedPipeline{dispatchIdx: make(leaseIndex)}
+	sp := &ShardedPipeline{dispatchIdx: make(leaseIndex), om: opts.Obs}
+	// Shards share the dispatcher's Metrics: counters are atomic, and the
+	// queue-depth callback gives snapshots a live view of channel backlog.
+	sp.om.SetShards(n)
+	sp.om.SetQueueDepthFunc(sp.QueueDepths)
 	for i := 0; i < n; i++ {
 		p, err := NewPipeline(reg, opts)
 		if err != nil {
@@ -87,6 +93,16 @@ func NewShardedPipeline(reg *universe.Registry, opts Options, n int) (*ShardedPi
 
 // Shards returns the shard count.
 func (sp *ShardedPipeline) Shards() int { return len(sp.shards) }
+
+// QueueDepths returns the number of events queued per shard channel (a
+// live gauge; safe to call concurrently with ingest).
+func (sp *ShardedPipeline) QueueDepths() []int {
+	out := make([]int, len(sp.chans))
+	for i, ch := range sp.chans {
+		out[i] = len(ch)
+	}
+	return out
+}
 
 // DeviceID exposes the shared pseudonym mapping (all shards agree).
 func (sp *ShardedPipeline) DeviceID(m packet.MAC) anonymize.DeviceID {
@@ -122,15 +138,25 @@ func (sp *ShardedPipeline) clientMAC(addr netip.Addr, t time.Time) (packet.MAC, 
 	return packet.MAC{}, false
 }
 
-// Flow routes one flow to its device's shard.
+// Flow routes one flow to its device's shard. Unattributed flows are
+// dropped dispatcher-side (the shards' lease indexes are copies of the
+// dispatcher's, so they could not attribute them either) and counted
+// against the DHCP-normalize stage; attributed flows are counted at their
+// target shard's intake.
 func (sp *ShardedPipeline) Flow(r flow.Record) {
 	mac, ok := sp.clientMAC(r.OrigAddr, r.Start)
 	if !ok {
 		sp.unattributed++
+		if sp.om != nil {
+			sp.om.Add(obs.StageIngest, r.TotalBytes())
+			sp.om.Drop(obs.StageDHCPNormalize)
+		}
 		return
 	}
 	rr := r
-	sp.chans[macShard(mac, len(sp.shards))] <- shardEvent{flow: &rr}
+	shard := macShard(mac, len(sp.shards))
+	sp.om.Dispatch(shard)
+	sp.chans[shard] <- shardEvent{flow: &rr}
 }
 
 // HTTPMeta routes metadata to its device's shard.

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"sync"
+	"sync/atomic"
+)
+
+// debugMetrics is the Metrics the expvar "obs" variable reads. A process
+// hosts one debug metrics set at a time (expvar names are global).
+var (
+	debugMetrics atomic.Pointer[Metrics]
+	publishOnce  sync.Once
+)
+
+// DebugServer is a running expvar + pprof endpoint.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeDebug exposes m as the expvar variable "obs" (under /debug/vars)
+// together with the standard net/http/pprof handlers on addr (e.g.
+// "localhost:6060"; ":0" picks a free port — see Addr). It returns
+// immediately; the server runs until Close.
+//
+// The endpoint is unauthenticated: bind it to localhost unless the network
+// is trusted.
+func ServeDebug(addr string, m *Metrics) (*DebugServer, error) {
+	if m == nil {
+		return nil, fmt.Errorf("obs: ServeDebug requires non-nil Metrics")
+	}
+	debugMetrics.Store(m)
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any {
+			mm := debugMetrics.Load()
+			if mm == nil {
+				return nil
+			}
+			return mm.Snapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{srv: &http.Server{Handler: http.DefaultServeMux}, ln: ln}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounters checks exact event/drop/byte accounting from many
+// goroutines — run under -race this is the layer's core safety claim.
+func TestCounters(t *testing.T) {
+	m := NewMetrics()
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Add(StageIngest, 100)
+				m.Add(StageAggregate, 100)
+				if i%4 == 0 {
+					m.Drop(StageTapFilter)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Events(); got != workers*per {
+		t.Errorf("Events = %d, want %d", got, workers*per)
+	}
+	if got := m.Bytes(); got != workers*per*100 {
+		t.Errorf("Bytes = %d, want %d", got, workers*per*100)
+	}
+	agg := m.StageCounters(StageAggregate)
+	if agg.Events != workers*per || agg.Bytes != workers*per*100 {
+		t.Errorf("aggregate = %+v, want %d events / %d bytes", agg, workers*per, workers*per*100)
+	}
+	if got := m.StageCounters(StageTapFilter).Drops; got != workers*per/4 {
+		t.Errorf("tap drops = %d, want %d", got, workers*per/4)
+	}
+}
+
+// TestSnapshotDuringIngest exercises concurrent Snapshot vs ingest (the
+// Progress goroutine's access pattern) for the race detector.
+func TestSnapshotDuringIngest(t *testing.T) {
+	m := NewMetrics()
+	m.SetShards(4)
+	m.SetQueueDepthFunc(func() []int { return []int{1, 2, 3, 4} })
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				m.Add(StageIngest, 1)
+				m.Dispatch(i % 4)
+				m.Lap(StageAggregate, m.Now())
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		s := m.Snapshot()
+		if len(s.Shards) != 4 {
+			t.Fatalf("shards = %d, want 4", len(s.Shards))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s := m.Snapshot()
+	var dispatched int64
+	for _, sh := range s.Shards {
+		dispatched += sh.Dispatched
+	}
+	if dispatched != s.Events {
+		t.Errorf("dispatched sum %d != events %d", dispatched, s.Events)
+	}
+	if s.Shards[2].QueueDepth != 3 {
+		t.Errorf("queue depth = %d, want 3", s.Shards[2].QueueDepth)
+	}
+}
+
+// TestNilMetricsNoOp: every method must be callable on a nil receiver.
+func TestNilMetricsNoOp(t *testing.T) {
+	var m *Metrics
+	m.Add(StageIngest, 10)
+	m.Drop(StageTapFilter)
+	m.Observe(StageAggregate, time.Millisecond)
+	m.Dispatch(0)
+	m.SetShards(4)
+	m.SetQueueDepthFunc(func() []int { return nil })
+	if ts := m.Now(); !ts.IsZero() {
+		t.Error("nil Now() should return zero time")
+	}
+	if ts := m.Lap(StageAggregate, time.Time{}); !ts.IsZero() {
+		t.Error("nil Lap() should pass zero time through")
+	}
+	if m.Events() != 0 || m.Bytes() != 0 {
+		t.Error("nil counters should read 0")
+	}
+	if s := m.Snapshot(); s.Events != 0 || len(s.Stages) != 0 {
+		t.Errorf("nil Snapshot = %+v, want zero", s)
+	}
+	var p *Progress
+	p.SetLabel("x")
+	p.SetTotal(1)
+	p.SetDone(1)
+	p.Start()
+	p.Stop()
+	if s := p.Snapshot(); s.Events != 0 {
+		t.Error("nil Progress snapshot should be zero")
+	}
+}
+
+// TestNilMetricsZeroAlloc is the disabled-path contract: the hot-path call
+// sequence on a nil Metrics allocates nothing.
+func TestNilMetricsZeroAlloc(t *testing.T) {
+	var m *Metrics
+	allocs := testing.AllocsPerRun(1000, func() {
+		ts := m.Now()
+		m.Add(StageIngest, 1500)
+		ts = m.Lap(StageTapFilter, ts)
+		m.Add(StageDHCPNormalize, 0)
+		ts = m.Lap(StageDHCPNormalize, ts)
+		m.Drop(StageDNSLabel)
+		m.Dispatch(3)
+		m.Lap(StageAggregate, ts)
+	})
+	if allocs != 0 {
+		t.Errorf("nil-path allocs/op = %v, want 0", allocs)
+	}
+}
+
+// BenchmarkMetricsDisabled measures the nil fast path (must report 0 B/op).
+func BenchmarkMetricsDisabled(b *testing.B) {
+	var m *Metrics
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts := m.Now()
+		m.Add(StageIngest, 1500)
+		ts = m.Lap(StageTapFilter, ts)
+		m.Add(StageAggregate, 1500)
+		m.Lap(StageAggregate, ts)
+	}
+}
+
+// BenchmarkMetricsEnabled measures the instrumented path for reference.
+func BenchmarkMetricsEnabled(b *testing.B) {
+	m := NewMetrics()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts := m.Now()
+		m.Add(StageIngest, 1500)
+		ts = m.Lap(StageTapFilter, ts)
+		m.Add(StageAggregate, 1500)
+		m.Lap(StageAggregate, ts)
+	}
+}
+
+func TestTimingHistogram(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 1000; i++ {
+		m.Observe(StageDNSLabel, 100*time.Microsecond)
+	}
+	m.Observe(StageDNSLabel, 50*time.Millisecond)
+	ss := m.StageCounters(StageDNSLabel)
+	if ss.TimedCount != 1001 {
+		t.Fatalf("timed count = %d, want 1001", ss.TimedCount)
+	}
+	// p50 should land in the 100µs log2 bucket [65.5µs, 131µs); p99 too.
+	if ss.P50Nanos < 50_000 || ss.P50Nanos > 200_000 {
+		t.Errorf("p50 = %dns, want ≈100µs", ss.P50Nanos)
+	}
+	if ss.MeanNanos < 100_000 {
+		t.Errorf("mean = %dns, want ≥100µs", ss.MeanNanos)
+	}
+}
+
+func TestSampledLaps(t *testing.T) {
+	m := NewMetrics()
+	sampled := 0
+	for i := 0; i < 10*sampleEvery; i++ {
+		ts := m.Now()
+		if !ts.IsZero() {
+			sampled++
+		}
+		m.Lap(StageAggregate, ts)
+	}
+	if sampled != 10 {
+		t.Errorf("sampled %d of %d, want 10", sampled, 10*sampleEvery)
+	}
+	if got := m.StageCounters(StageAggregate).TimedCount; got != 10 {
+		t.Errorf("timed count = %d, want 10", got)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if StageDHCPNormalize.String() != "dhcp_normalize" {
+		t.Errorf("got %q", StageDHCPNormalize.String())
+	}
+	if Stage(250).String() != "unknown" {
+		t.Errorf("out-of-range stage should be unknown")
+	}
+}
