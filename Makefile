@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race lint ci bench cover figures figures-full examples clean
+.PHONY: all build vet test test-short race lint lint-golangci lint-custom fuzz-smoke ci bench cover figures figures-full examples clean
 
 BENCH_JSON ?= BENCH_$(shell date +%F).json
 
@@ -23,15 +23,29 @@ test-short:
 race:
 	$(GO) test -race -short ./...
 
+# Standard linters plus the repository's custom invariant analyzers.
+lint: lint-golangci lint-custom
+
 # Prefer golangci-lint (same config CI uses); fall back to go vet when the
 # binary isn't installed so the target still catches the worst offenders.
-lint:
+lint-golangci:
 	@if command -v golangci-lint >/dev/null 2>&1; then \
 		golangci-lint run; \
 	else \
 		echo "golangci-lint not installed; falling back to go vet"; \
 		$(GO) vet ./...; \
 	fi
+
+# cmd/lintlock enforces the privacy-boundary, determinism, obs-nil-guard,
+# and hot-path-error invariants (see README "Static analysis").
+lint-custom:
+	$(GO) run ./cmd/lintlock ./...
+
+# Short negative-input fuzz pass over the two external-format parsers;
+# CI runs this on every push (see the fuzz-smoke job).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 30s ./internal/dnswire
+	$(GO) test -run '^$$' -fuzz FuzzConnReader -fuzztime 30s ./internal/zeeklog
 
 ci: build vet test race lint
 

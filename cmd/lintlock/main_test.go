@@ -1,0 +1,115 @@
+package main
+
+// CLI-level tests: build the real binary once, run it against a known-bad
+// fixture module (own go.mod, deliberate violations of all four
+// invariants) and a known-good one, asserting exit status and
+// diagnostics end to end — driver, loader, and analyzers together.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+func lintlockBin(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "lintlock")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "lintlock")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			t.Logf("go build output:\n%s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building lintlock: %v", buildErr)
+	}
+	return binPath
+}
+
+// runIn executes the built binary in dir and returns stdout+stderr and
+// the exit code.
+func runIn(t *testing.T, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(lintlockBin(t), args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	exitErr, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running lintlock: %v\n%s", err, out)
+	}
+	return string(out), exitErr.ExitCode()
+}
+
+func TestBadModuleFailsWithAllFourAnalyzers(t *testing.T) {
+	out, code := runIn(t, filepath.Join("testdata", "badmod"), "./...")
+	if code != 1 {
+		t.Fatalf("want exit 1 on the bad module, got %d\n%s", code, out)
+	}
+	for _, want := range []string{
+		"privleak", "raw identifier type",
+		"determinism", "reads the wall clock", "random order",
+		"obsnil", "nil guard",
+		"errpath", "unchecked error",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGoodModulePasses(t *testing.T) {
+	out, code := runIn(t, filepath.Join("testdata", "goodmod"), "./...")
+	if code != 0 {
+		t.Fatalf("want exit 0 on the clean module, got %d\n%s", code, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Fatalf("unexpected output on clean module:\n%s", out)
+	}
+}
+
+func TestSelectRestrictsAnalyzers(t *testing.T) {
+	out, code := runIn(t, filepath.Join("testdata", "badmod"), "-select", "errpath", "./...")
+	if code != 1 {
+		t.Fatalf("want exit 1, got %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "errpath") || strings.Contains(out, "privleak") {
+		t.Fatalf("-select errpath ran the wrong analyzers:\n%s", out)
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	out, code := runIn(t, ".", "-select", "nope", "./...")
+	if code != 2 {
+		t.Fatalf("want exit 2 for unknown analyzer, got %d\n%s", code, out)
+	}
+}
+
+func TestListPrintsSuite(t *testing.T) {
+	out, code := runIn(t, ".", "-list")
+	if code != 0 {
+		t.Fatalf("-list exit %d\n%s", code, out)
+	}
+	for _, name := range []string{"privleak", "determinism", "obsnil", "errpath"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list missing %s:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package experiments violates the privacy and determinism invariants on
+// purpose; the lintlock CLI test asserts each analyzer fires on it.
+package experiments
+
+import (
+	"net/netip"
+	"time"
+)
+
+// PerClient leaks a raw client address into a results record.
+type PerClient struct {
+	Addr  netip.Addr
+	Bytes int64
+}
+
+// Stamp reads the wall clock on the results path.
+func Stamp() time.Time { return time.Now() }
+
+// Keys lets map iteration order escape unsorted.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+// Package obs violates the nil-receiver contract on purpose.
+package obs
+
+// Metrics is a handle the pipeline may hold as nil.
+type Metrics struct{ count int64 }
+
+// Add is missing its nil guard.
+func (m *Metrics) Add(n int64) { m.count += n }

@@ -1,0 +1,12 @@
+// Package zeeklog drops a hot-path error on purpose.
+package zeeklog
+
+import "errors"
+
+func advance() error { return errors.New("short read") }
+
+// Next silently discards a parse error.
+func Next() string {
+	advance()
+	return ""
+}

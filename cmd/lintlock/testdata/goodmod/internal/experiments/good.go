@@ -1,0 +1,20 @@
+// Package experiments is clean under every analyzer.
+package experiments
+
+import "sort"
+
+// Record is pseudonym-based.
+type Record struct {
+	Device uint64
+	Bytes  int64
+}
+
+// Keys sorts before the order can escape.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

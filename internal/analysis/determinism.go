@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism guards the reproducibility invariant: regenerating the
+// dataset and figures must be byte-identical run to run (the obs-on/off
+// equivalence test pins this for one configuration; the analyzer prevents
+// new nondeterminism sources from entering the results path at all). In
+// the generator, experiment, and figure-output packages it flags:
+//
+//   - time.Now / time.Since — wall-clock reads (simulated time comes from
+//     the campus calendar, never the host clock);
+//   - package-level math/rand functions — process-seeded randomness (all
+//     randomness must flow from an explicitly seeded *rand.Rand);
+//   - ranging over a map where the loop body appends to an outer slice
+//     that is never sorted afterwards, or calls a write/print/encode sink —
+//     map iteration order is randomized per process, so either pattern
+//     makes output ordering nondeterministic.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "results-path packages must not read the wall clock, use process-seeded " +
+		"randomness, or let map iteration order reach output",
+	Run: runDeterminism,
+}
+
+// determinismTargets are the packages whose code feeds the figures/CSVs
+// (suffix-matched). cmd/* are deliberately excluded: progress reporting
+// and bench reports measure real wall-clock time by design.
+var determinismTargets = []string{
+	"internal/trace",
+	"internal/experiments",
+	"internal/viz",
+	"internal/stats",
+	"internal/dnssim",
+	"internal/universe",
+	"internal/campus",
+	"internal/appsig",
+	"internal/devclass",
+}
+
+// seededConstructors are the package-level math/rand functions that
+// construct explicitly seeded generators rather than using the global one.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// sinkPrefixes mark calls that emit ordered output.
+var sinkPrefixes = []string{"Write", "Print", "Fprint", "Encode", "Render"}
+
+func runDeterminism(pass *Pass) error {
+	if !pathMatches(pass.Path(), determinismTargets) {
+		return nil
+	}
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncDeterminism(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkFuncDeterminism(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkNondetCall(pass, n)
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					checkMapRange(pass, body, n)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkNondetCall flags wall-clock reads and global math/rand use.
+func checkNondetCall(pass *Pass, call *ast.CallExpr) {
+	fn := calledFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock in a results-path package; "+
+				"derive timestamps from the campus calendar so regeneration stays byte-identical", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "global %s.%s is process-seeded; draw from an explicitly "+
+				"seeded *rand.Rand so traces regenerate identically", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// calledFunc resolves the *types.Func a call invokes, or nil.
+func calledFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// checkMapRange flags a map-range loop whose body makes iteration order
+// observable: a direct output sink, or an append to an outer slice that
+// is never sorted later in the same function.
+func checkMapRange(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name := sinkName(n); name != "" {
+				pass.Reportf(rng.Pos(), "map iteration order reaches output: %s is called inside "+
+					"this range over a map; iterate sorted keys instead", name)
+				return false
+			}
+		case *ast.AssignStmt:
+			if obj := appendTarget(pass, n); obj != nil && declaredOutside(obj, rng) &&
+				!sortedAfter(pass, funcBody, rng, obj) {
+				pass.Reportf(rng.Pos(), "appending to %q while ranging over a map leaves it in "+
+					"random order; sort it before use (or iterate sorted keys)", obj.Name())
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// sinkName returns the callee name if the call writes ordered output.
+func sinkName(call *ast.CallExpr) string {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return ""
+	}
+	for _, prefix := range sinkPrefixes {
+		if strings.HasPrefix(name, prefix) {
+			return name
+		}
+	}
+	return ""
+}
+
+// appendTarget returns the object of x in `x = append(x, ...)`, or nil.
+func appendTarget(pass *Pass, assign *ast.AssignStmt) types.Object {
+	if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return nil
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+		return nil
+	} else if b, ok := pass.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	lhs, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.ObjectOf(lhs)
+}
+
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.Sort*
+// call after the range loop, which restores a deterministic order.
+func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calledFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		switch {
+		case (pkg == "sort" || pkg == "slices") &&
+			(strings.HasPrefix(fn.Name(), "Sort") || isSortHelper(fn.Name())):
+			// stdlib sort
+		case strings.Contains(strings.ToLower(fn.Name()), "sort"):
+			// local helper wrapping a sort (e.g. sortOUIs)
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortHelper(name string) bool {
+	switch name {
+	case "Sort", "Stable", "Strings", "Ints", "Float64s", "Slice", "SliceStable":
+		return true
+	}
+	return false
+}
+
+func mentionsObject(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,17 @@
+package analysis
+
+import "testing"
+
+func TestDeterminismFlagsResultsPath(t *testing.T) {
+	diags := runFixture(t, fixtureDir("determinism", "results"), "fixture/internal/experiments", Determinism)
+	if len(diags) == 0 {
+		t.Fatal("expected determinism findings on the fixture")
+	}
+}
+
+func TestDeterminismIgnoresCommandPackages(t *testing.T) {
+	diags := runFixture(t, fixtureDir("determinism", "upstream"), "fixture/cmd/tool", Determinism)
+	if len(diags) != 0 {
+		t.Fatalf("determinism fired on a command package: %v", diags)
+	}
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrPath is an errcheck scoped to where it matters: the ingest hot path.
+// A silently dropped error in the flow assembler, the Zeek TSV parser,
+// DNS wire decoding, DHCP log parsing, pcap reading, or the trace
+// builder corrupts the dataset without failing the run — the worst
+// possible failure mode for a measurement reproduction. Within those
+// packages, calling an error-returning function as a bare statement is an
+// error; `_ = f()` remains available as an explicit, greppable dismissal,
+// and defers are exempt (teardown best-effort is conventional).
+var ErrPath = &Analyzer{
+	Name: "errpath",
+	Doc: "error-returning calls on the ingest hot path must be checked or " +
+		"explicitly discarded with `_ =`",
+	Run: runErrPath,
+}
+
+// errPathTargets are the hot-path packages (suffix-matched).
+var errPathTargets = []string{
+	"internal/flow",
+	"internal/zeeklog",
+	"internal/dnswire",
+	"internal/dhcp",
+	"internal/pcap",
+	"internal/trace",
+}
+
+func runErrPath(pass *Pass) error {
+	if !pathMatches(pass.Path(), errPathTargets) {
+		return nil
+	}
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if infallibleWriter(pass, call) {
+				return true
+			}
+			if name, drops := dropsError(pass, call); drops {
+				pass.Reportf(call.Pos(), "unchecked error from %s on the ingest hot path; "+
+					"handle it or discard explicitly with `_ = ...`", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// infallibleWriter reports whether call writes to a sink documented to
+// never return a non-nil error: *strings.Builder and *bytes.Buffer
+// methods, or an fmt.Fprint* call whose destination is one of those.
+func infallibleWriter(pass *Pass, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if isBuilderOrBuffer(pass.TypeOf(sel.X)) {
+			return true
+		}
+		if fn, _ := pass.ObjectOf(sel.Sel).(*types.Func); fn != nil &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+			return isBuilderOrBuffer(pass.TypeOf(call.Args[0]))
+		}
+	}
+	return false
+}
+
+func isBuilderOrBuffer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s := t.String()
+	return s == "strings.Builder" || s == "bytes.Buffer"
+}
+
+// dropsError reports whether call returns an error that the bare
+// statement discards, plus a printable callee name.
+func dropsError(pass *Pass, call *ast.CallExpr) (string, bool) {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return "", false
+	}
+	returnsErr := false
+	switch tt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < tt.Len(); i++ {
+			if isErrorType(tt.At(i).Type()) {
+				returnsErr = true
+			}
+		}
+	default:
+		returnsErr = isErrorType(tt)
+	}
+	if !returnsErr {
+		return "", false
+	}
+	return calleeName(call), true
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

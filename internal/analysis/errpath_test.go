@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestErrPathFlagsHotPath(t *testing.T) {
+	diags := runFixture(t, fixtureDir("errpath", "hot"), "fixture/internal/zeeklog", ErrPath)
+	if len(diags) == 0 {
+		t.Fatal("expected errpath findings on the fixture")
+	}
+}
+
+func TestErrPathIgnoresColdPackages(t *testing.T) {
+	diags := runFixture(t, fixtureDir("errpath", "cold"), "fixture/internal/experiments", ErrPath)
+	if len(diags) != 0 {
+		t.Fatalf("errpath fired off the hot path: %v", diags)
+	}
+}
+
+// A directive without a justification is itself reported.
+func TestBareIgnoreDirectiveIsReported(t *testing.T) {
+	res := loadFixture(t, fixtureDir("directives"), "fixture/internal/whatever")
+	diags, err := Run(res, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the directive finding, got %d: %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "lintlock" || !strings.Contains(diags[0].Message, "justification") {
+		t.Fatalf("unexpected diagnostic: %s", diags[0])
+	}
+}

@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Package is one loaded, parsed, and type-checked local package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	// suppress maps filename → line → analyzer names covered by an
+	// ignore directive on that line.
+	suppress        map[string]map[int][]string
+	directiveIssues []Diagnostic
+}
+
+// A Result is the output of one Load: a shared FileSet plus the packages
+// in dependency order.
+type Result struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// sharedFset is the process-wide FileSet. Sharing one keeps positions
+// coherent between locally loaded packages and the cached stdlib source
+// importer (which is bound to the FileSet it was created with).
+var sharedFset = token.NewFileSet()
+
+var (
+	loadMu  sync.Mutex // go/types and the source importer are not concurrency-safe
+	stdOnce sync.Once
+	stdImp  types.ImporterFrom
+)
+
+// stdImporter returns the cached source importer used for non-local
+// (standard library) imports. Cgo is disabled so packages like net
+// type-check from pure-Go source without invoking the cgo tool.
+func stdImporter() types.ImporterFrom {
+	stdOnce.Do(func() {
+		build.Default.CgoEnabled = false
+		stdImp = importer.ForCompiler(sharedFset, "source", nil).(types.ImporterFrom)
+	})
+	return stdImp
+}
+
+// comboImporter resolves local module packages from the in-progress load
+// and everything else (the standard library) from source under GOROOT.
+type comboImporter struct {
+	local map[string]*types.Package
+}
+
+func (c *comboImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return stdImporter().ImportFrom(path, "", 0)
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir) with
+// `go list`, parses them, and type-checks them in dependency order.
+func Load(dir string, patterns ...string) (*Result, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*listedPackage, len(listed))
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+	}
+	order, err := topoOrder(listed, byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Fset: sharedFset}
+	locals := make(map[string]*types.Package, len(order))
+	for _, lp := range order {
+		pkg, err := parsePackage(lp.ImportPath, lp.Name, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		if err := typecheck(pkg, locals); err != nil {
+			return nil, err
+		}
+		locals[pkg.ImportPath] = pkg.Types
+		res.Packages = append(res.Packages, pkg)
+	}
+	return res, nil
+}
+
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// topoOrder sorts packages so every package follows its in-set imports.
+func topoOrder(listed []*listedPackage, byPath map[string]*listedPackage) ([]*listedPackage, error) {
+	// Deterministic starting order keeps load behavior reproducible.
+	sort.Slice(listed, func(i, j int) bool { return listed[i].ImportPath < listed[j].ImportPath })
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(listed))
+	var order []*listedPackage
+	var visit func(lp *listedPackage) error
+	visit = func(lp *listedPackage) error {
+		switch state[lp.ImportPath] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle through %s", lp.ImportPath)
+		}
+		state[lp.ImportPath] = visiting
+		for _, imp := range lp.Imports {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[lp.ImportPath] = done
+		order = append(order, lp)
+		return nil
+	}
+	for _, lp := range listed {
+		if err := visit(lp); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// parsePackage parses the named files and collects ignore directives.
+func parsePackage(importPath, name, dir string, files []string) (*Package, error) {
+	pkg := &Package{
+		ImportPath: importPath,
+		Name:       name,
+		Dir:        dir,
+		suppress:   make(map[string]map[int][]string),
+	}
+	for _, f := range files {
+		path := filepath.Join(dir, f)
+		file, err := parser.ParseFile(sharedFset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, file)
+		pkg.scanDirectives(file)
+	}
+	return pkg, nil
+}
+
+// typecheck resolves pkg against the already-checked local packages plus
+// the standard library.
+func typecheck(pkg *Package, locals map[string]*types.Package) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: &comboImporter{local: locals}}
+	tpkg, err := conf.Check(pkg.ImportPath, sharedFset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("type-checking %s: %w", pkg.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "//lintlock:ignore"
+
+// scanDirectives records every ignore directive in file. A directive
+// covers its own line and the next one, so it works both inline and as a
+// standalone comment above the flagged statement.
+func (p *Package) scanDirectives(file *ast.File) {
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			pos := sharedFset.Position(c.Pos())
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				p.directiveIssues = append(p.directiveIssues, Diagnostic{
+					Pos:      pos,
+					Analyzer: "lintlock",
+					Message: "ignore directive needs an analyzer name and a justification: " +
+						directivePrefix + " <analyzer> <why this is safe>",
+				})
+				continue
+			}
+			names := strings.Split(fields[0], ",")
+			byLine := p.suppress[pos.Filename]
+			if byLine == nil {
+				byLine = make(map[int][]string)
+				p.suppress[pos.Filename] = byLine
+			}
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				byLine[line] = append(byLine[line], names...)
+			}
+		}
+	}
+}
+
+// suppressed reports whether an ignore directive covers analyzer findings
+// at pos.
+func (p *Package) suppressed(pos token.Position, analyzer string) bool {
+	for _, name := range p.suppress[pos.Filename][pos.Line] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}

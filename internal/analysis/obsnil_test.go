@@ -1,0 +1,20 @@
+package analysis
+
+import "testing"
+
+func TestObsNilFlagsUnguardedMethods(t *testing.T) {
+	diags := runFixture(t, fixtureDir("obsnil", "obs"), "fixture/internal/obs", ObsNil)
+	if len(diags) == 0 {
+		t.Fatal("expected obsnil findings on the fixture")
+	}
+}
+
+func TestObsNilIgnoresOtherPackages(t *testing.T) {
+	diags, err := Run(loadFixture(t, fixtureDir("obsnil", "obs"), "fixture/internal/stats"), []*Analyzer{ObsNil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("obsnil fired outside internal/obs: %v", diags)
+	}
+}

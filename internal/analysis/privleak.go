@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PrivLeak enforces the package-level privacy boundary from §3 of the
+// paper: raw device/client identifiers (MAC addresses, IP addresses, DHCP
+// leases) may flow through the capture-side packages, but the analysis
+// side only ever sees pseudonyms. Concretely, in the downstream packages
+// no exported function result, struct field, var, or interface method may
+// mention a raw-identifier type. Parameters are allowed only in files
+// that import internal/anonymize — consuming a raw identifier in order to
+// pseudonymize it is the one sanctioned crossing.
+var PrivLeak = &Analyzer{
+	Name: "privleak",
+	Doc: "raw identifier types (MAC/IP/lease) must not appear in exported API " +
+		"of analysis-side packages unless the file routes them through internal/anonymize",
+	Run: runPrivLeak,
+}
+
+// privLeakDownstream are the analysis-side packages (suffix-matched; see
+// pathMatches) where raw identifiers are forbidden. Everything upstream of
+// internal/anonymize — packet, flow, dhcp, pcap, the pipeline core — is
+// exempt by omission: those packages exist to carry raw identifiers.
+// internal/devclass is deliberately absent: the classifier consumes raw
+// MACs/OUIs by design — like the original system it runs inside the
+// privacy boundary, before pseudonymization.
+var privLeakDownstream = []string{
+	"internal/experiments",
+	"internal/stats",
+	"internal/viz",
+	"internal/campus",
+	"cmd/lockdown",
+}
+
+// rawIdentifierTypes names the types that carry pre-anonymization
+// identifiers, package path suffix → type names. Containment is
+// transitive: a struct embedding a raw type is itself raw.
+var rawIdentifierTypes = map[string][]string{
+	"net":             {"HardwareAddr", "IP"},
+	"net/netip":       {"Addr", "Prefix", "AddrPort"},
+	"internal/packet": {"MAC"},
+	"internal/dhcp":   {"Lease"},
+}
+
+// anonymizePath is the sanctioned crossing point (suffix-matched).
+const anonymizePath = "internal/anonymize"
+
+func runPrivLeak(pass *Pass) error {
+	if !pathMatches(pass.Path(), privLeakDownstream) {
+		return nil
+	}
+	for _, file := range pass.Files() {
+		paramsExempt := importsAnonymize(file)
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDecl(pass, d, paramsExempt)
+			case *ast.GenDecl:
+				checkGenDecl(pass, d, paramsExempt)
+			}
+		}
+	}
+	return nil
+}
+
+func importsAnonymize(file *ast.File) bool {
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if pathMatches(path, []string{anonymizePath}) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFuncDecl(pass *Pass, d *ast.FuncDecl, paramsExempt bool) {
+	if !d.Name.IsExported() || !receiverExported(d) {
+		return
+	}
+	obj, ok := pass.ObjectOf(d.Name).(*types.Func)
+	if !ok {
+		return
+	}
+	checkSignature(pass, d.Pos(), "func "+d.Name.Name, obj.Type().(*types.Signature), paramsExempt)
+}
+
+func checkGenDecl(pass *Pass, d *ast.GenDecl, paramsExempt bool) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			checkTypeSpec(pass, s, paramsExempt)
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				obj := pass.ObjectOf(name)
+				if obj == nil {
+					continue
+				}
+				if reason, leaky := rawType(obj.Type(), nil); leaky {
+					pass.Reportf(name.Pos(), "exported var %s has raw identifier type %s; "+
+						"pseudonymize via internal/anonymize before it reaches this package", name.Name, reason)
+				}
+			}
+		}
+	}
+}
+
+func checkTypeSpec(pass *Pass, s *ast.TypeSpec, paramsExempt bool) {
+	obj := pass.ObjectOf(s.Name)
+	if obj == nil {
+		return
+	}
+	switch u := obj.Type().Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			if reason, leaky := rawType(f.Type(), nil); leaky {
+				pass.Reportf(f.Pos(), "exported field %s.%s has raw identifier type %s; "+
+					"store an anonymize.DeviceID (or other pseudonym) instead", s.Name.Name, f.Name(), reason)
+			}
+		}
+	case *types.Interface:
+		for i := 0; i < u.NumExplicitMethods(); i++ {
+			m := u.ExplicitMethod(i)
+			if !m.Exported() {
+				continue
+			}
+			checkSignature(pass, m.Pos(), "interface method "+s.Name.Name+"."+m.Name(),
+				m.Type().(*types.Signature), paramsExempt)
+		}
+	default:
+		if reason, leaky := rawType(obj.Type().Underlying(), nil); leaky {
+			pass.Reportf(s.Name.Pos(), "exported type %s is defined over raw identifier type %s; "+
+				"analysis-side types must be pseudonym-based", s.Name.Name, reason)
+		}
+	}
+}
+
+func checkSignature(pass *Pass, pos token.Pos, what string, sig *types.Signature, paramsExempt bool) {
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		if reason, leaky := rawType(results.At(i).Type(), nil); leaky {
+			pass.Reportf(pos, "%s returns raw identifier type %s; "+
+				"return a pseudonym from internal/anonymize instead", what, reason)
+		}
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if reason, leaky := rawType(params.At(i).Type(), nil); leaky && !paramsExempt {
+			pass.Reportf(pos, "%s takes raw identifier type %s in a package past the privacy "+
+				"boundary; only files importing internal/anonymize may consume raw identifiers", what, reason)
+		}
+	}
+}
+
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// rawType reports whether t is, or transitively contains, a raw
+// identifier type, along with the offending type's name.
+func rawType(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if seen[t] {
+		return "", false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+
+	if named, ok := t.(interface {
+		Obj() *types.TypeName
+	}); ok { // *types.Named and *types.Alias both carry a TypeName
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			pkgPath := obj.Pkg().Path()
+			for suffix, typeNames := range rawIdentifierTypes {
+				if !pathMatches(pkgPath, []string{suffix}) {
+					continue
+				}
+				for _, name := range typeNames {
+					if obj.Name() == name {
+						return pkgPath + "." + obj.Name(), true
+					}
+				}
+			}
+		}
+	}
+
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if reason, leaky := rawType(u.Field(i).Type(), seen); leaky {
+				return reason, true
+			}
+		}
+	case *types.Slice:
+		return rawType(u.Elem(), seen)
+	case *types.Array:
+		return rawType(u.Elem(), seen)
+	case *types.Pointer:
+		return rawType(u.Elem(), seen)
+	case *types.Map:
+		if reason, leaky := rawType(u.Key(), seen); leaky {
+			return reason, true
+		}
+		return rawType(u.Elem(), seen)
+	case *types.Chan:
+		return rawType(u.Elem(), seen)
+	}
+	return "", false
+}

@@ -1,0 +1,29 @@
+package analysis
+
+import "testing"
+
+func TestPrivLeakFlagsDownstreamLeaks(t *testing.T) {
+	diags := runFixture(t, fixtureDir("privleak", "results"), "fixture/internal/experiments", PrivLeak)
+	if len(diags) == 0 {
+		t.Fatal("expected privleak findings on the leaking fixture")
+	}
+}
+
+func TestPrivLeakIgnoresUpstreamPackages(t *testing.T) {
+	diags := runFixture(t, fixtureDir("privleak", "upstream"), "fixture/internal/flow", PrivLeak)
+	if len(diags) != 0 {
+		t.Fatalf("privleak fired on a capture-side package: %v", diags)
+	}
+}
+
+// The same leaking code must be silent when the package sits upstream of
+// the privacy boundary — the package filter, not the code shape, decides.
+func TestPrivLeakPackageFilter(t *testing.T) {
+	diags, err := Run(loadFixture(t, fixtureDir("privleak", "results"), "fixture/internal/packetize"), []*Analyzer{PrivLeak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("privleak fired outside its downstream set: %v", diags)
+	}
+}

@@ -1,0 +1,83 @@
+// Fixture for the determinism analyzer, loaded as a results-path package
+// (import path suffix internal/experiments).
+package results
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now() // want "reads the wall clock"
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "reads the wall clock"
+}
+
+func Jitter() int {
+	return rand.Intn(10) // want "process-seeded"
+}
+
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // seeded constructors are fine
+	return r.Intn(10)                   // methods on *rand.Rand are fine
+}
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "random order"
+		out = append(out, k)
+	}
+	return out
+}
+
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // sorted below: fine
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortIDs(ids []int) { sort.Ints(ids) }
+
+func HelperSortedKeys(m map[int]int) []int {
+	var out []int
+	for k := range m { // sorted by a local helper: fine
+		out = append(out, k)
+	}
+	sortIDs(out)
+	return out
+}
+
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "reaches output"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m { // keyed writes are order-insensitive: fine
+		out[v] = k
+	}
+	return out
+}
+
+func Total(s []int) int {
+	total := 0
+	for _, v := range s { // slices iterate in order: fine
+		total += v
+	}
+	return total
+}
+
+func Suppressed() time.Time {
+	//lintlock:ignore determinism fixture: wall-clock timestamp allowed here
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+// Fixture proving determinism stays silent outside the results path:
+// command packages measure real wall-clock time by design.
+package upstream
+
+import "time"
+
+// Uptime is legitimate progress instrumentation.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Stamp is a legitimate report timestamp.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,12 @@
+// Fixture with a malformed suppression: the directive names an analyzer
+// but carries no justification, which is itself a finding.
+package directives
+
+import "errors"
+
+func mustFail() error { return errors.New("boom") }
+
+//lintlock:ignore errpath
+func Bad() {
+	mustFail()
+}

@@ -1,0 +1,12 @@
+// Fixture proving errpath stays silent off the hot path: the same
+// unchecked call that fires under internal/zeeklog is ignored here.
+package cold
+
+import "errors"
+
+func mustFail() error { return errors.New("boom") }
+
+// Emit drops an error, but this package is not on the ingest hot path.
+func Emit() {
+	mustFail()
+}

@@ -1,0 +1,44 @@
+// Fixture for the errpath analyzer, loaded with import path suffix
+// internal/zeeklog (an ingest hot-path package).
+package hot
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type scanner struct{ lines []string }
+
+func (s *scanner) push(line string) error {
+	s.lines = append(s.lines, line)
+	if line == "" {
+		return fmt.Errorf("empty line")
+	}
+	return nil
+}
+
+func Parse(lines []string) (total int, err error) {
+	s := &scanner{}
+	for _, l := range lines {
+		s.push(l) // want "unchecked error"
+		n, err := strconv.Atoi(l)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	if err := s.push("end"); err != nil { // checked: fine
+		return 0, err
+	}
+	_ = s.push("explicit") // explicit discard: fine
+	defer s.push("teardown") // defers are teardown best-effort: fine
+
+	var sb strings.Builder
+	sb.WriteString("x")       // strings.Builder never errors: fine
+	fmt.Fprintf(&sb, "%d", 1) // Fprintf to a Builder never errors: fine
+
+	//lintlock:ignore errpath fixture demonstrating a justified suppression
+	s.push("suppressed")
+	return total, nil
+}

@@ -1,0 +1,65 @@
+// Fixture for the privleak analyzer, loaded as an analysis-side package
+// (import path suffix internal/experiments). No file here imports
+// internal/anonymize, so raw identifiers are forbidden in every exported
+// position.
+package results
+
+import (
+	"net"
+	"net/netip"
+)
+
+// Report is a figure-output record.
+type Report struct {
+	Device netip.Addr // want "raw identifier type"
+	ID     uint64
+}
+
+type wrapped struct {
+	a netip.Addr
+}
+
+func (w wrapped) addr() netip.Addr { return w.a } // unexported: fine
+
+// Wrapped leaks transitively through a slice of an unexported struct.
+type Wrapped struct {
+	W []wrapped // want "raw identifier type"
+}
+
+// Lookup is an index keyed by a raw identifier.
+type Lookup map[netip.Addr]uint64 // want "raw identifier type"
+
+func Leak() net.HardwareAddr { // want "returns raw identifier type"
+	return nil
+}
+
+func Consume(a netip.Addr) uint64 { // want "takes raw identifier type"
+	_ = a
+	return 0
+}
+
+//lintlock:ignore privleak fixture demonstrating a justified suppression
+func Suppressed(a netip.Addr) uint64 {
+	_ = a
+	return 0
+}
+
+func internalOnly(a netip.Addr) uint64 { // unexported: fine
+	_ = a
+	return 0
+}
+
+// Sink mixes a leaking and a clean method.
+type Sink interface {
+	Put(m net.HardwareAddr) // want "takes raw identifier type"
+	Ok(id uint64)
+}
+
+// DefaultGateway is a package-level leak.
+var DefaultGateway = netip.MustParseAddr("10.0.0.1") // want "exported var"
+
+// Clean shows the intended shape: pseudonym-based records.
+type Clean struct {
+	Device uint64
+	Bytes  int64
+}

@@ -1,0 +1,15 @@
+// Fixture proving privleak stays silent on capture-side packages: the
+// same shapes that are violations under internal/experiments are fine
+// under internal/flow, which exists to carry raw identifiers.
+package upstream
+
+import "net/netip"
+
+// Flow is a raw five-tuple fragment.
+type Flow struct {
+	Src netip.Addr
+	Dst netip.Addr
+}
+
+// Describe returns a raw address; allowed upstream.
+func Describe(f Flow) netip.Addr { return f.Src }

@@ -1,5 +1,7 @@
 package appsig
 
+import "slices"
+
 // SwitchDetector identifies Nintendo Switch consoles the way §5.3.2 does:
 // a device is classified as a Switch when at least half of its traffic (by
 // bytes) goes to the identified Nintendo servers.
@@ -49,7 +51,8 @@ func (d *SwitchDetector) IsSwitch(device uint64) bool {
 	return float64(c.nintendo)/float64(c.total) >= d.Threshold
 }
 
-// Switches returns every detected Switch device (order unspecified).
+// Switches returns every detected Switch device in ascending pseudonym
+// order, so downstream consumers iterate deterministically.
 func (d *SwitchDetector) Switches() []uint64 {
 	var out []uint64
 	for dev := range d.totals {
@@ -57,6 +60,7 @@ func (d *SwitchDetector) Switches() []uint64 {
 			out = append(out, dev)
 		}
 	}
+	slices.Sort(out)
 	return out
 }
 

@@ -43,6 +43,7 @@ func (m *HourMatrix) Medians() [HoursPerWeek]float64 {
 	col := make([]float64, 0, len(m.byDevice))
 	for h := 0; h < HoursPerWeek; h++ {
 		col = col[:0]
+		//lintlock:ignore determinism Median sorts a copy of col, so map order never reaches output
 		for _, row := range m.byDevice {
 			col = append(col, row[h])
 		}

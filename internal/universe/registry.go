@@ -3,6 +3,7 @@ package universe
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"strings"
 )
 
@@ -287,11 +288,14 @@ func (r *Registry) Prefixes() []PrefixInfo { return r.prefixes }
 // ResolverAddr returns the campus DNS resolver's address.
 func (r *Registry) ResolverAddr() netip.Addr { return r.resolver }
 
-// Domains returns every registered domain (order unspecified).
+// Domains returns every registered domain in sorted order, so consumers
+// that build tables from it (e.g. the pipeline's domain bitmap) stay
+// deterministic without re-sorting.
 func (r *Registry) Domains() []string {
 	out := make([]string, 0, len(r.byDomain))
 	for d := range r.byDomain {
 		out = append(out, d)
 	}
+	sort.Strings(out)
 	return out
 }
