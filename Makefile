@@ -5,6 +5,7 @@ GO ?= go
 .PHONY: all build vet test test-short race lint lint-golangci lint-custom fuzz-smoke ci bench cover figures figures-full examples clean
 
 BENCH_JSON ?= BENCH_$(shell date +%F).json
+BENCH_SHARDED_JSON ?= BENCH_shards4_$(shell date +%F).json
 
 all: build vet test
 
@@ -49,13 +50,15 @@ fuzz-smoke:
 
 ci: build vet test race lint
 
-# Go micro-benchmarks plus a machine-readable end-to-end bench report
-# (BENCH_<date>.json) that cmd/benchdiff can gate on.
+# Go micro-benchmarks plus machine-readable end-to-end bench reports
+# (single and 4-shard batched ingest) that cmd/benchdiff can gate on.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/lockdown -scale 0.05 -quiet -out results-bench \
 		-bench-json $(BENCH_JSON)
-	@echo "wrote $(BENCH_JSON)"
+	$(GO) run ./cmd/lockdown -scale 0.05 -shards 4 -quiet -out results-bench-sharded \
+		-bench-json $(BENCH_SHARDED_JSON)
+	@echo "wrote $(BENCH_JSON) and $(BENCH_SHARDED_JSON)"
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -77,4 +80,4 @@ examples:
 	$(GO) run ./examples/counterfactual
 
 clean:
-	rm -rf results results_full results-bench
+	rm -rf results results_full results-bench results-bench-sharded

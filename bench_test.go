@@ -11,6 +11,7 @@ package lockdownrepro
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -320,3 +321,129 @@ func (nullSink) Flow(flow.Record)       {}
 func (nullSink) DNS(dnssim.Entry)       {}
 func (nullSink) HTTPMeta(httplog.Entry) {}
 func (nullSink) Lease(dhcp.Lease)       {}
+
+// The ingest-only benchmarks below record a slice of generated days once
+// and replay it, so they measure dispatch + pipeline work alone with
+// generation off the clock — the number the sharded dispatcher's batch
+// protocol is accountable to.
+
+const (
+	benchIngestFrom = campus.Day(60) // online term: peak traffic mix
+	benchIngestTo   = campus.Day(64)
+)
+
+var (
+	benchEventsOnce sync.Once
+	benchEvents     []trace.Event
+	benchEventsErr  error
+)
+
+type recordingSink struct{ events *[]trace.Event }
+
+func (s recordingSink) Flow(r flow.Record) {
+	*s.events = append(*s.events, trace.Event{Kind: trace.EventFlow, Flow: r})
+}
+func (s recordingSink) DNS(e dnssim.Entry) {
+	*s.events = append(*s.events, trace.Event{Kind: trace.EventDNS, DNS: e})
+}
+func (s recordingSink) HTTPMeta(e httplog.Entry) {
+	*s.events = append(*s.events, trace.Event{Kind: trace.EventHTTP, HTTP: e})
+}
+func (s recordingSink) Lease(l dhcp.Lease) {
+	*s.events = append(*s.events, trace.Event{Kind: trace.EventLease, Lease: l})
+}
+
+func ingestEvents(b *testing.B) []trace.Event {
+	b.Helper()
+	benchEventsOnce.Do(func() {
+		reg, err := universe.New()
+		if err != nil {
+			benchEventsErr = err
+			return
+		}
+		cfg := trace.DefaultConfig()
+		cfg.Scale = benchScale
+		gen, err := trace.New(cfg, reg)
+		if err != nil {
+			benchEventsErr = err
+			return
+		}
+		benchEventsErr = gen.RunDays(recordingSink{events: &benchEvents}, benchIngestFrom, benchIngestTo)
+	})
+	if benchEventsErr != nil {
+		b.Fatal(benchEventsErr)
+	}
+	return benchEvents
+}
+
+// feedEvents drives a recorded event stream into sink, using the batched
+// fast path when the sink advertises one.
+func feedEvents(sink trace.Sink, events []trace.Event) {
+	if bs, ok := sink.(trace.BatchSink); ok {
+		for len(events) > 0 {
+			n := min(1024, len(events))
+			bs.EventBatch(events[:n])
+			events = events[n:]
+		}
+		bs.Flush()
+		return
+	}
+	for i := range events {
+		events[i].Deliver(sink)
+	}
+}
+
+// BenchmarkIngestEventsSingle replays the recorded stream through one
+// Pipeline — the single-core ingest ceiling.
+func BenchmarkIngestEventsSingle(b *testing.B) {
+	events := ingestEvents(b)
+	reg, err := universe.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := core.NewPipeline(reg, core.Options{Key: []byte("ingest-bench-key-0123456789abcdef00")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feedEvents(pipe, events)
+	}
+	b.StopTimer()
+	reportEventRate(b, len(events))
+}
+
+// BenchmarkIngestEventsSharded replays the same stream through the
+// sharded dispatcher at several shard counts. The 4-shard result against
+// BenchmarkIngestEventsSingle is the headline scaling number recorded in
+// EXPERIMENTS.md ("Sharded ingest").
+func BenchmarkIngestEventsSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			events := ingestEvents(b)
+			reg, err := universe.New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sp, err := core.NewShardedPipeline(reg, core.Options{Key: []byte("ingest-bench-key-0123456789abcdef00")}, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { sp.Finalize() })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				feedEvents(sp, events)
+			}
+			b.StopTimer()
+			reportEventRate(b, len(events))
+		})
+	}
+}
+
+func reportEventRate(b *testing.B, perOp int) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(perOp)*float64(b.N)/s, "events/sec")
+	}
+}

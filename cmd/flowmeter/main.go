@@ -77,6 +77,12 @@ func run(in, out, local string, verify bool, progress time.Duration) error {
 		prog.Start()
 	}
 
+	// Metrics are flushed in runs rather than per packet: the atomic adds
+	// are visible only to the progress reporter, which samples far less
+	// often than once per 256 packets.
+	const metricsFlushEvery = 256
+	var pendPackets, pendBytes int64
+
 	var packets, skipped int64
 	for {
 		rec, err := reader.Next()
@@ -87,7 +93,12 @@ func run(in, out, local string, verify bool, progress time.Duration) error {
 			return err
 		}
 		packets++
-		metrics.Add(obs.StageIngest, int64(len(rec.Data)))
+		pendPackets++
+		pendBytes += int64(len(rec.Data))
+		if pendPackets == metricsFlushEvery {
+			metrics.AddN(obs.StageIngest, pendPackets, pendBytes)
+			pendPackets, pendBytes = 0, 0
+		}
 		p, err := packet.Decode(rec.Data, verify)
 		if err != nil {
 			skipped++
@@ -102,6 +113,7 @@ func run(in, out, local string, verify bool, progress time.Duration) error {
 			skipped++
 		}
 	}
+	metrics.AddN(obs.StageIngest, pendPackets, pendBytes)
 	asm.Flush()
 	prog.Stop()
 	if writeErr != nil {

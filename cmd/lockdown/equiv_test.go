@@ -103,46 +103,66 @@ func TestObservabilityEquivalence(t *testing.T) {
 }
 
 // TestShardedRunMatchesSingle pins the sharded path against the single
-// pipeline at a small scale: same key, same seed, identical CSVs.
+// pipeline end to end at the acceptance scale (5%, seed 1): for every
+// shard count tested, the figure CSVs must be byte-identical and the text
+// report — which renders the merged Stats — must match too.
 func TestShardedRunMatchesSingle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("covered by TestObservabilityEquivalence in short mode")
 	}
 	key := []byte("sharded-equiv-key-0123456789abcdef0")
 	base := config{
-		scale:   0.01,
+		scale:   0.05,
 		seed:    1,
 		quiet:   true,
 		key:     key,
 		statusW: io.Discard,
 	}
-	singleDir, shardDir := t.TempDir(), t.TempDir()
+	singleDir := t.TempDir()
 	single := base
 	single.out = singleDir
 	single.shards = 1
 	if err := run(single); err != nil {
 		t.Fatalf("single run: %v", err)
 	}
-	sharded := base
-	sharded.out = shardDir
-	sharded.shards = 4
-	sharded.progressEvery = time.Second // exercise shard snapshots too
-	if err := run(sharded); err != nil {
-		t.Fatalf("sharded run: %v", err)
-	}
 	csvs, err := filepath.Glob(filepath.Join(singleDir, "*.csv"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range csvs {
-		name := filepath.Base(p)
-		want, _ := os.ReadFile(p)
-		got, err := os.ReadFile(filepath.Join(shardDir, name))
+	if len(csvs) < 8 {
+		t.Fatalf("only %d CSVs written, expected every figure", len(csvs))
+	}
+
+	for _, shards := range []int{4, 8} {
+		shardDir := t.TempDir()
+		sharded := base
+		sharded.out = shardDir
+		sharded.shards = shards
+		sharded.progressEvery = time.Second // exercise shard snapshots too
+		if err := run(sharded); err != nil {
+			t.Fatalf("%d-shard run: %v", shards, err)
+		}
+		for _, p := range csvs {
+			name := filepath.Base(p)
+			want, _ := os.ReadFile(p)
+			got, err := os.ReadFile(filepath.Join(shardDir, name))
+			if err != nil {
+				t.Fatalf("%d-shard run missing %s: %v", shards, name, err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Errorf("%s differs between single and %d-shard runs", name, shards)
+			}
+		}
+		want, err := os.ReadFile(filepath.Join(singleDir, "report.txt"))
 		if err != nil {
-			t.Fatalf("sharded run missing %s: %v", name, err)
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(shardDir, "report.txt"))
+		if err != nil {
+			t.Fatalf("%d-shard run missing report.txt: %v", shards, err)
 		}
 		if !bytes.Equal(want, got) {
-			t.Errorf("%s differs between single and sharded runs", name)
+			t.Errorf("report.txt differs between single and %d-shard runs", shards)
 		}
 	}
 }

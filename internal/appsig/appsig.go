@@ -117,11 +117,23 @@ func (m *Matcher) App(domain string, server netip.Addr) (string, bool) {
 // content, the discriminator of the §5.2 heuristic.
 func IsInstagramOnly(domain string) bool {
 	for _, d := range instagramOnly {
-		if domain == d || strings.HasSuffix(domain, "."+d) {
+		if hasDomainSuffix(domain, d) {
 			return true
 		}
 	}
 	return false
+}
+
+// hasDomainSuffix reports whether domain equals d or is a subdomain of d
+// (ends in "."+d), without materialising the dotted form — these checks
+// run once per flow on the ingest hot path.
+func hasDomainSuffix(domain, d string) bool {
+	if len(domain) == len(d) {
+		return domain == d
+	}
+	return len(domain) > len(d) &&
+		domain[len(domain)-len(d)-1] == '.' &&
+		strings.HasSuffix(domain, d)
 }
 
 // NintendoClass partitions Nintendo traffic.
@@ -141,12 +153,12 @@ const (
 // ClassifyNintendo returns the traffic class of a domain.
 func ClassifyNintendo(domain string) NintendoClass {
 	for _, d := range nintendoGameplay {
-		if domain == d || strings.HasSuffix(domain, "."+d) {
+		if hasDomainSuffix(domain, d) {
 			return NintendoGameplayTraffic
 		}
 	}
 	for _, d := range nintendoOther {
-		if domain == d || strings.HasSuffix(domain, "."+d) {
+		if hasDomainSuffix(domain, d) {
 			return NintendoOtherTraffic
 		}
 	}

@@ -391,13 +391,13 @@ func (p *Pipeline) HTTPMeta(e httplog.Entry) {
 // and, for a sampled subset, laps a timer across the stage boundaries. The
 // out-of-window drop is attributed to the tap-filter stage (both are
 // capture-boundary cuts). With a nil Metrics every instrumentation call is
-// an inlined nil-check no-op.
+// an inlined nil-check no-op — the nil-receiver contract package obs
+// documents and the obsnil analyzer enforces — so instrumentation calls
+// are made bare, never wrapped in a redundant `if m != nil` guard.
 func (p *Pipeline) Flow(r flow.Record) {
 	m := p.om
 	t := m.Now()
-	if m != nil {
-		m.Add(obs.StageIngest, r.TotalBytes())
-	}
+	m.Add(obs.StageIngest, r.TotalBytes())
 	// The tap's excluded high-volume networks never reach the pipeline.
 	if !p.opts.DisableTapFilter && p.reg.TapExcluded(r.RespAddr) {
 		p.stats.FlowsTapDropped++

@@ -1,18 +1,23 @@
 package core
 
 import (
+	"fmt"
 	"net/netip"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/anonymize"
+	"repro/internal/campus"
 	"repro/internal/dhcp"
 	"repro/internal/dnssim"
 	"repro/internal/flow"
 	"repro/internal/httplog"
 	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/trace"
 	"repro/internal/universe"
 )
 
@@ -23,25 +28,94 @@ import (
 // entries and DHCP leases are broadcast — every shard carries the full join
 // tables, trading memory for parallelism.
 //
-// The public surface mirrors Pipeline: it implements trace.Sink, and
-// Finalize returns a merged Dataset with the same devices and statistics a
-// single Pipeline would produce under the same key.
+// Transport is batched: the dispatcher appends events into a fixed-capacity
+// open batch per shard and sends the whole batch when it fills (or on
+// Flush), so the per-event cost is one array store instead of a heap
+// allocation plus a channel send. Batches are recycled through a sync.Pool;
+// broadcast events are sealed once into a reference-counted box shared by
+// every shard instead of being copied N times. Within a shard, batches and
+// the events inside them are applied strictly FIFO across all event kinds,
+// which preserves the one ordering invariant attribution needs: a lease
+// enqueued before a flow is applied before that flow.
+//
+// The public surface mirrors Pipeline: it implements trace.Sink (and the
+// trace.BatchSink fast path), and Finalize returns a merged Dataset with
+// the same devices and — field for field — the same Stats a single
+// Pipeline would produce under the same key.
 type ShardedPipeline struct {
-	shards       []*Pipeline
-	chans        []chan shardEvent
-	done         []chan struct{}
-	dispatchIdx  leaseIndex
-	unattributed int64
-	om           *obs.Metrics
-	finalized    bool
+	reg    *universe.Registry
+	opts   Options
+	shards []*Pipeline
+	chans  []chan *eventBatch
+	done   []chan struct{}
+	// open holds the per-shard batch being filled; owned by the
+	// dispatcher goroutine, never touched by workers.
+	open []*eventBatch
+	// queued tracks per-shard in-flight events (flushed to the channel,
+	// not yet applied by the worker) for the queue-depth gauge.
+	queued []atomic.Int64
+	// pendDispatch counts flows routed into each shard's open batch,
+	// settled into the shared obs dispatch counters at flush time — one
+	// atomic per batch instead of one per flow. Dispatcher-owned.
+	pendDispatch []int64
+
+	dispatchIdx leaseIndex
+	// dispStats accumulates the cuts the dispatcher makes itself (flows
+	// and HTTP entries that never reach a shard); merged into the final
+	// Stats by Finalize.
+	dispStats Stats
+	om        *obs.Metrics
+	finalized bool
 }
 
+// batchCap is the fixed event capacity of one shard batch: large enough
+// to amortize the channel send to noise, small enough that a pooled batch
+// (~60 KiB) stays cache- and GC-friendly.
+const batchCap = 256
+
+// shardChanCap bounds in-flight batches per shard; with batchCap this
+// allows ~8k events of backlog per shard before the dispatcher blocks.
+const shardChanCap = 32
+
+// eventKind tags one slot of an eventBatch.
+type eventKind uint8
+
+const (
+	evFlow eventKind = iota
+	evHTTP
+	evBroadcast
+)
+
+// shardEvent is one batch slot. Routed events (flows, HTTP metadata) are
+// stored inline — no per-event allocation; broadcast events point at a
+// shared sealed box.
 type shardEvent struct {
-	flow  *flow.Record
-	dns   *dnssim.Entry
-	http  *httplog.Entry
-	lease *dhcp.Lease
+	kind  eventKind
+	flow  flow.Record
+	http  httplog.Entry
+	bcast *broadcast
 }
+
+// broadcast is a DNS entry or DHCP lease sealed once by the dispatcher
+// and shared by every shard. The last worker to apply it (refs reaching
+// zero) recycles the box.
+type broadcast struct {
+	isLease bool
+	dns     dnssim.Entry
+	lease   dhcp.Lease
+	refs    atomic.Int32
+}
+
+// eventBatch is a fixed-capacity run of events bound for one shard.
+type eventBatch struct {
+	events [batchCap]shardEvent
+	n      int
+}
+
+var (
+	batchPool = sync.Pool{New: func() any { return new(eventBatch) }}
+	bcastPool = sync.Pool{New: func() any { return new(broadcast) }}
+)
 
 // NewShardedPipeline builds n shards (n ≤ 0 selects GOMAXPROCS). All shards
 // share one pseudonymization key so device IDs are globally consistent; a
@@ -57,7 +131,14 @@ func NewShardedPipeline(reg *universe.Registry, opts Options, n int) (*ShardedPi
 		}
 		opts.Key = pseudo.Key()
 	}
-	sp := &ShardedPipeline{dispatchIdx: make(leaseIndex), om: opts.Obs}
+	sp := &ShardedPipeline{
+		reg:         reg,
+		opts:        opts,
+		dispatchIdx:  make(leaseIndex),
+		queued:       make([]atomic.Int64, n),
+		pendDispatch: make([]int64, n),
+		om:           opts.Obs,
+	}
 	// Shards share the dispatcher's Metrics: counters are atomic, and the
 	// queue-depth callback gives snapshots a live view of channel backlog.
 	sp.om.SetShards(n)
@@ -67,26 +148,40 @@ func NewShardedPipeline(reg *universe.Registry, opts Options, n int) (*ShardedPi
 		if err != nil {
 			return nil, err
 		}
-		ch := make(chan shardEvent, 4096)
+		ch := make(chan *eventBatch, shardChanCap)
 		done := make(chan struct{})
 		sp.shards = append(sp.shards, p)
 		sp.chans = append(sp.chans, ch)
 		sp.done = append(sp.done, done)
-		go func(p *Pipeline, ch chan shardEvent, done chan struct{}) {
+		sp.open = append(sp.open, batchPool.Get().(*eventBatch))
+		go func(p *Pipeline, shard int, ch chan *eventBatch, done chan struct{}) {
 			defer close(done)
-			for ev := range ch {
-				switch {
-				case ev.flow != nil:
-					p.Flow(*ev.flow)
-				case ev.dns != nil:
-					p.DNS(*ev.dns)
-				case ev.http != nil:
-					p.HTTPMeta(*ev.http)
-				case ev.lease != nil:
-					p.Lease(*ev.lease)
+			for b := range ch {
+				for i := 0; i < b.n; i++ {
+					ev := &b.events[i]
+					switch ev.kind {
+					case evFlow:
+						p.Flow(ev.flow)
+					case evHTTP:
+						p.HTTPMeta(ev.http)
+					case evBroadcast:
+						bc := ev.bcast
+						if bc.isLease {
+							p.Lease(bc.lease)
+						} else {
+							p.DNS(bc.dns)
+						}
+						ev.bcast = nil
+						if bc.refs.Add(-1) == 0 {
+							bcastPool.Put(bc)
+						}
+					}
 				}
+				sp.queued[shard].Add(-int64(b.n))
+				b.n = 0
+				batchPool.Put(b)
 			}
-		}(p, ch, done)
+		}(p, i, ch, done)
 	}
 	return sp, nil
 }
@@ -94,12 +189,15 @@ func NewShardedPipeline(reg *universe.Registry, opts Options, n int) (*ShardedPi
 // Shards returns the shard count.
 func (sp *ShardedPipeline) Shards() int { return len(sp.shards) }
 
-// QueueDepths returns the number of events queued per shard channel (a
-// live gauge; safe to call concurrently with ingest).
+// QueueDepths returns the number of in-flight events per shard — flushed
+// to the shard's channel but not yet applied by its worker. Events still
+// sitting in the dispatcher's open batches are not included (those buffers
+// are dispatcher-owned and not safe to read concurrently). Safe to call
+// concurrently with ingest.
 func (sp *ShardedPipeline) QueueDepths() []int {
-	out := make([]int, len(sp.chans))
-	for i, ch := range sp.chans {
-		out[i] = len(ch)
+	out := make([]int, len(sp.queued))
+	for i := range sp.queued {
+		out[i] = int(sp.queued[i].Load())
 	}
 	return out
 }
@@ -109,20 +207,74 @@ func (sp *ShardedPipeline) DeviceID(m packet.MAC) anonymize.DeviceID {
 	return sp.shards[0].DeviceID(m)
 }
 
+// slot returns the next free slot of a shard's open batch. The caller
+// must fill the slot's kind and payload before the next dispatcher
+// operation; writing fields in place (rather than copying a constructed
+// shardEvent) keeps the per-event cost to the payload bytes actually
+// used. Slots are reused across pooled batches, so unrelated fields may
+// hold stale data — the kind tag guards all access.
+func (sp *ShardedPipeline) slot(shard int) *shardEvent {
+	b := sp.open[shard]
+	if b.n == batchCap {
+		// Flush lazily, before handing out a slot, never after: once a
+		// batch is on the channel the worker owns it and the dispatcher
+		// must not touch its slots again.
+		sp.flushShard(shard)
+		b = sp.open[shard]
+	}
+	ev := &b.events[b.n]
+	b.n++
+	return ev
+}
+
+// flushShard sends a shard's open batch and starts a fresh one.
+func (sp *ShardedPipeline) flushShard(shard int) {
+	b := sp.open[shard]
+	if b.n == 0 {
+		return
+	}
+	sp.queued[shard].Add(int64(b.n))
+	sp.chans[shard] <- b
+	sp.open[shard] = batchPool.Get().(*eventBatch)
+	if n := sp.pendDispatch[shard]; n > 0 {
+		sp.om.DispatchN(shard, n)
+		sp.pendDispatch[shard] = 0
+	}
+}
+
+// Flush sends every open batch to its shard, making all previously
+// accepted events visible to the workers. The generator calls this at
+// trace day boundaries (via trace.BatchSink) and Finalize calls it before
+// draining; callers replaying live streams may call it at any stream
+// boundary. Must not be called after Finalize.
+func (sp *ShardedPipeline) Flush() {
+	for i := range sp.open {
+		sp.flushShard(i)
+	}
+}
+
 // Lease indexes the binding for dispatch and broadcasts it to every shard.
 func (sp *ShardedPipeline) Lease(l dhcp.Lease) {
 	sp.dispatchIdx.observe(l)
-	for i := range sp.chans {
-		le := l
-		sp.chans[i] <- shardEvent{lease: &le}
-	}
+	bc := bcastPool.Get().(*broadcast)
+	bc.lease, bc.isLease = l, true
+	sp.broadcast(bc)
 }
 
 // DNS broadcasts a resolver entry to every shard.
 func (sp *ShardedPipeline) DNS(e dnssim.Entry) {
-	for i := range sp.chans {
-		ee := e
-		sp.chans[i] <- shardEvent{dns: &ee}
+	bc := bcastPool.Get().(*broadcast)
+	bc.dns, bc.isLease = e, false
+	sp.broadcast(bc)
+}
+
+// broadcast seals bc and enqueues one reference per shard.
+func (sp *ShardedPipeline) broadcast(bc *broadcast) {
+	bc.refs.Store(int32(len(sp.shards)))
+	for i := range sp.open {
+		ev := sp.slot(i)
+		ev.kind = evBroadcast
+		ev.bcast = bc
 	}
 }
 
@@ -138,35 +290,81 @@ func (sp *ShardedPipeline) clientMAC(addr netip.Addr, t time.Time) (packet.MAC, 
 	return packet.MAC{}, false
 }
 
-// Flow routes one flow to its device's shard. Unattributed flows are
-// dropped dispatcher-side (the shards' lease indexes are copies of the
-// dispatcher's, so they could not attribute them either) and counted
-// against the DHCP-normalize stage; attributed flows are counted at their
-// target shard's intake.
-func (sp *ShardedPipeline) Flow(r flow.Record) {
+// Flow routes one flow to its device's shard. Flows that cannot be routed
+// (no MAC) are cut dispatcher-side — the shards' lease indexes are copies
+// of the dispatcher's, so they could not attribute them either; attributed
+// flows are counted at their target shard's intake.
+func (sp *ShardedPipeline) Flow(r flow.Record) { sp.routeFlow(&r) }
+
+func (sp *ShardedPipeline) routeFlow(r *flow.Record) {
 	mac, ok := sp.clientMAC(r.OrigAddr, r.Start)
 	if !ok {
-		sp.unattributed++
-		if sp.om != nil {
-			sp.om.Add(obs.StageIngest, r.TotalBytes())
-			sp.om.Drop(obs.StageDHCPNormalize)
-		}
+		sp.dropUnroutable(r)
 		return
 	}
-	rr := r
 	shard := macShard(mac, len(sp.shards))
-	sp.om.Dispatch(shard)
-	sp.chans[shard] <- shardEvent{flow: &rr}
+	ev := sp.slot(shard)
+	ev.kind = evFlow
+	ev.flow = *r
+	sp.pendDispatch[shard]++
 }
 
-// HTTPMeta routes metadata to its device's shard.
-func (sp *ShardedPipeline) HTTPMeta(e httplog.Entry) {
-	mac, ok := sp.clientMAC(e.Client, e.Time)
-	if !ok {
+// dropUnroutable accounts a flow with no routable MAC. Cut precedence must
+// match Pipeline.Flow exactly — tap filter, then capture window, then
+// attribution — so that a flow failing several cuts at once lands in the
+// same Stats counter under sharded and single ingest.
+func (sp *ShardedPipeline) dropUnroutable(r *flow.Record) {
+	sp.om.Add(obs.StageIngest, r.TotalBytes())
+	if !sp.opts.DisableTapFilter && sp.reg.TapExcluded(r.RespAddr) {
+		sp.dispStats.FlowsTapDropped++
+		sp.om.Drop(obs.StageTapFilter)
 		return
 	}
-	ee := e
-	sp.chans[macShard(mac, len(sp.shards))] <- shardEvent{http: &ee}
+	if _, ok := campus.DayOf(r.Start); !ok {
+		sp.dispStats.FlowsOutOfWindow++
+		sp.om.Drop(obs.StageTapFilter)
+		return
+	}
+	sp.dispStats.FlowsUnattributed++
+	sp.om.Drop(obs.StageDHCPNormalize)
+}
+
+// HTTPMeta routes metadata to its device's shard. A single Pipeline counts
+// every HTTP entry before the MAC lookup, so unroutable entries are counted
+// (and their drop recorded) here rather than silently discarded — merged
+// Stats.HTTPEntries must equal a single pipeline's.
+func (sp *ShardedPipeline) HTTPMeta(e httplog.Entry) { sp.routeHTTP(&e) }
+
+func (sp *ShardedPipeline) routeHTTP(e *httplog.Entry) {
+	mac, ok := sp.clientMAC(e.Client, e.Time)
+	if !ok {
+		sp.dispStats.HTTPEntries++
+		sp.om.Add(obs.StageIngest, 0)
+		sp.om.Drop(obs.StageDHCPNormalize)
+		return
+	}
+	ev := sp.slot(macShard(mac, len(sp.shards)))
+	ev.kind = evHTTP
+	ev.http = *e
+}
+
+// EventBatch implements trace.BatchSink: dispatch a time-ordered run of
+// events. The incoming slice is only borrowed — routed events are copied
+// into shard batches and broadcasts into sealed boxes before returning.
+func (sp *ShardedPipeline) EventBatch(events []trace.Event) {
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case trace.EventFlow:
+			sp.routeFlow(&ev.Flow)
+		case trace.EventDNS:
+			sp.DNS(ev.DNS)
+		case trace.EventHTTP:
+			sp.routeHTTP(&ev.HTTP)
+		case trace.EventLease:
+			sp.Lease(ev.Lease)
+		}
+	}
 }
 
 // macShard hashes a MAC to a shard index.
@@ -179,13 +377,30 @@ func macShard(mac packet.MAC, n int) int {
 	return int(h % uint64(n))
 }
 
-// Finalize drains every shard and merges their datasets. Must be called
-// exactly once; the ShardedPipeline must not be fed afterwards.
+// Finalize flushes the open batches, drains every shard, and merges their
+// datasets. Must be called exactly once; the ShardedPipeline must not be
+// fed afterwards.
+//
+// Stats merge policy, per field:
+//
+//   - summed: per-flow / per-entry counters (FlowsProcessed, FlowsTapDropped,
+//     FlowsUnattributed, FlowsUnlabeled, FlowsOutOfWindow, BytesProcessed,
+//     HTTPEntries). Each flow or HTTP entry is applied by exactly one shard
+//     or cut exactly once by the dispatcher, so shard and dispatcher counts
+//     add. Shard-side FlowsUnattributed is summed rather than overwritten:
+//     it is expected to be zero (the dispatcher pre-filters with the same
+//     lease index, and per-shard FIFO guarantees a lease is applied before
+//     any flow it attributes), and summing makes a violation surface as a
+//     parity failure instead of being masked.
+//   - asserted: broadcast counters (DNSEntries, Leases). Every shard saw
+//     the full broadcast stream, so all copies must agree; a disagreement
+//     means the batch protocol lost an event and is worth crashing on.
 func (sp *ShardedPipeline) Finalize() *Dataset {
 	if sp.finalized {
 		panic("core: Finalize called twice")
 	}
 	sp.finalized = true
+	sp.Flush()
 	for i := range sp.chans {
 		close(sp.chans[i])
 	}
@@ -202,15 +417,24 @@ func (sp *ShardedPipeline) Finalize() *Dataset {
 		s := ds.Stats
 		merged.Stats.FlowsProcessed += s.FlowsProcessed
 		merged.Stats.FlowsTapDropped += s.FlowsTapDropped
+		merged.Stats.FlowsUnattributed += s.FlowsUnattributed
 		merged.Stats.FlowsUnlabeled += s.FlowsUnlabeled
 		merged.Stats.FlowsOutOfWindow += s.FlowsOutOfWindow
 		merged.Stats.BytesProcessed += s.BytesProcessed
 		merged.Stats.HTTPEntries += s.HTTPEntries
 	}
-	// DNS entries and leases were broadcast; report one copy's counts.
-	merged.Stats.DNSEntries = sp.shards[0].Stats().DNSEntries
-	merged.Stats.Leases = sp.shards[0].Stats().Leases
-	merged.Stats.FlowsUnattributed = sp.unattributed
+	merged.Stats.FlowsTapDropped += sp.dispStats.FlowsTapDropped
+	merged.Stats.FlowsOutOfWindow += sp.dispStats.FlowsOutOfWindow
+	merged.Stats.FlowsUnattributed += sp.dispStats.FlowsUnattributed
+	merged.Stats.HTTPEntries += sp.dispStats.HTTPEntries
+	dns0, leases0 := sp.shards[0].Stats().DNSEntries, sp.shards[0].Stats().Leases
+	for i, p := range sp.shards {
+		if s := p.Stats(); s.DNSEntries != dns0 || s.Leases != leases0 {
+			panic(fmt.Sprintf("core: broadcast invariant violated: shard %d saw %d DNS entries / %d leases, shard 0 saw %d / %d",
+				i, s.DNSEntries, s.Leases, dns0, leases0))
+		}
+	}
+	merged.Stats.DNSEntries, merged.Stats.Leases = dns0, leases0
 	sort.Slice(merged.Devices, func(i, j int) bool { return merged.Devices[i].ID < merged.Devices[j].ID })
 	return merged
 }

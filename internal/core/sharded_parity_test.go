@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/campus"
+	"repro/internal/dhcp"
+	"repro/internal/trace"
+	"repro/internal/universe"
+)
+
+// TestShardedStatsParity checks the acceptance invariant of the batched
+// dispatcher: for every shard count, the merged Stats must match a single
+// Pipeline's field for field — including the cut counters the dispatcher
+// maintains itself (FlowsTapDropped, FlowsOutOfWindow, FlowsUnattributed,
+// HTTPEntries), which is where the pre-batch dispatcher diverged.
+func TestShardedStatsParity(t *testing.T) {
+	reg, err := universe.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.Scale = 0.05
+	from, to := campus.Day(0), campus.Day(campus.NumDays)
+	shardCounts := []int{1, 2, 4, 8}
+	if testing.Short() {
+		// The race job runs -short: keep the 5% scale but narrow the
+		// window to the weeks around the campus shutdown, where the
+		// device mix changes fastest, and drop to two shard counts.
+		from, to = 40, 55
+		shardCounts = []int{2, 4}
+	}
+	key := []byte("parity-test-key-0123456789abcdef")
+
+	gen := func() *trace.Generator {
+		g, err := trace.New(cfg, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	single, err := NewPipeline(reg, Options{Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen().RunDays(single, from, to); err != nil {
+		t.Fatal(err)
+	}
+	want := single.Finalize().Stats
+	if want.FlowsProcessed == 0 || want.HTTPEntries == 0 || want.Leases == 0 {
+		t.Fatalf("degenerate single run: %+v", want)
+	}
+
+	for _, n := range shardCounts {
+		t.Run(fmt.Sprintf("shards-%d", n), func(t *testing.T) {
+			sp, err := NewShardedPipeline(reg, Options{Key: key}, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := gen().RunDays(sp, from, to); err != nil {
+				t.Fatal(err)
+			}
+			got := sp.Finalize().Stats
+			wv, gv := reflect.ValueOf(want), reflect.ValueOf(got)
+			for i := 0; i < wv.NumField(); i++ {
+				if wv.Field(i).Interface() != gv.Field(i).Interface() {
+					t.Errorf("Stats.%s: single %v, sharded %v",
+						wv.Type().Field(i).Name, wv.Field(i).Interface(), gv.Field(i).Interface())
+				}
+			}
+		})
+	}
+}
+
+// TestShardedLeaseBeforeFlowOrdering pins the one ordering invariant the
+// batch transport must preserve: a lease enqueued before a flow is applied
+// before that flow on the flow's shard, even when the pair straddles batch
+// flush boundaries. Every pair uses a fresh MAC and address, so each flow
+// attributes only if its own lease was applied first.
+func TestShardedLeaseBeforeFlowOrdering(t *testing.T) {
+	reg, err := universe.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, ok := reg.ResolveIP("facebook.com", 1)
+	if !ok {
+		t.Fatal("no server address")
+	}
+	// Enough pairs to roll every shard's open batch over several times.
+	const pairs = 3 * batchCap
+	base := campus.Day(10).Time().Add(6 * time.Hour)
+	mkMAC := func(i int) dhcp.Lease {
+		mac := testMAC
+		mac[4], mac[5] = byte(i>>8), byte(i)
+		start := base.Add(time.Duration(i) * 10 * time.Second)
+		return dhcp.Lease{MAC: mac, Addr: mkIP(i), Start: start, End: start.Add(time.Hour)}
+	}
+
+	for _, mode := range []string{"per-event", "batch"} {
+		t.Run(mode, func(t *testing.T) {
+			sp, err := NewShardedPipeline(reg, Options{}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode == "per-event" {
+				for i := 0; i < pairs; i++ {
+					lease := mkMAC(i)
+					sp.Lease(lease)
+					fl := flowAt(lease.Start.Add(time.Second), server, 1000)
+					fl.OrigAddr = lease.Addr
+					sp.Flow(fl)
+				}
+			} else {
+				var events []trace.Event
+				for i := 0; i < pairs; i++ {
+					lease := mkMAC(i)
+					fl := flowAt(lease.Start.Add(time.Second), server, 1000)
+					fl.OrigAddr = lease.Addr
+					events = append(events,
+						trace.Event{Kind: trace.EventLease, Lease: lease},
+						trace.Event{Kind: trace.EventFlow, Flow: fl})
+				}
+				// Deliver in uneven runs so lease/flow pairs straddle
+				// EventBatch call boundaries as well as shard batches.
+				for len(events) > 0 {
+					n := min(100, len(events))
+					sp.EventBatch(events[:n])
+					events = events[n:]
+				}
+				sp.Flush()
+			}
+			stats := sp.Finalize().Stats
+			if stats.FlowsProcessed != pairs || stats.FlowsUnattributed != 0 {
+				t.Errorf("processed %d unattributed %d, want %d / 0",
+					stats.FlowsProcessed, stats.FlowsUnattributed, pairs)
+			}
+			if stats.Leases != pairs {
+				t.Errorf("leases %d, want %d", stats.Leases, pairs)
+			}
+		})
+	}
+}
+
+func mkIP(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 9, byte(i >> 8), byte(i)})
+}

@@ -165,8 +165,12 @@ func (g *gzReadCloser) Close() error {
 
 // Replay streams a dataset directory into sink: DHCP leases first (they
 // index address bindings), then flows, DNS entries and HTTP metadata merged
-// in timestamp order, matching the live generation order.
+// in timestamp order, matching the live generation order. A sink that
+// implements trace.BatchSink (the sharded pipeline) receives the same
+// events in batched runs instead of one interface call each.
 func Replay(dir string, sink trace.Sink) error {
+	out := trace.NewBatcher(sink)
+
 	// Leases: sequential, already in grant order.
 	dhcpF, err := openLog(dir, DHCPFile)
 	if err != nil {
@@ -178,7 +182,7 @@ func Replay(dir string, sink trace.Sink) error {
 		return err
 	}
 	for _, l := range leases {
-		sink.Lease(l)
+		out.Lease(l)
 	}
 
 	connF, err := openLog(dir, ConnFile)
@@ -269,21 +273,22 @@ func Replay(dir string, sink trace.Sink) error {
 		// resolutions precede the flows they label.
 		switch {
 		case haveDNS && (!haveFlow || !curFlow.Start.Before(curDNS.Time)) && (!haveHTTP || !curHTTP.Time.Before(curDNS.Time)):
-			sink.DNS(curDNS)
+			out.DNS(curDNS)
 			if err := advanceDNS(); err != nil {
 				return err
 			}
 		case haveFlow && (!haveHTTP || !curHTTP.Time.Before(curFlow.Start)):
-			sink.Flow(curFlow)
+			out.Flow(curFlow)
 			if err := advanceFlow(); err != nil {
 				return err
 			}
 		default:
-			sink.HTTPMeta(curHTTP)
+			out.HTTPMeta(curHTTP)
 			if err := advanceHTTP(); err != nil {
 				return err
 			}
 		}
 	}
+	out.Flush()
 	return nil
 }

@@ -94,6 +94,70 @@ func TestWriteThenReplayMatchesLive(t *testing.T) {
 	_ = campus.NumDays
 }
 
+// batchTally is a tally that also accepts the trace.BatchSink fast path,
+// so Replay hands it event runs instead of per-event calls.
+type batchTally struct {
+	tally
+	batches int
+	flushes int
+}
+
+func (s *batchTally) EventBatch(events []trace.Event) {
+	s.batches++
+	for i := range events {
+		events[i].Deliver(&s.tally)
+	}
+}
+
+func (s *batchTally) Flush() { s.flushes++ }
+
+func TestReplayBatchedMatchesPerEvent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("disk round trip")
+	}
+	dir := t.TempDir()
+	reg, err := universe.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.Scale = 0.005
+	g, err := trace.New(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RunDays(w, 5, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	plain := &tally{t: t}
+	if err := Replay(dir, plain); err != nil {
+		t.Fatal(err)
+	}
+	batched := &batchTally{tally: tally{t: t}}
+	if err := Replay(dir, batched); err != nil {
+		t.Fatal(err)
+	}
+	if batched.batches == 0 || batched.flushes != 1 {
+		t.Errorf("batches = %d, flushes = %d; want batched delivery with one final flush",
+			batched.batches, batched.flushes)
+	}
+	if batched.flows != plain.flows || batched.dns != plain.dns ||
+		batched.http != plain.http || batched.leases != plain.leases ||
+		batched.bytes != plain.bytes {
+		t.Errorf("batched replay %d/%d/%d/%d (%d bytes) != per-event %d/%d/%d/%d (%d bytes)",
+			batched.flows, batched.dns, batched.http, batched.leases, batched.bytes,
+			plain.flows, plain.dns, plain.http, plain.leases, plain.bytes)
+	}
+}
+
 func TestReplayMissingDir(t *testing.T) {
 	if err := Replay("/nonexistent-dataset-dir", &tally{t: t}); err == nil {
 		t.Error("missing directory accepted")

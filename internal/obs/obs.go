@@ -144,6 +144,27 @@ func (m *Metrics) Add(s Stage, bytes int64) {
 	}
 }
 
+// AddN counts n accepted events (with their combined payload bytes, 0 when
+// not meaningful) into a stage in one pair of atomic updates — the
+// batch-transport counterpart of Add. n <= 0 is a no-op.
+func (m *Metrics) AddN(s Stage, n, bytes int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.stages[s].events.Add(n)
+	if bytes != 0 {
+		m.stages[s].bytes.Add(bytes)
+	}
+}
+
+// DropN counts n filtered-out events in one atomic update.
+func (m *Metrics) DropN(s Stage, n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.stages[s].drops.Add(n)
+}
+
 // Drop counts one event the stage filtered out.
 func (m *Metrics) Drop(s Stage) {
 	if m == nil {
@@ -202,11 +223,21 @@ func (m *Metrics) Dispatch(i int) {
 	if m == nil {
 		return
 	}
+	m.DispatchN(i, 1)
+}
+
+// DispatchN counts n flows routed to shard i in one atomic update — used
+// by the batched dispatcher, which settles its dispatch counts once per
+// batch flush instead of once per flow.
+func (m *Metrics) DispatchN(i int, n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
 	p := m.shards.Load()
 	if p == nil || i < 0 || i >= len(*p) {
 		return
 	}
-	(*p)[i].Add(1)
+	(*p)[i].Add(n)
 }
 
 // SetQueueDepthFunc registers a live queue-depth poll (per-shard pending

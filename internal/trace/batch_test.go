@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/campus"
+	"repro/internal/dhcp"
+	"repro/internal/dnssim"
+	"repro/internal/flow"
+	"repro/internal/httplog"
+	"repro/internal/universe"
+)
+
+// eventRecorder is a plain Sink that records every event in arrival order.
+type eventRecorder struct{ events []Event }
+
+func (r *eventRecorder) Flow(f flow.Record) {
+	r.events = append(r.events, Event{Kind: EventFlow, Flow: f})
+}
+func (r *eventRecorder) DNS(e dnssim.Entry) {
+	r.events = append(r.events, Event{Kind: EventDNS, DNS: e})
+}
+func (r *eventRecorder) HTTPMeta(e httplog.Entry) {
+	r.events = append(r.events, Event{Kind: EventHTTP, HTTP: e})
+}
+func (r *eventRecorder) Lease(l dhcp.Lease) {
+	r.events = append(r.events, Event{Kind: EventLease, Lease: l})
+}
+
+// batchRecorder additionally implements BatchSink, so producers take the
+// batch fast path. Per-event methods stay available (embedded) but must
+// not be used in the same stream — the exactly-one-path contract.
+type batchRecorder struct {
+	eventRecorder
+	batches  int
+	flushes  int
+	maxBatch int
+}
+
+func (r *batchRecorder) EventBatch(events []Event) {
+	r.batches++
+	if len(events) > r.maxBatch {
+		r.maxBatch = len(events)
+	}
+	// The slice is only borrowed; append copies the events out.
+	r.events = append(r.events, events...)
+}
+
+func (r *batchRecorder) Flush() { r.flushes++ }
+
+// diffStreams reports the first divergence between two event streams.
+func diffStreams(t *testing.T, want, got []Event) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("stream lengths differ: %d vs %d", len(want), len(got))
+	}
+	for i := 0; i < len(want) && i < len(got); i++ {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("streams diverge at event %d:\nper-event: %+v\nbatched:   %+v",
+				i, want[i], got[i])
+		}
+	}
+}
+
+// TestBatchDeliveryEquivalence runs the same generator config against a
+// plain Sink and a BatchSink and requires the two delivery paths to produce
+// the identical event stream — same events, same order, one Flush per day.
+func TestBatchDeliveryEquivalence(t *testing.T) {
+	reg, err := universe.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Scale = 0.01
+	const fromDay, toDay = 20, 23
+	mk := func() *Generator {
+		g, err := New(cfg, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	var per eventRecorder
+	if err := mk().RunDays(&per, fromDay, toDay); err != nil {
+		t.Fatal(err)
+	}
+	var bat batchRecorder
+	if err := mk().RunDays(&bat, fromDay, toDay); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(per.events) == 0 {
+		t.Fatal("generator produced no events")
+	}
+	if bat.batches == 0 {
+		t.Error("BatchSink was not used")
+	}
+	if bat.flushes != toDay-fromDay {
+		t.Errorf("flushes = %d, want one per day (%d)", bat.flushes, toDay-fromDay)
+	}
+	if bat.maxBatch > batchEmitCap {
+		t.Errorf("batch of %d events exceeds emit cap %d", bat.maxBatch, batchEmitCap)
+	}
+	diffStreams(t, per.events, bat.events)
+}
+
+// TestBatcherPaths feeds an identical mixed stream through a Batcher
+// wrapping a plain sink and one wrapping a batch sink, checking both
+// deliver the stream unchanged and the batch path chunks at the emit cap.
+func TestBatcherPaths(t *testing.T) {
+	base := campus.StudyStart.Add(30 * 24 * time.Hour)
+	client := netip.MustParseAddr("10.1.2.3")
+	var src []Event
+	for i := 0; i < batchEmitCap+37; i++ {
+		ts := base.Add(time.Duration(i) * time.Second)
+		switch i % 4 {
+		case 0:
+			src = append(src, Event{Kind: EventFlow, Flow: flow.Record{
+				Start: ts, OrigAddr: client, OrigBytes: int64(i)}})
+		case 1:
+			src = append(src, Event{Kind: EventDNS, DNS: dnssim.Entry{
+				Time: ts, Client: client, Query: "example.test"}})
+		case 2:
+			src = append(src, Event{Kind: EventHTTP, HTTP: httplog.Entry{
+				Time: ts, Client: client, Host: "example.test"}})
+		case 3:
+			src = append(src, Event{Kind: EventLease, Lease: dhcp.Lease{
+				Addr: client, Start: ts, End: ts.Add(time.Hour)}})
+		}
+	}
+	feed := func(sink Sink) {
+		b := NewBatcher(sink)
+		for i := range src {
+			src[i].Deliver(b)
+		}
+		b.Flush()
+	}
+
+	var plain eventRecorder
+	feed(&plain)
+	diffStreams(t, src, plain.events)
+
+	var bat batchRecorder
+	feed(&bat)
+	diffStreams(t, src, bat.events)
+	if bat.batches != 2 {
+		t.Errorf("batches = %d, want 2 (one full run + the Flush remainder)", bat.batches)
+	}
+	if bat.flushes != 1 {
+		t.Errorf("flushes = %d, want 1", bat.flushes)
+	}
+	if bat.maxBatch != batchEmitCap {
+		t.Errorf("maxBatch = %d, want %d", bat.maxBatch, batchEmitCap)
+	}
+}

@@ -39,6 +39,10 @@ type Generator struct {
 	homeWts   map[string][]int
 
 	zoomPrefixes []netip.Prefix
+
+	// batch is the reusable emission buffer for BatchSink consumers
+	// (capacity batchEmitCap; empty between days).
+	batch []Event
 }
 
 // New builds a generator. The same cfg and registry produce byte-identical
@@ -171,6 +175,10 @@ func (g *Generator) generateDay(day campus.Day, sink Sink) {
 		hours:       dayHourWeights(behaviorDay),
 		seasonal:    seasonal,
 	}
+	// Batch-capable sinks get the same stream in slices (plus a Flush at
+	// the day boundary); the delivery order is identical either way, so
+	// the two paths are stream-equivalent (TestBatchDeliveryEquivalence).
+	bs, batched := sink.(BatchSink)
 	// Pass 1: decide who is active and lease addresses in deterministic
 	// time order (device-index microsecond offsets keep the DHCP request
 	// stream monotone).
@@ -192,7 +200,11 @@ func (g *Generator) generateDay(day campus.Day, sink Sink) {
 		if err != nil {
 			continue // pool exhausted: device silent today
 		}
-		sink.Lease(lease)
+		if batched {
+			g.emitBatched(bs, Event{Kind: EventLease, Lease: lease})
+		} else {
+			sink.Lease(lease)
+		}
 		actives = append(actives, activeDev{dev: d, rng: rng, ip: lease.Addr})
 	}
 	// Pass 2: generate each active device's day.
@@ -204,6 +216,24 @@ func (g *Generator) generateDay(day campus.Day, sink Sink) {
 		ds.events[i].seq = i
 	}
 	sort.Sort(eventSlice(ds.events))
+	if batched {
+		for _, e := range ds.events {
+			switch {
+			case e.dns != nil:
+				g.emitBatched(bs, Event{Kind: EventDNS, DNS: *e.dns})
+			case e.flow != nil:
+				g.emitBatched(bs, Event{Kind: EventFlow, Flow: *e.flow})
+			case e.http != nil:
+				g.emitBatched(bs, Event{Kind: EventHTTP, HTTP: *e.http})
+			}
+		}
+		if len(g.batch) > 0 {
+			bs.EventBatch(g.batch)
+			g.batch = g.batch[:0]
+		}
+		bs.Flush()
+		return
+	}
 	for _, e := range ds.events {
 		switch {
 		case e.dns != nil:
@@ -213,6 +243,20 @@ func (g *Generator) generateDay(day campus.Day, sink Sink) {
 		case e.http != nil:
 			sink.HTTPMeta(*e.http)
 		}
+	}
+}
+
+// emitBatched buffers one event for a BatchSink, handing over a full
+// slice every batchEmitCap events. The buffer is reused, honoring the
+// borrow-only contract of EventBatch.
+func (g *Generator) emitBatched(bs BatchSink, ev Event) {
+	if g.batch == nil {
+		g.batch = make([]Event, 0, batchEmitCap)
+	}
+	g.batch = append(g.batch, ev)
+	if len(g.batch) == cap(g.batch) {
+		bs.EventBatch(g.batch)
+		g.batch = g.batch[:0]
 	}
 }
 
