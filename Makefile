@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race lint lint-golangci lint-custom fuzz-smoke ci bench cover figures figures-full examples clean
+.PHONY: all build vet test test-short race lint lint-golangci lint-custom fuzz-smoke fault-smoke ci bench cover figures figures-full examples clean
 
 BENCH_JSON ?= BENCH_$(shell date +%F).json
 BENCH_SHARDED_JSON ?= BENCH_shards4_$(shell date +%F).json
@@ -42,11 +42,23 @@ lint-golangci:
 lint-custom:
 	$(GO) run ./cmd/lintlock ./...
 
-# Short negative-input fuzz pass over the two external-format parsers;
+# Short negative-input fuzz pass over the external-format parsers;
 # CI runs this on every push (see the fuzz-smoke job).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 30s ./internal/dnswire
 	$(GO) test -run '^$$' -fuzz FuzzConnReader -fuzztime 30s ./internal/zeeklog
+	$(GO) test -run '^$$' -fuzz FuzzLeaseLine -fuzztime 30s ./internal/dhcp
+	$(GO) test -run '^$$' -fuzz FuzzHTTPEntry -fuzztime 30s ./internal/httplog
+
+# Corruption-replay smoke: generate a 5%-scale dataset, replay it with 0.1%
+# seeded corruption under the skip policy, and print the guard's audit line.
+# CI additionally diffs the figure-CSV shapes against a clean replay (see
+# the fault-smoke job); the exhaustive differential harness is
+# `go test ./internal/faultline -run TestDifferential`.
+fault-smoke:
+	$(GO) run ./cmd/tracegen -scale 0.05 -out faultlogs
+	$(GO) run ./cmd/lockdown -logs faultlogs -quiet -out fault-skip \
+		-fault-inject 0.001 -fault-seed 7 -fault-policy skip
 
 ci: build vet test race lint
 

@@ -6,9 +6,11 @@
 //
 //	flowmeter -in capture.pcap -out conn.log [-local 10.0.0.0/8] [-verify]
 //	          [-progress 5s]  emit live packet/byte rates while reading
+//	          [-fault-policy skip|strict|abort] [-fault-budget 0.001]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +18,8 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/decodeerr"
+	"repro/internal/faultline"
 	"repro/internal/flow"
 	"repro/internal/obs"
 	"repro/internal/packet"
@@ -29,18 +33,28 @@ func main() {
 	local := flag.String("local", "10.0.0.0/8", "client (originator) network")
 	verify := flag.Bool("verify", false, "verify transport checksums")
 	progress := flag.Duration("progress", 0, "emit a progress line at this interval (0 = off)")
+	// Undecodable packets have always been skipped here (a tap hands you
+	// whatever was on the wire), so unlike lockdown the default is skip —
+	// strict and abort opt back into hard failure.
+	faultPolicy := flag.String("fault-policy", "skip", "undecodable-packet policy: skip, strict or abort")
+	faultBudget := flag.Float64("fault-budget", 0.001, "tolerated undecodable-packet fraction under -fault-policy abort")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "flowmeter: -in is required")
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *local, *verify, *progress); err != nil {
+	policy, err := faultline.ParsePolicy(*faultPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowmeter:", err)
+		os.Exit(2)
+	}
+	if err := run(*in, *out, *local, *verify, *progress, policy, *faultBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "flowmeter:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, local string, verify bool, progress time.Duration) error {
+func run(in, out, local string, verify bool, progress time.Duration, policy faultline.Policy, budget float64) error {
 	start := time.Now()
 	localNet, err := netip.ParsePrefix(local)
 	if err != nil {
@@ -76,6 +90,7 @@ func run(in, out, local string, verify bool, progress time.Duration) error {
 		prog.SetLabel("flowmeter")
 		prog.Start()
 	}
+	guard := faultline.NewGuard(policy, budget, nil, metrics)
 
 	// Metrics are flushed in runs rather than per packet: the atomic adds
 	// are visible only to the progress reporter, which samples far less
@@ -101,9 +116,17 @@ func run(in, out, local string, verify bool, progress time.Duration) error {
 		}
 		p, err := packet.Decode(rec.Data, verify)
 		if err != nil {
+			class := decodeerr.Malformed
+			if errors.Is(err, packet.ErrTruncated) {
+				class = decodeerr.Truncated
+			}
+			if gerr := guard.Reject("pcap", "", decodeerr.New(class, "pcap", int(packets), err)); gerr != nil {
+				return gerr
+			}
 			skipped++
 			continue
 		}
+		guard.Accept()
 		info, ok := flow.InfoFromPacket(rec.Time, p)
 		if !ok {
 			skipped++
@@ -127,5 +150,8 @@ func run(in, out, local string, verify bool, progress time.Duration) error {
 	}
 	fmt.Fprintf(os.Stderr, "flowmeter: %d packets (%d skipped) → %d flows in %v\n",
 		packets, skipped, conn.Count(), time.Since(start).Round(time.Millisecond))
+	if guard.DropTotal() > 0 {
+		fmt.Fprintf(os.Stderr, "flowmeter: fault guard: %s\n", guard.Summary())
+	}
 	return nil
 }

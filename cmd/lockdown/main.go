@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/devclass"
 	"repro/internal/experiments"
+	"repro/internal/faultline"
 	"repro/internal/logsink"
 	"repro/internal/obs"
 	"repro/internal/packet"
@@ -55,6 +56,13 @@ type config struct {
 	progressFormat string
 	debugAddr      string
 	benchJSON      string
+
+	// Fault-robustness knobs (only meaningful with -logs; the generator
+	// path has no decode step to guard).
+	faultPolicy string  // strict | skip | quarantine | abort
+	faultBudget float64 // tolerated drop fraction under abort
+	faultInject float64 // injected corruption rate (test/CI harness)
+	faultSeed   int64   // corruption injector seed
 
 	// key fixes the pseudonymization key (nil = random); tests use it to
 	// make two runs comparable.
@@ -77,6 +85,10 @@ func main() {
 	flag.StringVar(&cfg.progressFormat, "progress-format", "text", "progress line format: text or json")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve expvar + pprof on this address while running (e.g. localhost:6060)")
 	flag.StringVar(&cfg.benchJSON, "bench-json", "", "write a machine-readable bench report (a .json path, or a directory receiving BENCH_<date>.json)")
+	flag.StringVar(&cfg.faultPolicy, "fault-policy", "strict", "decode-error policy for -logs replay: strict, skip, quarantine or abort")
+	flag.Float64Var(&cfg.faultBudget, "fault-budget", 0.001, "tolerated dropped-record fraction under -fault-policy abort")
+	flag.Float64Var(&cfg.faultInject, "fault-inject", 0, "inject seeded corruption into the replayed logs at this per-record rate (testing)")
+	flag.Int64Var(&cfg.faultSeed, "fault-seed", 1, "seed for -fault-inject corruption")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -157,12 +169,46 @@ func run(cfg config) error {
 		return err
 	}
 
+	// Fault layer: policy guard and optional corruption injection apply to
+	// dataset replay only — the generator path has no decode step.
+	policy := faultline.PolicyStrict
+	if cfg.faultPolicy != "" {
+		policy, err = faultline.ParsePolicy(cfg.faultPolicy)
+		if err != nil {
+			return err
+		}
+	}
+	if cfg.logs == "" && (policy != faultline.PolicyStrict || cfg.faultInject > 0) {
+		return fmt.Errorf("-fault-policy/-fault-inject require -logs (nothing to decode on the generator path)")
+	}
+	var guard *faultline.Guard
+	var replayOpts logsink.ReplayOptions
+	if policy != faultline.PolicyStrict {
+		var quarW io.Writer
+		if policy == faultline.PolicyQuarantine {
+			if err := os.MkdirAll(cfg.out, 0o755); err != nil {
+				return err
+			}
+			qf, err := os.Create(filepath.Join(cfg.out, "quarantine.log"))
+			if err != nil {
+				return err
+			}
+			defer qf.Close()
+			quarW = qf
+		}
+		guard = faultline.NewGuard(policy, cfg.faultBudget, quarW, metrics)
+		replayOpts.Guard = guard
+	}
+	if cfg.faultInject > 0 {
+		replayOpts.Inject = &faultline.Config{Seed: cfg.faultSeed, Rate: cfg.faultInject}
+	}
+
 	truth := map[anonymize.DeviceID]devclass.Type{}
 	ingestStart := time.Now()
 	if cfg.logs != "" {
 		fmt.Fprintf(statusW, "replaying dataset from %s...\n", cfg.logs)
 		prog.Start()
-		if err := logsink.Replay(cfg.logs, pipe); err != nil {
+		if err := logsink.ReplayWithOptions(cfg.logs, pipe, replayOpts); err != nil {
 			return err
 		}
 		// Ground truth for the accuracy experiment: rebuild the same
@@ -207,6 +253,9 @@ func run(cfg config) error {
 	prog.Stop()
 	fmt.Fprintf(statusW, "pipeline: %d flows, %d devices, %s processed in %v\n",
 		ds.Stats.FlowsProcessed, len(ds.Devices), siBytes(float64(ds.Stats.BytesProcessed)), ingestDur.Round(time.Second))
+	if guard != nil {
+		fmt.Fprintf(statusW, "fault guard: %s\n", guard.Summary())
+	}
 
 	if err := os.MkdirAll(cfg.out, 0o755); err != nil {
 		return err

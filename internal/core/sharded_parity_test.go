@@ -8,7 +8,11 @@ import (
 	"time"
 
 	"repro/internal/campus"
+	"repro/internal/decodeerr"
 	"repro/internal/dhcp"
+	"repro/internal/faultline"
+	"repro/internal/logsink"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/universe"
 )
@@ -148,4 +152,88 @@ func TestShardedLeaseBeforeFlowOrdering(t *testing.T) {
 
 func mkIP(i int) netip.Addr {
 	return netip.AddrFrom4([4]byte{10, 9, byte(i >> 8), byte(i)})
+}
+
+// TestFaultParitySharded extends the parity suite to corrupted input: a
+// faultline-injected replay under the skip policy must yield field-by-field
+// identical Stats at every shard count, and identical per-class drop
+// accounting in both the guard and the obs decode-drop counters. The
+// corruption injector is deterministic per (seed, file), so every shard
+// count sees the same corrupted byte stream and the guard makes the same
+// drop decisions — sharding may not change what degradation looks like.
+func TestFaultParitySharded(t *testing.T) {
+	reg, err := universe.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.Scale = 0.05
+	from, to := campus.Day(40), campus.Day(55)
+	g, err := trace.New(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	w, err := logsink.NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RunDays(w, from, to); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("parity-test-key-0123456789abcdef")
+	inject := &faultline.Config{Seed: 17, Rate: 0.005}
+
+	type outcome struct {
+		stats  Stats
+		guard  *faultline.Guard
+		drops  [decodeerr.NumClasses]int64
+		shards int
+	}
+	runAt := func(shards int) outcome {
+		metrics := obs.NewMetrics()
+		guard := faultline.NewGuard(faultline.PolicySkip, 0, nil, metrics)
+		var pipe interface {
+			trace.Sink
+			Finalize() *Dataset
+		}
+		if shards == 1 {
+			pipe, err = NewPipeline(reg, Options{Key: key, Obs: metrics})
+		} else {
+			pipe, err = NewShardedPipeline(reg, Options{Key: key, Obs: metrics}, shards)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := logsink.ReplayWithOptions(dir, pipe, logsink.ReplayOptions{Guard: guard, Inject: inject}); err != nil {
+			t.Fatal(err)
+		}
+		return outcome{stats: pipe.Finalize().Stats, guard: guard, drops: metrics.DecodeDrops(), shards: shards}
+	}
+
+	want := runAt(1)
+	if want.guard.DropTotal() == 0 {
+		t.Fatal("corrupted replay dropped nothing — injection inert")
+	}
+	if want.guard.Accepted()+want.guard.DropTotal() != want.guard.Offered() {
+		t.Fatalf("accounting broken: %s", want.guard.Summary())
+	}
+	got := runAt(4)
+	wv, gv := reflect.ValueOf(want.stats), reflect.ValueOf(got.stats)
+	for i := 0; i < wv.NumField(); i++ {
+		if wv.Field(i).Interface() != gv.Field(i).Interface() {
+			t.Errorf("Stats.%s: 1-shard %v, 4-shard %v",
+				wv.Type().Field(i).Name, wv.Field(i).Interface(), gv.Field(i).Interface())
+		}
+	}
+	if want.guard.Drops() != got.guard.Drops() {
+		t.Errorf("guard drop classes diverged: 1-shard %s, 4-shard %s",
+			want.guard.Summary(), got.guard.Summary())
+	}
+	if want.drops != got.drops {
+		t.Errorf("obs decode-drop counters diverged: 1-shard %v, 4-shard %v", want.drops, got.drops)
+	}
 }

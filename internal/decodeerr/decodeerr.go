@@ -1,0 +1,108 @@
+// Package decodeerr defines the typed decode-error taxonomy shared by every
+// ingest parser (zeeklog, dnswire, dhcp, dnssim, httplog). The real campus
+// pipeline ran unattended for four months against live traffic, where
+// truncated records, malformed wire data and rotation glitches are routine;
+// classifying each failure lets the replay layer apply an error-budget
+// policy (skip / quarantine / abort) and account every dropped record in a
+// per-class counter instead of aborting — or worse, silently bending the
+// figures — on the first dirty byte.
+//
+// The package is dependency-free by design: parsers wrap their failures in
+// an *Error, the observability layer names the classes, and the fault
+// policy engine dispatches on them, without any of the three importing
+// each other's machinery.
+package decodeerr
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Class is the decode-failure taxonomy. Every parser error maps to exactly
+// one class; the replay guard keeps one drop counter per class.
+type Class uint8
+
+// Decode-failure classes.
+const (
+	// Truncated: the record ends before its declared shape is complete — a
+	// short TSV row, a torn write at a rotation boundary, a DNS message
+	// cut mid-name.
+	Truncated Class = iota
+	// Malformed: the bytes are structurally wrong — an unparsable
+	// timestamp, a bad address literal, a reserved DNS label type.
+	Malformed
+	// OutOfRange: the record parses but a value exceeds its domain — a
+	// port above 65535, a count overflowing int64, a negative byte total.
+	OutOfRange
+	// Duplicate: the record is a verbatim repeat of its predecessor — the
+	// signature of a doubled write during log rotation.
+	Duplicate
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"truncated", "malformed", "out_of_range", "duplicate",
+}
+
+// String returns the class's snake_case name (used in counters and JSON).
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "unknown"
+}
+
+// Error is a classified decode failure. It wraps the parser's underlying
+// error, so existing errors.Is checks against parser sentinels (e.g.
+// zeeklog.ErrFieldCount) keep working.
+type Error struct {
+	Class  Class
+	Source string // which decoder failed: "zeeklog", "dnswire", "conn", ...
+	Line   int    // 1-based input line where known, 0 otherwise
+	Err    error  // underlying cause
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("%s: %s record at line %d: %v", e.Source, e.Class, e.Line, e.Err)
+	}
+	return fmt.Sprintf("%s: %s record: %v", e.Source, e.Class, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// New wraps err as a classified decode error. A nil err is returned as nil.
+func New(class Class, source string, line int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Class: class, Source: source, Line: line, Err: err}
+}
+
+// Newf builds a classified decode error from a format string.
+func Newf(class Class, source string, line int, format string, args ...any) error {
+	return &Error{Class: class, Source: source, Line: line, Err: fmt.Errorf(format, args...)}
+}
+
+// ClassOf extracts the class of a (possibly wrapped) decode error. The
+// second return is false when err carries no classification.
+func ClassOf(err error) (Class, bool) {
+	var de *Error
+	if errors.As(err, &de) {
+		return de.Class, true
+	}
+	return Malformed, false
+}
+
+// NumericClass classifies a strconv-style parse failure: range overflow is
+// OutOfRange (the field is numeric but its value exceeds the type's
+// domain), anything else is Malformed.
+func NumericClass(err error) Class {
+	if errors.Is(err, strconv.ErrRange) {
+		return OutOfRange
+	}
+	return Malformed
+}

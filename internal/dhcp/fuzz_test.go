@@ -1,0 +1,114 @@
+// The fuzz target lives in an external test package so the seed corpus can
+// be built with faultline, which imports trace and therefore dhcp.
+package dhcp_test
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/decodeerr"
+	"repro/internal/dhcp"
+	"repro/internal/faultline"
+	"repro/internal/logsink"
+	"repro/internal/trace"
+	"repro/internal/universe"
+)
+
+// genLeaseLog renders one tiny-scale generated day's dhcp.log, trimmed to
+// keep the checked-in corpus small.
+func genLeaseLog(f *testing.F) string {
+	f.Helper()
+	dir := f.TempDir()
+	reg, err := universe.New()
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.Scale = 0.002
+	g, err := trace.New(cfg, reg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w, err := logsink.NewWriter(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := g.RunDays(w, 10, 11); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, logsink.DHCPFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return firstLines(string(data), 64)
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitAfterN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "")
+}
+
+// corruptVariant runs a clean log through the corruption injector at an
+// aggressive rate so the fuzzer starts from inputs that already exercise
+// every fault class.
+func corruptVariant(f *testing.F, clean string, seed int64) string {
+	f.Helper()
+	r := faultline.NewReader(strings.NewReader(clean), faultline.Config{Seed: seed, Rate: 0.3})
+	out, err := io.ReadAll(r)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return string(out)
+}
+
+// FuzzLeaseLine feeds arbitrary text through the dhcp log reader. The
+// contract under fault injection: never panic, classify every record-level
+// failure (*decodeerr.Error) so the replay guard can skip-and-count it, stay
+// usable after a classified failure, and only hand back leases with a valid
+// address. The sole unclassified error allowed is the scanner's own
+// line-too-long overflow, which is stream-fatal by design.
+func FuzzLeaseLine(f *testing.F) {
+	clean := genLeaseLog(f)
+	f.Add(clean)
+	for seed := int64(1); seed <= 3; seed++ {
+		f.Add(corruptVariant(f, clean, seed))
+	}
+	f.Add("")
+	f.Add("#fields\tts\tmac\tassigned_addr\tlease_end")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		lr, err := dhcp.NewLogReader(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 2000; i++ {
+			l, err := lr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if _, ok := decodeerr.ClassOf(err); ok {
+					continue
+				}
+				if errors.Is(err, bufio.ErrTooLong) {
+					return
+				}
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			if !l.Addr.IsValid() {
+				t.Fatalf("reader accepted a lease with invalid address: %+v", l)
+			}
+		}
+	})
+}

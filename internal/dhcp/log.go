@@ -1,10 +1,10 @@
 package dhcp
 
 import (
-	"fmt"
 	"io"
 	"net/netip"
 
+	"repro/internal/decodeerr"
 	"repro/internal/packet"
 	"repro/internal/zeeklog"
 )
@@ -57,27 +57,35 @@ func NewLogReader(r io.Reader) (*LogReader, error) {
 	return &LogReader{r: rd}, nil
 }
 
-// Next returns the next lease or io.EOF.
+// Next returns the next lease or io.EOF. Failures are classified
+// (*decodeerr.Error) so a fault-tolerant replay can skip-and-count them.
 func (lr *LogReader) Next() (Lease, error) {
 	values, err := lr.r.Next()
 	if err != nil {
 		return Lease{}, err
 	}
+	line := lr.r.Line()
 	var l Lease
 	if l.Start, err = zeeklog.ParseTime(values[0]); err != nil {
 		return l, err
 	}
 	if l.MAC, err = packet.ParseMAC(values[1]); err != nil {
-		return l, err
+		return l, decodeerr.New(decodeerr.Malformed, "dhcp", line, err)
 	}
 	if l.Addr, err = netip.ParseAddr(values[2]); err != nil {
-		return l, fmt.Errorf("dhcp: bad address %q: %w", values[2], err)
+		return l, decodeerr.Newf(decodeerr.Malformed, "dhcp", line, "bad address %q: %w", values[2], err)
 	}
 	if l.End, err = zeeklog.ParseTime(values[3]); err != nil {
 		return l, err
 	}
 	return l, nil
 }
+
+// Raw returns the data line behind the most recent Next.
+func (lr *LogReader) Raw() string { return lr.r.Raw() }
+
+// Line returns the input line number of the most recent Next.
+func (lr *LogReader) Line() int { return lr.r.Line() }
 
 // ReadAll drains a lease log into a slice.
 func ReadAll(r io.Reader) ([]Lease, error) {

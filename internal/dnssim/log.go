@@ -1,10 +1,10 @@
 package dnssim
 
 import (
-	"fmt"
 	"io"
 	"net/netip"
 
+	"repro/internal/decodeerr"
 	"repro/internal/zeeklog"
 )
 
@@ -58,25 +58,33 @@ func NewLogReader(r io.Reader) (*LogReader, error) {
 	return &LogReader{r: rd}, nil
 }
 
-// Next returns the next entry or io.EOF.
+// Next returns the next entry or io.EOF. Failures are classified
+// (*decodeerr.Error) so a fault-tolerant replay can skip-and-count them.
 func (lr *LogReader) Next() (Entry, error) {
 	values, err := lr.r.Next()
 	if err != nil {
 		return Entry{}, err
 	}
+	line := lr.r.Line()
 	var e Entry
 	if e.Time, err = zeeklog.ParseTime(values[0]); err != nil {
 		return e, err
 	}
 	if e.Client, err = netip.ParseAddr(values[1]); err != nil {
-		return e, fmt.Errorf("dnssim: bad client %q: %w", values[1], err)
+		return e, decodeerr.Newf(decodeerr.Malformed, "dns", line, "bad client %q: %w", values[1], err)
 	}
 	e.Query = zeeklog.ParseString(values[2])
 	if e.Answer, err = netip.ParseAddr(values[3]); err != nil {
-		return e, fmt.Errorf("dnssim: bad answer %q: %w", values[3], err)
+		return e, decodeerr.Newf(decodeerr.Malformed, "dns", line, "bad answer %q: %w", values[3], err)
 	}
 	if e.TTL, err = zeeklog.ParseInterval(values[4]); err != nil {
 		return e, err
 	}
 	return e, nil
 }
+
+// Raw returns the data line behind the most recent Next.
+func (lr *LogReader) Raw() string { return lr.r.Raw() }
+
+// Line returns the input line number of the most recent Next.
+func (lr *LogReader) Line() int { return lr.r.Line() }

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
+
+	"repro/internal/decodeerr"
 )
 
 // Record types and classes used by the simulation.
@@ -145,8 +147,22 @@ func (m *Message) Encode() ([]byte, error) {
 	return b, nil
 }
 
-// Decode parses a message.
+// Decode parses a message. Failures are classified (*decodeerr.Error):
+// messages cut short are truncated, everything else is malformed — so the
+// packet-replay path can account wire corruption per class.
 func Decode(data []byte) (*Message, error) {
+	m, err := decode(data)
+	if err == nil {
+		return m, nil
+	}
+	class := decodeerr.Malformed
+	if errors.Is(err, ErrTruncated) {
+		class = decodeerr.Truncated
+	}
+	return nil, decodeerr.New(class, "dnswire", 0, err)
+}
+
+func decode(data []byte) (*Message, error) {
 	if len(data) < 12 {
 		return nil, ErrTruncated
 	}

@@ -1,0 +1,161 @@
+package faultline
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// sampleLog builds a small Zeek-style log with n tab-separated records.
+func sampleLog(n int) string {
+	var b strings.Builder
+	b.WriteString("#separator \\x09\n#fields\tts\tid\thost\tbytes\n#types\ttime\tstring\tstring\tcount\n")
+	for i := 0; i < n; i++ {
+		b.WriteString("1583020800.")
+		b.WriteByte(byte('0' + i%10))
+		b.WriteString("\tC")
+		b.WriteByte(byte('a' + i%26))
+		b.WriteString("\texample.edu\t")
+		b.WriteByte(byte('1' + i%9))
+		b.WriteString("00\n")
+	}
+	b.WriteString("#close 2020-03-01\n")
+	return b.String()
+}
+
+func corrupt(t *testing.T, input string, cfg Config) (string, Report) {
+	t.Helper()
+	var out bytes.Buffer
+	rep, err := CorruptFile(&out, strings.NewReader(input), cfg)
+	if err != nil {
+		t.Fatalf("CorruptFile: %v", err)
+	}
+	return out.String(), rep
+}
+
+func TestReaderDeterministic(t *testing.T) {
+	in := sampleLog(500)
+	cfg := Config{Seed: 42, Rate: 0.05}
+	a, repA := corrupt(t, in, cfg)
+	b, repB := corrupt(t, in, cfg)
+	if a != b {
+		t.Fatal("same seed produced different corruption")
+	}
+	if repA != repB {
+		t.Fatalf("same seed produced different reports: %v vs %v", repA, repB)
+	}
+	if repA.Total() == 0 {
+		t.Fatal("5% rate over 500 records injected nothing")
+	}
+	c, _ := corrupt(t, in, Config{Seed: 43, Rate: 0.05})
+	if a == c {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+// TestReaderChunkInvariance pins the property the differential harness
+// rests on: corruption depends only on (input, config), not on how the
+// consumer chunks its reads.
+func TestReaderChunkInvariance(t *testing.T) {
+	in := sampleLog(200)
+	whole, _ := corrupt(t, in, Config{Seed: 7, Rate: 0.1})
+
+	r := NewReader(strings.NewReader(in), Config{Seed: 7, Rate: 0.1})
+	var byByte bytes.Buffer
+	buf := make([]byte, 1)
+	for {
+		n, err := r.Read(buf)
+		byByte.Write(buf[:n])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+	}
+	if whole != byByte.String() {
+		t.Fatal("1-byte reads produced different output than io.Copy")
+	}
+}
+
+// TestReaderAccounting verifies the invariants that keep guard accounting
+// sound: header/comment lines pass verbatim, no fault splits or merges
+// records, and the emitted data-line count equals Report.Emitted.
+func TestReaderAccounting(t *testing.T) {
+	in := sampleLog(1000)
+	out, rep := corrupt(t, in, Config{Seed: 3, Rate: 0.2})
+
+	var inHeaders, outHeaders, outData int64
+	for _, l := range strings.Split(in, "\n") {
+		if strings.HasPrefix(l, "#") {
+			inHeaders++
+		}
+	}
+	for _, l := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(l, "#"):
+			outHeaders++
+		case l != "":
+			outData++
+		}
+	}
+	if inHeaders != outHeaders {
+		t.Fatalf("header lines changed: in %d, out %d", inHeaders, outHeaders)
+	}
+	if outData != rep.Emitted {
+		t.Fatalf("emitted %d data lines, report says %d", outData, rep.Emitted)
+	}
+	if want := int64(1000) + rep.Faults[FaultDuplicate]; rep.Records != want {
+		t.Fatalf("Records = %d, want %d (1000 input + %d duplicates)", rep.Records, want, rep.Faults[FaultDuplicate])
+	}
+	// Only duplication changes the line count; everything else is 1:1.
+	if rep.Emitted != rep.Records {
+		t.Fatalf("Emitted %d != Records %d", rep.Emitted, rep.Records)
+	}
+}
+
+func TestReaderZeroRatePassthrough(t *testing.T) {
+	in := sampleLog(50)
+	out, rep := corrupt(t, in, Config{Seed: 9})
+	if out != in {
+		t.Fatal("zero rate altered the stream")
+	}
+	if rep.Total() != 0 {
+		t.Fatalf("zero rate injected %d faults", rep.Total())
+	}
+}
+
+func TestTornTail(t *testing.T) {
+	in := sampleLog(20)
+	// Strip the #close trailer so the last line is a data record — torn
+	// writes happen to files that never got their clean close.
+	in = strings.TrimSuffix(in, "#close 2020-03-01\n")
+	lines := strings.Split(strings.TrimSuffix(in, "\n"), "\n")
+	lastFull := lines[len(lines)-1]
+
+	out, rep := corrupt(t, in, Config{Seed: 11, TornTail: true})
+	if rep.Faults[FaultTornTail] != 1 {
+		t.Fatalf("torn_tail faults = %d, want 1", rep.Faults[FaultTornTail])
+	}
+	if strings.HasSuffix(out, "\n") {
+		t.Fatal("torn output still ends with a newline")
+	}
+	outLines := strings.Split(out, "\n")
+	torn := outLines[len(outLines)-1]
+	if !strings.HasPrefix(lastFull, torn) || len(torn) >= len(lastFull) || torn == "" {
+		t.Fatalf("torn record %q is not a strict non-empty prefix of %q", torn, lastFull)
+	}
+}
+
+func TestSubSeedIndependence(t *testing.T) {
+	cfg := Config{Seed: 5, Rate: 0.1}
+	a := cfg.Sub("conn.log")
+	b := cfg.Sub("dns.log")
+	if a.Seed == b.Seed {
+		t.Fatal("different file names derived the same sub-seed")
+	}
+	if a.Seed != cfg.Sub("conn.log").Seed {
+		t.Fatal("sub-seed derivation is not stable")
+	}
+}

@@ -1,0 +1,212 @@
+package faultline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/decodeerr"
+	"repro/internal/obs"
+)
+
+// Policy selects how the replay path treats a record that fails to decode.
+type Policy uint8
+
+const (
+	// PolicyStrict propagates the first decode error and stops the replay —
+	// the pre-fault-layer behavior, and the default.
+	PolicyStrict Policy = iota
+	// PolicySkip drops the record, counts it per class, and continues.
+	PolicySkip
+	// PolicyQuarantine is PolicySkip plus a copy of every rejected raw
+	// record to a sidecar writer for offline inspection.
+	PolicyQuarantine
+	// PolicyAbort is PolicySkip until the drop fraction exceeds the
+	// configured budget, then stops with ErrBudgetExceeded — corruption
+	// this widespread means the input, not the odd record, is bad.
+	PolicyAbort
+)
+
+var policyNames = map[Policy]string{
+	PolicyStrict:     "strict",
+	PolicySkip:       "skip",
+	PolicyQuarantine: "quarantine",
+	PolicyAbort:      "abort",
+}
+
+// String returns the policy's flag spelling.
+func (p Policy) String() string {
+	if n, ok := policyNames[p]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// ParsePolicy parses a -fault-policy flag value.
+func ParsePolicy(s string) (Policy, error) {
+	for p, n := range policyNames {
+		if n == s {
+			return p, nil
+		}
+	}
+	return PolicyStrict, fmt.Errorf("faultline: unknown policy %q (want strict, skip, quarantine or abort)", s)
+}
+
+// ErrBudgetExceeded is returned (wrapped) by Guard.Reject under PolicyAbort
+// once drops/offered exceeds the budget.
+var ErrBudgetExceeded = errors.New("faultline: decode-error budget exceeded")
+
+// Guard applies a fault policy to a replay's decode errors and keeps the
+// accounting that makes degradation auditable: every record is either
+// accepted or dropped into a per-class counter, so at the end
+// Accepted() + DropTotal() == Offered(). A nil *Guard is valid and behaves
+// as PolicyStrict with zero overhead, mirroring the nil-*Metrics idiom.
+type Guard struct {
+	policy Policy
+	// budget is the tolerated drops/offered fraction under PolicyAbort.
+	budget float64
+	om     *obs.Metrics
+
+	mu         sync.Mutex
+	quarantine io.Writer
+	offered    int64
+	accepted   int64
+	drops      [decodeerr.NumClasses]int64
+}
+
+// NewGuard builds a guard. quarantine may be nil (required only for
+// PolicyQuarantine to be useful); om may be nil; budget only matters under
+// PolicyAbort.
+func NewGuard(policy Policy, budget float64, quarantine io.Writer, om *obs.Metrics) *Guard {
+	return &Guard{policy: policy, budget: budget, quarantine: quarantine, om: om}
+}
+
+// Policy returns the guard's policy (PolicyStrict for a nil guard).
+func (g *Guard) Policy() Policy {
+	if g == nil {
+		return PolicyStrict
+	}
+	return g.policy
+}
+
+// Accept records one successfully decoded record.
+func (g *Guard) Accept() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.offered++
+	g.accepted++
+	g.mu.Unlock()
+}
+
+// Reject handles one failed record. Under PolicyStrict (or a nil guard) it
+// returns err unchanged, stopping the replay as before. Under the lenient
+// policies it counts the drop by decode class (threading it into obs),
+// optionally quarantines the raw record, and returns nil — except under
+// PolicyAbort past budget, where it returns ErrBudgetExceeded wrapping err.
+//
+// Only classified errors (*decodeerr.Error) are skippable: an error with no
+// decode class is a stream-level failure — a scanner overflow, an I/O error —
+// after which the reader cannot make progress, so skipping it would loop
+// forever on the same error. Those propagate under every policy.
+func (g *Guard) Reject(source, raw string, err error) error {
+	if g == nil || g.policy == PolicyStrict {
+		return err
+	}
+	class, ok := decodeerr.ClassOf(err)
+	if !ok {
+		return err
+	}
+	g.mu.Lock()
+	g.offered++
+	g.drops[class]++
+	drops := g.dropTotalLocked()
+	offered := g.offered
+	q := g.quarantine
+	g.mu.Unlock()
+	g.om.DecodeDrop(class)
+	if q != nil && g.policy == PolicyQuarantine {
+		// One quarantined record per line: class, source, error, then the
+		// raw record with tabs intact so it can be replayed in isolation.
+		fmt.Fprintf(q, "%s\t%s\t%s\t%s\n", class, source, strings.ReplaceAll(err.Error(), "\n", " "), raw)
+	}
+	if g.policy == PolicyAbort && float64(drops) > g.budget*float64(offered) {
+		return fmt.Errorf("%w: %d/%d records dropped (budget %.4g): %v", ErrBudgetExceeded, drops, offered, g.budget, err)
+	}
+	return nil
+}
+
+// RejectDuplicate is Reject for a record detected as an adjacent duplicate
+// (the one decode-fault class the parsers cannot see on their own).
+func (g *Guard) RejectDuplicate(source string, line int, raw string) error {
+	return g.Reject(source, raw, decodeerr.Newf(decodeerr.Duplicate, source, line, "duplicate of previous record"))
+}
+
+// Offered returns the number of records presented to the guard.
+func (g *Guard) Offered() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.offered
+}
+
+// Accepted returns the number of records that decoded cleanly.
+func (g *Guard) Accepted() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.accepted
+}
+
+// Drops returns the per-class dropped-record counts.
+func (g *Guard) Drops() [decodeerr.NumClasses]int64 {
+	if g == nil {
+		return [decodeerr.NumClasses]int64{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.drops
+}
+
+// DropTotal returns the total dropped-record count.
+func (g *Guard) DropTotal() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.dropTotalLocked()
+}
+
+func (g *Guard) dropTotalLocked() int64 {
+	var n int64
+	for _, d := range g.drops {
+		n += d
+	}
+	return n
+}
+
+// Summary renders the guard's accounting for an end-of-run status line,
+// e.g. "policy=skip offered=102400 accepted=102311 dropped=89 [truncated=41 malformed=48]".
+func (g *Guard) Summary() string {
+	if g == nil {
+		return "policy=strict"
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var parts []string
+	for c, n := range g.drops {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", decodeerr.Class(c), n))
+		}
+	}
+	return fmt.Sprintf("policy=%s offered=%d accepted=%d dropped=%d [%s]",
+		g.policy, g.offered, g.accepted, g.dropTotalLocked(), strings.Join(parts, " "))
+}

@@ -1,0 +1,139 @@
+package faultline
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/decodeerr"
+	"repro/internal/obs"
+)
+
+func truncErr() error {
+	return decodeerr.Newf(decodeerr.Truncated, "conn", 7, "3 values for 10 fields")
+}
+
+func TestGuardNilIsStrict(t *testing.T) {
+	var g *Guard
+	err := truncErr()
+	if got := g.Reject("conn", "raw", err); got != err {
+		t.Fatalf("nil guard Reject = %v, want the error back", got)
+	}
+	g.Accept() // must not panic
+	if g.Offered() != 0 || g.DropTotal() != 0 {
+		t.Fatal("nil guard reported nonzero counters")
+	}
+	if g.Policy() != PolicyStrict {
+		t.Fatalf("nil guard policy = %v, want strict", g.Policy())
+	}
+}
+
+func TestGuardStrict(t *testing.T) {
+	g := NewGuard(PolicyStrict, 0, nil, nil)
+	err := truncErr()
+	if got := g.Reject("conn", "raw", err); got != err {
+		t.Fatalf("strict Reject = %v, want the error back", got)
+	}
+}
+
+// TestGuardUnclassifiedIsFatal pins the skippability boundary: an error with
+// no decode class is a stream-level failure, not a bad record, and must
+// propagate even under lenient policies — skipping it would retry the same
+// wedged reader forever.
+func TestGuardUnclassifiedIsFatal(t *testing.T) {
+	g := NewGuard(PolicySkip, 0, nil, nil)
+	err := errors.New("bufio.Scanner: token too long")
+	if got := g.Reject("conn", "raw", err); got != err {
+		t.Fatalf("skip Reject(unclassified) = %v, want the error back", got)
+	}
+	if g.Offered() != 0 || g.DropTotal() != 0 {
+		t.Fatalf("fatal rejection still counted: %s", g.Summary())
+	}
+}
+
+func TestGuardSkipAccounting(t *testing.T) {
+	m := obs.NewMetrics()
+	g := NewGuard(PolicySkip, 0, nil, m)
+	for i := 0; i < 90; i++ {
+		g.Accept()
+	}
+	for i := 0; i < 7; i++ {
+		if err := g.Reject("conn", "raw", truncErr()); err != nil {
+			t.Fatalf("skip Reject returned %v", err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := g.RejectDuplicate("dns", 12, "raw"); err != nil {
+			t.Fatalf("RejectDuplicate returned %v", err)
+		}
+	}
+	if g.Offered() != 100 || g.Accepted() != 90 || g.DropTotal() != 10 {
+		t.Fatalf("offered/accepted/drops = %d/%d/%d, want 100/90/10",
+			g.Offered(), g.Accepted(), g.DropTotal())
+	}
+	if g.Accepted()+g.DropTotal() != g.Offered() {
+		t.Fatal("accounting invariant violated")
+	}
+	drops := g.Drops()
+	if drops[decodeerr.Truncated] != 7 || drops[decodeerr.Duplicate] != 3 {
+		t.Fatalf("per-class drops = %v", drops)
+	}
+	// The same counts must have reached obs.
+	od := m.DecodeDrops()
+	if od[decodeerr.Truncated] != 7 || od[decodeerr.Duplicate] != 3 {
+		t.Fatalf("obs decode drops = %v", od)
+	}
+	if s := g.Summary(); !strings.Contains(s, "truncated=7") || !strings.Contains(s, "duplicate=3") {
+		t.Fatalf("Summary missing class counts: %s", s)
+	}
+}
+
+func TestGuardQuarantine(t *testing.T) {
+	var side bytes.Buffer
+	g := NewGuard(PolicyQuarantine, 0, &side, nil)
+	raw := "1583020800.0\tCx\texample.edu"
+	if err := g.Reject("conn", raw, truncErr()); err != nil {
+		t.Fatalf("quarantine Reject returned %v", err)
+	}
+	line := side.String()
+	if !strings.HasPrefix(line, "truncated\tconn\t") || !strings.HasSuffix(line, raw+"\n") {
+		t.Fatalf("sidecar line = %q", line)
+	}
+}
+
+func TestGuardAbortBudget(t *testing.T) {
+	// Budget 10%: drops must stop the replay once they exceed 1 in 10.
+	g := NewGuard(PolicyAbort, 0.10, nil, nil)
+	for i := 0; i < 97; i++ {
+		g.Accept()
+	}
+	for i := 0; i < 10; i++ {
+		if err := g.Reject("conn", "", truncErr()); err != nil {
+			t.Fatalf("drop %d within budget aborted: %v", i+1, err)
+		}
+	}
+	// 11 drops / 108 offered > 10%.
+	err := g.Reject("conn", "", truncErr())
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-budget Reject = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for name, want := range map[string]Policy{
+		"strict": PolicyStrict, "skip": PolicySkip,
+		"quarantine": PolicyQuarantine, "abort": PolicyAbort,
+	} {
+		got, err := ParsePolicy(name)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Fatalf("Policy(%v).String() = %q, want %q", got, got.String(), name)
+		}
+	}
+	if _, err := ParsePolicy("lenient"); err == nil {
+		t.Fatal("ParsePolicy accepted an unknown policy")
+	}
+}

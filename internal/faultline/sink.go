@@ -1,0 +1,124 @@
+package faultline
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/dhcp"
+	"repro/internal/dnssim"
+	"repro/internal/flow"
+	"repro/internal/httplog"
+	"repro/internal/trace"
+)
+
+// FaultSink wraps any trace.Sink with event-level structural faults —
+// drops, duplicates and adjacent reorders — applied deterministically at a
+// seeded rate. Content faults (byte flips, truncation, …) don't exist at
+// this layer: typed in-memory events have no bytes to corrupt; those
+// classes belong to the log-replay injector (Reader). Call Flush at end of
+// stream to deliver a held reordered event.
+type FaultSink struct {
+	mu   sync.Mutex
+	sink trace.Sink
+	rng  *rand.Rand
+	rate float64
+	held *trace.Event
+	rep  Report
+}
+
+// Event-fault classes drawn uniformly by FaultSink (a subset of the
+// injector classes, reusing their Report slots).
+var sinkClasses = [...]Class{FaultTruncate, FaultDuplicate, FaultReorder}
+
+// WrapSink wraps sink with structural event faults at the given per-event
+// rate under seed. FaultTruncate at this layer means the event is lost
+// entirely (the in-memory analogue of an unparseable record).
+func WrapSink(sink trace.Sink, seed int64, rate float64) *FaultSink {
+	return &FaultSink{sink: sink, rng: rand.New(rand.NewSource(seed)), rate: rate}
+}
+
+// Report returns the sink's fault accounting (complete after Flush).
+func (f *FaultSink) Report() Report {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rep
+}
+
+// Flow implements trace.Sink.
+func (f *FaultSink) Flow(r flow.Record) { f.deliver(trace.Event{Kind: trace.EventFlow, Flow: r}) }
+
+// DNS implements trace.Sink.
+func (f *FaultSink) DNS(e dnssim.Entry) { f.deliver(trace.Event{Kind: trace.EventDNS, DNS: e}) }
+
+// HTTPMeta implements trace.Sink.
+func (f *FaultSink) HTTPMeta(e httplog.Entry) {
+	f.deliver(trace.Event{Kind: trace.EventHTTP, HTTP: e})
+}
+
+// Lease implements trace.Sink.
+func (f *FaultSink) Lease(l dhcp.Lease) { f.deliver(trace.Event{Kind: trace.EventLease, Lease: l}) }
+
+// Flush delivers a pending reordered event. FaultSink intentionally does
+// not implement trace.BatchSink: presenting only the per-event interface
+// forces producers onto the path where faults apply uniformly.
+func (f *FaultSink) Flush() {
+	f.mu.Lock()
+	held := f.held
+	f.held = nil
+	f.mu.Unlock()
+	if held != nil {
+		f.forward(*held)
+	}
+}
+
+func (f *FaultSink) deliver(ev trace.Event) {
+	f.mu.Lock()
+	f.rep.Records++
+	if h := f.held; h != nil {
+		// Complete a reorder: this event first, the held one after.
+		f.held = nil
+		f.mu.Unlock()
+		f.forward(ev)
+		f.forward(*h)
+		return
+	}
+	if f.rate <= 0 || f.rng.Float64() >= f.rate {
+		f.mu.Unlock()
+		f.forward(ev)
+		return
+	}
+	class := sinkClasses[f.rng.Intn(len(sinkClasses))]
+	f.rep.Faults[class]++
+	switch class {
+	case FaultTruncate: // event lost
+		f.mu.Unlock()
+	case FaultDuplicate:
+		f.rep.Records++
+		f.mu.Unlock()
+		f.forward(ev)
+		f.forward(ev)
+	case FaultReorder:
+		held := ev
+		f.held = &held
+		f.mu.Unlock()
+	default:
+		f.mu.Unlock()
+		f.forward(ev)
+	}
+}
+
+func (f *FaultSink) forward(ev trace.Event) {
+	f.mu.Lock()
+	f.rep.Emitted++
+	f.mu.Unlock()
+	switch ev.Kind {
+	case trace.EventFlow:
+		f.sink.Flow(ev.Flow)
+	case trace.EventDNS:
+		f.sink.DNS(ev.DNS)
+	case trace.EventHTTP:
+		f.sink.HTTPMeta(ev.HTTP)
+	case trace.EventLease:
+		f.sink.Lease(ev.Lease)
+	}
+}

@@ -1,0 +1,114 @@
+// The fuzz target lives in an external test package so the seed corpus can
+// be built with faultline, which imports trace and therefore httplog.
+package httplog_test
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/decodeerr"
+	"repro/internal/faultline"
+	"repro/internal/httplog"
+	"repro/internal/logsink"
+	"repro/internal/trace"
+	"repro/internal/universe"
+)
+
+// genHTTPLog renders one tiny-scale generated day's http.log, trimmed to
+// keep the checked-in corpus small.
+func genHTTPLog(f *testing.F) string {
+	f.Helper()
+	dir := f.TempDir()
+	reg, err := universe.New()
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.Scale = 0.002
+	g, err := trace.New(cfg, reg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w, err := logsink.NewWriter(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := g.RunDays(w, 10, 11); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, logsink.HTTPFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return firstLines(string(data), 64)
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitAfterN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "")
+}
+
+func corruptVariant(f *testing.F, clean string, seed int64) string {
+	f.Helper()
+	r := faultline.NewReader(strings.NewReader(clean), faultline.Config{Seed: seed, Rate: 0.3})
+	out, err := io.ReadAll(r)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return string(out)
+}
+
+// FuzzHTTPEntry feeds arbitrary text through the http metadata reader under
+// the same contract as FuzzLeaseLine: no panics, every record-level failure
+// classified for the replay guard, the reader usable after a classified
+// failure, and accepted entries carrying a valid client address and
+// tab-free decoded strings (a tab surviving decode would mean the TSV
+// framing itself leaked through).
+func FuzzHTTPEntry(f *testing.F) {
+	clean := genHTTPLog(f)
+	f.Add(clean)
+	for seed := int64(1); seed <= 3; seed++ {
+		f.Add(corruptVariant(f, clean, seed))
+	}
+	f.Add("")
+	f.Add("#fields\tts\tid.orig_h\thost\tuser_agent")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		lr, err := httplog.NewReader(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 2000; i++ {
+			e, err := lr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if _, ok := decodeerr.ClassOf(err); ok {
+					continue
+				}
+				if errors.Is(err, bufio.ErrTooLong) {
+					return
+				}
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			if !e.Client.IsValid() {
+				t.Fatalf("reader accepted an entry with invalid client: %+v", e)
+			}
+			if strings.ContainsRune(e.Host, '\t') || strings.ContainsRune(e.UserAgent, '\t') {
+				t.Fatalf("decoded string leaked TSV framing: %+v", e)
+			}
+		}
+	})
+}

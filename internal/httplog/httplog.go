@@ -7,11 +7,11 @@
 package httplog
 
 import (
-	"fmt"
 	"io"
 	"net/netip"
 	"time"
 
+	"repro/internal/decodeerr"
 	"repro/internal/zeeklog"
 )
 
@@ -71,20 +71,28 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return &Reader{r: rd}, nil
 }
 
-// Next returns the next entry or io.EOF.
+// Next returns the next entry or io.EOF. Failures are classified
+// (*decodeerr.Error) so a fault-tolerant replay can skip-and-count them.
 func (lr *Reader) Next() (Entry, error) {
 	values, err := lr.r.Next()
 	if err != nil {
 		return Entry{}, err
 	}
+	line := lr.r.Line()
 	var e Entry
 	if e.Time, err = zeeklog.ParseTime(values[0]); err != nil {
 		return e, err
 	}
 	if e.Client, err = netip.ParseAddr(values[1]); err != nil {
-		return e, fmt.Errorf("httplog: bad client %q: %w", values[1], err)
+		return e, decodeerr.Newf(decodeerr.Malformed, "http", line, "bad client %q: %w", values[1], err)
 	}
 	e.Host = zeeklog.ParseString(values[2])
 	e.UserAgent = zeeklog.ParseString(values[3])
 	return e, nil
 }
+
+// Raw returns the data line behind the most recent Next.
+func (lr *Reader) Raw() string { return lr.r.Raw() }
+
+// Line returns the input line number of the most recent Next.
+func (lr *Reader) Line() int { return lr.r.Line() }

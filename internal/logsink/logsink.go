@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/dhcp"
 	"repro/internal/dnssim"
+	"repro/internal/faultline"
 	"repro/internal/flow"
 	"repro/internal/httplog"
 	"repro/internal/trace"
@@ -163,27 +164,100 @@ func (g *gzReadCloser) Close() error {
 	return err
 }
 
+// ReplayOptions configures the fault-robustness layer of a replay. The
+// zero value reproduces the historical behavior exactly: no corruption
+// injected, first decode error fatal.
+type ReplayOptions struct {
+	// Guard applies the fault policy to decode errors; nil means strict.
+	Guard *faultline.Guard
+	// Inject, when non-nil, streams every log through a seeded corruption
+	// injector (sub-seeded per file) before parsing — the test-harness
+	// path for exercising the guard without pre-corrupting files on disk.
+	Inject *faultline.Config
+}
+
+// inject wraps r with the corruption injector when configured.
+func (o ReplayOptions) inject(r io.Reader, name string) io.Reader {
+	if o.Inject == nil {
+		return r
+	}
+	return faultline.NewReader(r, o.Inject.Sub(name))
+}
+
+// lenient reports whether decode errors are survivable (duplicate
+// detection is only worth its comparison cost then).
+func (o ReplayOptions) lenient() bool {
+	return o.Guard.Policy() != faultline.PolicyStrict
+}
+
 // Replay streams a dataset directory into sink: DHCP leases first (they
 // index address bindings), then flows, DNS entries and HTTP metadata merged
 // in timestamp order, matching the live generation order. A sink that
 // implements trace.BatchSink (the sharded pipeline) receives the same
 // events in batched runs instead of one interface call each.
 func Replay(dir string, sink trace.Sink) error {
-	out := trace.NewBatcher(sink)
+	return ReplayWithOptions(dir, sink, ReplayOptions{})
+}
 
-	// Leases: sequential, already in grant order.
+// ReplayWithOptions is Replay with the fault-robustness layer: an optional
+// corruption injector on every log stream and an error-budget guard over
+// every decode failure. Log headers stay fatal under every policy — a file
+// whose schema cannot be read contributes nothing to skip over. Under a
+// lenient policy, adjacent identical records (the duplicated-write fault)
+// are detected per stream and dropped as decodeerr.Duplicate.
+func ReplayWithOptions(dir string, sink trace.Sink, opts ReplayOptions) error {
+	if err := replayLeases(dir, sink, opts); err != nil {
+		return err
+	}
+	return replayMerged(dir, sink, opts)
+}
+
+// replayLeases streams the day's DHCP log into sink under the fault layer.
+func replayLeases(dir string, sink trace.Sink, opts ReplayOptions) error {
+	g := opts.Guard
+	lenient := opts.lenient()
 	dhcpF, err := openLog(dir, DHCPFile)
 	if err != nil {
 		return err
 	}
-	leases, err := dhcp.ReadAll(dhcpF)
-	dhcpF.Close()
+	defer dhcpF.Close()
+	dhcpR, err := dhcp.NewLogReader(opts.inject(dhcpF, DHCPFile))
 	if err != nil {
-		return err
+		return fmt.Errorf("dhcp.log: %w", err)
 	}
-	for _, l := range leases {
-		out.Lease(l)
+	var prevLease string
+	for {
+		l, err := dhcpR.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if rerr := g.Reject("dhcp", dhcpR.Raw(), err); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		if lenient {
+			if raw := dhcpR.Raw(); raw != "" && raw == prevLease {
+				if rerr := g.RejectDuplicate("dhcp", dhcpR.Line(), raw); rerr != nil {
+					return rerr
+				}
+				continue
+			} else {
+				prevLease = raw
+			}
+		}
+		g.Accept()
+		sink.Lease(l)
 	}
+}
+
+// replayMerged streams the day's traffic logs (conn, dns, http) into sink
+// as a timestamp-ordered three-way merge under the fault layer.
+func replayMerged(dir string, sink trace.Sink, opts ReplayOptions) error {
+	out := trace.NewBatcher(sink)
+	g := opts.Guard
+	lenient := opts.lenient()
 
 	connF, err := openLog(dir, ConnFile)
 	if err != nil {
@@ -201,15 +275,15 @@ func Replay(dir string, sink trace.Sink) error {
 	}
 	defer httpF.Close()
 
-	connR, err := zeeklog.NewConnReader(connF)
+	connR, err := zeeklog.NewConnReader(opts.inject(connF, ConnFile))
 	if err != nil {
 		return fmt.Errorf("conn.log: %w", err)
 	}
-	dnsR, err := dnssim.NewLogReader(dnsF)
+	dnsR, err := dnssim.NewLogReader(opts.inject(dnsF, DNSFile))
 	if err != nil {
 		return fmt.Errorf("dns.log: %w", err)
 	}
-	httpR, err := httplog.NewReader(httpF)
+	httpR, err := httplog.NewReader(opts.inject(httpF, HTTPFile))
 	if err != nil {
 		return fmt.Errorf("http.log: %w", err)
 	}
@@ -222,42 +296,93 @@ func Replay(dir string, sink trace.Sink) error {
 		haveFlow bool
 		haveDNS  bool
 		haveHTTP bool
+		prevConn string
+		prevDNS  string
+		prevHTTP string
 	)
 	advanceFlow := func() error {
-		r, err := connR.Next()
-		if err == io.EOF {
-			haveFlow = false
+		for {
+			r, err := connR.Next()
+			if err == io.EOF {
+				haveFlow = false
+				return nil
+			}
+			if err != nil {
+				if rerr := g.Reject("conn", connR.Raw(), err); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			if lenient {
+				if raw := connR.Raw(); raw != "" && raw == prevConn {
+					if rerr := g.RejectDuplicate("conn", connR.Line(), raw); rerr != nil {
+						return rerr
+					}
+					continue
+				} else {
+					prevConn = raw
+				}
+			}
+			g.Accept()
+			curFlow, haveFlow = r, true
 			return nil
 		}
-		if err != nil {
-			return err
-		}
-		curFlow, haveFlow = r, true
-		return nil
 	}
 	advanceDNS := func() error {
-		e, err := dnsR.Next()
-		if err == io.EOF {
-			haveDNS = false
+		for {
+			e, err := dnsR.Next()
+			if err == io.EOF {
+				haveDNS = false
+				return nil
+			}
+			if err != nil {
+				if rerr := g.Reject("dns", dnsR.Raw(), err); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			if lenient {
+				if raw := dnsR.Raw(); raw != "" && raw == prevDNS {
+					if rerr := g.RejectDuplicate("dns", dnsR.Line(), raw); rerr != nil {
+						return rerr
+					}
+					continue
+				} else {
+					prevDNS = raw
+				}
+			}
+			g.Accept()
+			curDNS, haveDNS = e, true
 			return nil
 		}
-		if err != nil {
-			return err
-		}
-		curDNS, haveDNS = e, true
-		return nil
 	}
 	advanceHTTP := func() error {
-		e, err := httpR.Next()
-		if err == io.EOF {
-			haveHTTP = false
+		for {
+			e, err := httpR.Next()
+			if err == io.EOF {
+				haveHTTP = false
+				return nil
+			}
+			if err != nil {
+				if rerr := g.Reject("http", httpR.Raw(), err); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			if lenient {
+				if raw := httpR.Raw(); raw != "" && raw == prevHTTP {
+					if rerr := g.RejectDuplicate("http", httpR.Line(), raw); rerr != nil {
+						return rerr
+					}
+					continue
+				} else {
+					prevHTTP = raw
+				}
+			}
+			g.Accept()
+			curHTTP, haveHTTP = e, true
 			return nil
 		}
-		if err != nil {
-			return err
-		}
-		curHTTP, haveHTTP = e, true
-		return nil
 	}
 	if err := advanceFlow(); err != nil {
 		return err

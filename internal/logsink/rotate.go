@@ -109,6 +109,14 @@ func (rw *RotatingWriter) Close() error {
 // in date order. Because DHCP leases can span day boundaries, all lease
 // logs are replayed before any traffic.
 func ReplayRotated(root string, sink trace.Sink) error {
+	return ReplayRotatedWithOptions(root, sink, ReplayOptions{})
+}
+
+// ReplayRotatedWithOptions is ReplayRotated with the fault-robustness
+// layer. One guard spans the whole dataset (the error budget is global,
+// matching a multi-month run); injection sub-seeds per day directory, then
+// per file, so corruption is independent across every file of the dataset.
+func ReplayRotatedWithOptions(root string, sink trace.Sink, opts ReplayOptions) error {
 	entries, err := os.ReadDir(root)
 	if err != nil {
 		return err
@@ -123,24 +131,26 @@ func ReplayRotated(root string, sink trace.Sink) error {
 		return fmt.Errorf("logsink: no day directories under %s", root)
 	}
 	sort.Strings(days) // YYYY-MM-DD sorts chronologically
+	dayOpts := func(d string) ReplayOptions {
+		o := opts
+		if opts.Inject != nil {
+			sub := opts.Inject.Sub(d)
+			o.Inject = &sub
+		}
+		return o
+	}
 	// Pass 1: leases.
 	for _, d := range days {
-		f, err := openLog(filepath.Join(root, d), DHCPFile)
-		if err != nil {
+		if err := replayLeases(filepath.Join(root, d), sink, dayOpts(d)); err != nil {
 			return err
-		}
-		leases, err := dhcp.ReadAll(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		for _, l := range leases {
-			sink.Lease(l)
 		}
 	}
-	// Pass 2: traffic, day by day (leases are suppressed via leaseless).
+	// Pass 2: traffic, day by day. The dhcp logs are not re-read (pass 1
+	// consumed them), so leases are neither double-offered to the guard
+	// nor double-counted by the injector; leaseless keeps any stray lease
+	// out of the sink regardless.
 	for _, d := range days {
-		if err := Replay(filepath.Join(root, d), &leaseless{sink}); err != nil {
+		if err := replayMerged(filepath.Join(root, d), &leaseless{sink}, dayOpts(d)); err != nil {
 			return err
 		}
 	}

@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/decodeerr"
 )
 
 // Stage identifies one step of the ingest path. StageIngest is the generic
@@ -121,6 +123,12 @@ type Metrics struct {
 	stages  [NumStages]stageCounters
 	sampleC atomic.Int64
 
+	// decodeDrops counts records the replay guard rejected, one counter
+	// per decode-fault class (truncated / malformed / out_of_range /
+	// duplicate). Together with the guard's accepted count these satisfy
+	// the robustness invariant drops + accepted == offered.
+	decodeDrops [decodeerr.NumClasses]atomic.Int64
+
 	// shards tracks per-shard dispatch counts for the sharded pipeline
 	// (nil for single-pipeline runs); depthFn polls live queue depths.
 	shards  atomic.Pointer[[]atomic.Int64]
@@ -171,6 +179,26 @@ func (m *Metrics) Drop(s Stage) {
 		return
 	}
 	m.stages[s].drops.Add(1)
+}
+
+// DecodeDrop counts one record rejected with the given decode-fault class.
+func (m *Metrics) DecodeDrop(c decodeerr.Class) {
+	if m == nil || c >= decodeerr.NumClasses {
+		return
+	}
+	m.decodeDrops[c].Add(1)
+}
+
+// DecodeDrops returns the per-class rejected-record counters.
+func (m *Metrics) DecodeDrops() [decodeerr.NumClasses]int64 {
+	var out [decodeerr.NumClasses]int64
+	if m == nil {
+		return out
+	}
+	for i := range m.decodeDrops {
+		out[i] = m.decodeDrops[i].Load()
+	}
+	return out
 }
 
 // Now starts a sampled timing lap: it returns the current time for one in
@@ -307,6 +335,13 @@ func (m *Metrics) Snapshot() Snapshot {
 			continue
 		}
 		s.Stages = append(s.Stages, ss)
+	}
+	for c := decodeerr.Class(0); c < decodeerr.NumClasses; c++ {
+		if n := m.decodeDrops[c].Load(); n > 0 {
+			s.DecodeDrops = append(s.DecodeDrops, DecodeDropSnapshot{
+				Class: c.String(), Drops: n,
+			})
+		}
 	}
 	if p := m.shards.Load(); p != nil {
 		var depths []int

@@ -41,6 +41,13 @@ func (r *TextReporter) Report(s Snapshot) error {
 	if s.ETASeconds > 0 {
 		fmt.Fprintf(&b, "  eta %s", fmtETA(s.ETASeconds))
 	}
+	if len(s.DecodeDrops) > 0 {
+		parts := make([]string, len(s.DecodeDrops))
+		for i, d := range s.DecodeDrops {
+			parts[i] = fmt.Sprintf("%s=%d", d.Class, d.Drops)
+		}
+		fmt.Fprintf(&b, "  faults[%s]", strings.Join(parts, " "))
+	}
 	if len(s.Shards) > 0 {
 		depths := make([]string, len(s.Shards))
 		for i, sh := range s.Shards {

@@ -18,6 +18,13 @@ type StageSnapshot struct {
 	P99Nanos   int64  `json:"p99_ns,omitempty"`
 }
 
+// DecodeDropSnapshot is one decode-fault class's rejected-record count
+// (records the replay guard dropped under a fault policy).
+type DecodeDropSnapshot struct {
+	Class string `json:"class"`
+	Drops int64  `json:"drops"`
+}
+
 // ShardSnapshot is one shard's dispatch count and live queue depth.
 type ShardSnapshot struct {
 	Dispatched int64 `json:"dispatched"`
@@ -44,7 +51,10 @@ type Snapshot struct {
 	Total      int64           `json:"total,omitempty"`
 	ETASeconds float64         `json:"eta_s,omitempty"`
 	Stages     []StageSnapshot `json:"stages,omitempty"`
-	Shards     []ShardSnapshot `json:"shards,omitempty"`
+	// DecodeDrops break rejected input records down by decode-fault class
+	// (populated only when a fault policy dropped records).
+	DecodeDrops []DecodeDropSnapshot `json:"decode_drops,omitempty"`
+	Shards      []ShardSnapshot      `json:"shards,omitempty"`
 	// Imbalance is max/mean of per-shard dispatch counts (1.0 = perfect).
 	Imbalance float64 `json:"dispatch_imbalance,omitempty"`
 }

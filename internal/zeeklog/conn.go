@@ -1,11 +1,11 @@
 package zeeklog
 
 import (
-	"fmt"
 	"io"
 	"net/netip"
 	"strconv"
 
+	"repro/internal/decodeerr"
 	"repro/internal/flow"
 )
 
@@ -81,34 +81,38 @@ func NewConnReader(r io.Reader) (*ConnReader, error) {
 	return &ConnReader{r: rd}, nil
 }
 
-// Next returns the next record or io.EOF.
+// Next returns the next record or io.EOF. Failures are classified
+// (*decodeerr.Error): bad literals are malformed, ports or counts outside
+// their domain are out-of-range, and a record that parses but fails
+// semantic validation is out-of-range too.
 func (c *ConnReader) Next() (flow.Record, error) {
 	values, err := c.r.Next()
 	if err != nil {
 		return flow.Record{}, err
 	}
+	line := c.r.Line()
 	var rec flow.Record
 	if rec.Start, err = ParseTime(values[0]); err != nil {
 		return rec, err
 	}
 	if rec.OrigAddr, err = netip.ParseAddr(values[1]); err != nil {
-		return rec, fmt.Errorf("zeeklog: bad orig addr %q: %w", values[1], err)
+		return rec, decodeerr.Newf(decodeerr.Malformed, "conn", line, "bad orig addr %q: %w", values[1], err)
 	}
 	op, err := strconv.ParseUint(values[2], 10, 16)
 	if err != nil {
-		return rec, fmt.Errorf("zeeklog: bad orig port %q: %w", values[2], err)
+		return rec, decodeerr.Newf(decodeerr.NumericClass(err), "conn", line, "bad orig port %q: %w", values[2], err)
 	}
 	rec.OrigPort = uint16(op)
 	if rec.RespAddr, err = netip.ParseAddr(values[3]); err != nil {
-		return rec, fmt.Errorf("zeeklog: bad resp addr %q: %w", values[3], err)
+		return rec, decodeerr.Newf(decodeerr.Malformed, "conn", line, "bad resp addr %q: %w", values[3], err)
 	}
 	rp, err := strconv.ParseUint(values[4], 10, 16)
 	if err != nil {
-		return rec, fmt.Errorf("zeeklog: bad resp port %q: %w", values[4], err)
+		return rec, decodeerr.Newf(decodeerr.NumericClass(err), "conn", line, "bad resp port %q: %w", values[4], err)
 	}
 	rec.RespPort = uint16(rp)
 	if rec.Proto, err = flow.ParseProto(values[5]); err != nil {
-		return rec, err
+		return rec, decodeerr.New(decodeerr.Malformed, "conn", line, err)
 	}
 	rec.Service = ParseString(values[6])
 	rec.State = flow.ParseConnState(values[7])
@@ -127,5 +131,11 @@ func (c *ConnReader) Next() (flow.Record, error) {
 	if rec.RespPkts, err = ParseCount(values[12]); err != nil {
 		return rec, err
 	}
-	return rec, rec.Validate()
+	return rec, decodeerr.New(decodeerr.OutOfRange, "conn", line, rec.Validate())
 }
+
+// Raw returns the data line behind the most recent Next.
+func (c *ConnReader) Raw() string { return c.r.Raw() }
+
+// Line returns the input line number of the most recent Next.
+func (c *ConnReader) Line() int { return c.r.Line() }

@@ -14,6 +14,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/decodeerr"
 )
 
 // Zeek value conventions.
@@ -118,10 +120,17 @@ func (w *Writer) Close() error {
 }
 
 // Reader consumes records under a schema, validating the header against it.
+//
+// Record-level failures are classified (*decodeerr.Error): a row with fewer
+// fields than the schema is a truncated record (the tail was cut, typically
+// by a torn write), a row with more is malformed. A failed Next does not
+// poison the reader — the next call resumes at the following line, so a
+// fault-tolerant caller can skip-and-count bad records.
 type Reader struct {
 	s      *bufio.Scanner
 	schema Schema
 	line   int
+	raw    string
 }
 
 // NewReader parses the header from r and validates it against schema.
@@ -172,7 +181,10 @@ func (r *Reader) checkColumns(got []string, sel func(Field) string) error {
 }
 
 // Next returns the next record's raw values, or io.EOF. Comment lines
-// (including #close) are skipped.
+// (including #close) are skipped. A wrong-arity row yields a classified
+// *decodeerr.Error wrapping ErrFieldCount — truncated when short (the
+// record lost its tail), malformed when long — and leaves the reader
+// positioned at the following line.
 func (r *Reader) Next() ([]string, error) {
 	for r.s.Scan() {
 		r.line++
@@ -180,9 +192,15 @@ func (r *Reader) Next() ([]string, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		r.raw = line
 		values := strings.Split(line, Separator)
 		if len(values) != len(r.schema.Fields) {
-			return nil, fmt.Errorf("%w at line %d: %d values", ErrFieldCount, r.line, len(values))
+			class := decodeerr.Malformed
+			if len(values) < len(r.schema.Fields) {
+				class = decodeerr.Truncated
+			}
+			return nil, decodeerr.Newf(class, "zeeklog", r.line,
+				"%w: %d values for %d fields", ErrFieldCount, len(values), len(r.schema.Fields))
 		}
 		return values, nil
 	}
@@ -191,6 +209,14 @@ func (r *Reader) Next() ([]string, error) {
 	}
 	return nil, io.EOF
 }
+
+// Raw returns the data line behind the most recent Next (accepted or
+// rejected) — the replay guard quarantines it and detects verbatim
+// adjacent duplicates with it.
+func (r *Reader) Raw() string { return r.raw }
+
+// Line returns the 1-based input line number of the most recent Next.
+func (r *Reader) Line() int { return r.line }
 
 // FormatTime encodes a timestamp as Zeek epoch seconds with microsecond
 // precision.
@@ -202,7 +228,8 @@ func FormatTime(t time.Time) string {
 func ParseTime(s string) (time.Time, error) {
 	f, err := strconv.ParseFloat(s, 64)
 	if err != nil {
-		return time.Time{}, fmt.Errorf("zeeklog: bad time %q: %w", s, err)
+		return time.Time{}, decodeerr.Newf(decodeerr.NumericClass(err), "zeeklog", 0,
+			"bad time %q: %w", s, err)
 	}
 	return time.UnixMicro(int64(math.Round(f * 1e6))).UTC(), nil
 }
@@ -216,7 +243,8 @@ func FormatInterval(d time.Duration) string {
 func ParseInterval(s string) (time.Duration, error) {
 	f, err := strconv.ParseFloat(s, 64)
 	if err != nil {
-		return 0, fmt.Errorf("zeeklog: bad interval %q: %w", s, err)
+		return 0, decodeerr.Newf(decodeerr.NumericClass(err), "zeeklog", 0,
+			"bad interval %q: %w", s, err)
 	}
 	return time.Duration(f * float64(time.Second)), nil
 }
@@ -224,11 +252,14 @@ func ParseInterval(s string) (time.Duration, error) {
 // FormatCount encodes a non-negative integer.
 func FormatCount(v int64) string { return strconv.FormatInt(v, 10) }
 
-// ParseCount decodes a count field.
+// ParseCount decodes a count field. An overflowing value is classified
+// out-of-range (the oversized-field fault signature); other failures are
+// malformed.
 func ParseCount(s string) (int64, error) {
 	v, err := strconv.ParseInt(s, 10, 64)
 	if err != nil {
-		return 0, fmt.Errorf("zeeklog: bad count %q: %w", s, err)
+		return 0, decodeerr.Newf(decodeerr.NumericClass(err), "zeeklog", 0,
+			"bad count %q: %w", s, err)
 	}
 	return v, nil
 }
