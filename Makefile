@@ -6,6 +6,7 @@ GO ?= go
 
 BENCH_JSON ?= BENCH_$(shell date +%F).json
 BENCH_SHARDED_JSON ?= BENCH_shards4_$(shell date +%F).json
+BENCH_SHARDED_P2_JSON ?= BENCH_shards4_p2_$(shell date +%F).json
 
 all: build vet test
 
@@ -51,26 +52,38 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzHTTPEntry -fuzztime 30s ./internal/httplog
 
 # Corruption-replay smoke: generate a 5%-scale dataset, replay it with 0.1%
-# seeded corruption under the skip policy, and print the guard's audit line.
-# CI additionally diffs the figure-CSV shapes against a clean replay (see
+# seeded corruption under the skip policy — once through the single
+# pipeline and once through the 4-shard epoch-snapshot path, whose outputs
+# must be byte-identical. CI additionally diffs the figure-CSV shapes
+# against a clean replay and audits the sharded guard's accounting (see
 # the fault-smoke job); the exhaustive differential harness is
 # `go test ./internal/faultline -run TestDifferential`.
 fault-smoke:
 	$(GO) run ./cmd/tracegen -scale 0.05 -out faultlogs
 	$(GO) run ./cmd/lockdown -logs faultlogs -quiet -out fault-skip \
+		-key 6c6f636b646f776e2d6661756c742d736d6f6b65 \
 		-fault-inject 0.001 -fault-seed 7 -fault-policy skip
+	$(GO) run ./cmd/lockdown -logs faultlogs -quiet -out fault-skip-sharded \
+		-key 6c6f636b646f776e2d6661756c742d736d6f6b65 \
+		-shards 4 -fault-inject 0.001 -fault-seed 7 -fault-policy skip
+	diff -r fault-skip fault-skip-sharded
 
 ci: build vet test race lint
 
 # Go micro-benchmarks plus machine-readable end-to-end bench reports
-# (single and 4-shard batched ingest) that cmd/benchdiff can gate on.
+# (single and 4-shard batched ingest) that cmd/benchdiff can gate on. The
+# GOMAXPROCS=2 sharded report mirrors CI's smoke-bench-parallel gate: the
+# epoch-snapshot join must keep 4-shard ingest ahead of the single
+# pipeline even at two cores.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/lockdown -scale 0.05 -quiet -out results-bench \
 		-bench-json $(BENCH_JSON)
 	$(GO) run ./cmd/lockdown -scale 0.05 -shards 4 -quiet -out results-bench-sharded \
 		-bench-json $(BENCH_SHARDED_JSON)
-	@echo "wrote $(BENCH_JSON) and $(BENCH_SHARDED_JSON)"
+	GOMAXPROCS=2 $(GO) run ./cmd/lockdown -scale 0.05 -shards 4 -quiet \
+		-out results-bench-sharded-p2 -bench-json $(BENCH_SHARDED_P2_JSON)
+	@echo "wrote $(BENCH_JSON), $(BENCH_SHARDED_JSON) and $(BENCH_SHARDED_P2_JSON)"
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -92,4 +105,5 @@ examples:
 	$(GO) run ./examples/counterfactual
 
 clean:
-	rm -rf results results_full results-bench results-bench-sharded
+	rm -rf results results_full results-bench results-bench-sharded \
+		results-bench-sharded-p2 faultlogs fault-skip fault-skip-sharded

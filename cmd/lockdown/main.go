@@ -21,6 +21,7 @@
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
@@ -64,8 +65,8 @@ type config struct {
 	faultInject float64 // injected corruption rate (test/CI harness)
 	faultSeed   int64   // corruption injector seed
 
-	// key fixes the pseudonymization key (nil = random); tests use it to
-	// make two runs comparable.
+	// key fixes the pseudonymization key (nil = random); tests and the CI
+	// single-vs-sharded diffs use it to make two runs comparable (-key).
 	key []byte
 	// statusW receives status and progress lines (default os.Stderr).
 	statusW io.Writer
@@ -89,7 +90,17 @@ func main() {
 	flag.Float64Var(&cfg.faultBudget, "fault-budget", 0.001, "tolerated dropped-record fraction under -fault-policy abort")
 	flag.Float64Var(&cfg.faultInject, "fault-inject", 0, "inject seeded corruption into the replayed logs at this per-record rate (testing)")
 	flag.Int64Var(&cfg.faultSeed, "fault-seed", 1, "seed for -fault-inject corruption")
+	keyHex := flag.String("key", "", "hex pseudonymization key; fixes device pseudonyms so two runs are byte-comparable (default: random per run)")
 	flag.Parse()
+
+	if *keyHex != "" {
+		key, err := hex.DecodeString(*keyHex)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockdown: bad -key:", err)
+			os.Exit(1)
+		}
+		cfg.key = key
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -346,12 +357,14 @@ func run(cfg config) error {
 			Seed:        cfg.seed,
 			WallSeconds: time.Since(start).Seconds(),
 			Ingest: obs.IngestBench{
-				Events:      metrics.Events(),
-				Flows:       ds.Stats.FlowsProcessed,
-				Bytes:       ds.Stats.BytesProcessed,
-				Seconds:     ingestDur.Seconds(),
-				FlowsPerSec: float64(ds.Stats.FlowsProcessed) / ingestDur.Seconds(),
-				BytesPerSec: float64(ds.Stats.BytesProcessed) / ingestDur.Seconds(),
+				Events:          metrics.Events(),
+				Flows:           ds.Stats.FlowsProcessed,
+				Bytes:           ds.Stats.BytesProcessed,
+				Seconds:         ingestDur.Seconds(),
+				FlowsPerSec:     float64(ds.Stats.FlowsProcessed) / ingestDur.Seconds(),
+				BytesPerSec:     float64(ds.Stats.BytesProcessed) / ingestDur.Seconds(),
+				EpochsPublished: metrics.EpochsPublished(),
+				SnapshotBytes:   metrics.SnapshotBytes(),
 			},
 			FiguresMS: figMS,
 			Stages:    metrics.Snapshot().Stages,

@@ -19,7 +19,12 @@ import (
 //   - ranging over a map where the loop body appends to an outer slice
 //     that is never sorted afterwards, or calls a write/print/encode sink —
 //     map iteration order is randomized per process, so either pattern
-//     makes output ordering nondeterministic.
+//     makes output ordering nondeterministic;
+//   - the same two patterns inside a (*sync.Map).Range callback — the
+//     concurrent join stores iterate cells this way when sealing epoch
+//     snapshots, and sync.Map makes the same no-order guarantee plain maps
+//     do, so a seal path feeding an unsorted slice into output would leak
+//     iteration order into the results.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "results-path packages must not read the wall clock, use process-seeded " +
@@ -36,6 +41,7 @@ var determinismTargets = []string{
 	"internal/viz",
 	"internal/stats",
 	"internal/dnssim",
+	"internal/dhcp",
 	"internal/universe",
 	"internal/campus",
 	"internal/appsig",
@@ -73,15 +79,37 @@ func checkFuncDeterminism(pass *Pass, body *ast.BlockStmt) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			checkNondetCall(pass, n)
+			if lit := syncMapRangeCallback(pass, n); lit != nil {
+				checkUnorderedIter(pass, body, n, lit.Body, "sync.Map.Range callback")
+			}
 		case *ast.RangeStmt:
 			if t := pass.TypeOf(n.X); t != nil {
 				if _, isMap := t.Underlying().(*types.Map); isMap {
-					checkMapRange(pass, body, n)
+					checkUnorderedIter(pass, body, n, n.Body, "range over a map")
 				}
 			}
 		}
 		return true
 	})
+}
+
+// syncMapRangeCallback returns the function literal passed to a
+// (*sync.Map).Range call, or nil when the call is anything else.
+func syncMapRangeCallback(pass *Pass, call *ast.CallExpr) *ast.FuncLit {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Range" || len(call.Args) != 1 {
+		return nil
+	}
+	fn, _ := pass.ObjectOf(sel.Sel).(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	lit, _ := ast.Unparen(call.Args[0]).(*ast.FuncLit)
+	return lit
 }
 
 // checkNondetCall flags wall-clock reads and global math/rand use.
@@ -123,23 +151,26 @@ func calledFunc(pass *Pass, call *ast.CallExpr) *types.Func {
 	return fn
 }
 
-// checkMapRange flags a map-range loop whose body makes iteration order
-// observable: a direct output sink, or an append to an outer slice that
-// is never sorted later in the same function.
-func checkMapRange(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
-	ast.Inspect(rng.Body, func(n ast.Node) bool {
+// checkUnorderedIter flags an unordered iteration (a range over a map, or
+// a sync.Map.Range callback) whose body makes iteration order observable:
+// a direct output sink, or an append to an outer slice that is never
+// sorted later in the same function. span is the whole iteration
+// construct (the RangeStmt or the Range call); iterBody is the per-entry
+// body inspected for escapes.
+func checkUnorderedIter(pass *Pass, funcBody *ast.BlockStmt, span ast.Node, iterBody ast.Node, what string) {
+	ast.Inspect(iterBody, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			if name := sinkName(n); name != "" {
-				pass.Reportf(rng.Pos(), "map iteration order reaches output: %s is called inside "+
-					"this range over a map; iterate sorted keys instead", name)
+				pass.Reportf(span.Pos(), "map iteration order reaches output: %s is called inside "+
+					"this %s; iterate sorted keys instead", name, what)
 				return false
 			}
 		case *ast.AssignStmt:
-			if obj := appendTarget(pass, n); obj != nil && declaredOutside(obj, rng) &&
-				!sortedAfter(pass, funcBody, rng, obj) {
-				pass.Reportf(rng.Pos(), "appending to %q while ranging over a map leaves it in "+
-					"random order; sort it before use (or iterate sorted keys)", obj.Name())
+			if obj := appendTarget(pass, n); obj != nil && declaredOutside(obj, span) &&
+				!sortedAfter(pass, funcBody, span, obj) {
+				pass.Reportf(span.Pos(), "appending to %q inside this %s leaves it in "+
+					"random order; sort it before use (or iterate sorted keys)", obj.Name(), what)
 				return false
 			}
 		}
@@ -187,20 +218,21 @@ func appendTarget(pass *Pass, assign *ast.AssignStmt) types.Object {
 	return pass.ObjectOf(lhs)
 }
 
-func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
-	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+func declaredOutside(obj types.Object, span ast.Node) bool {
+	return obj.Pos() < span.Pos() || obj.Pos() > span.End()
 }
 
 // sortedAfter reports whether obj is passed to a sort.* / slices.Sort*
-// call after the range loop, which restores a deterministic order.
-func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+// call after the iteration construct, which restores a deterministic
+// order.
+func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, span ast.Node, obj types.Object) bool {
 	found := false
 	ast.Inspect(funcBody, func(n ast.Node) bool {
 		if found {
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() < rng.End() {
+		if !ok || call.Pos() < span.End() {
 			return true
 		}
 		fn := calledFunc(pass, call)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -80,4 +81,39 @@ func Total(s []int) int {
 func Suppressed() time.Time {
 	//lintlock:ignore determinism fixture: wall-clock timestamp allowed here
 	return time.Now()
+}
+
+func CellKeys(m *sync.Map) []string {
+	var out []string
+	m.Range(func(k, _ any) bool { // want "random order"
+		out = append(out, k.(string))
+		return true
+	})
+	return out
+}
+
+func SortedCellKeys(m *sync.Map) []string {
+	var out []string
+	m.Range(func(k, _ any) bool { // sorted below: fine
+		out = append(out, k.(string))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+func DumpCells(w io.Writer, m *sync.Map) {
+	m.Range(func(k, v any) bool { // want "reaches output"
+		fmt.Fprintf(w, "%v=%v\n", k, v)
+		return true
+	})
+}
+
+func CountCells(m *sync.Map) int {
+	n := 0
+	m.Range(func(_, _ any) bool { // counting is order-insensitive: fine
+		n++
+		return true
+	})
+	return n
 }

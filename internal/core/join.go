@@ -1,0 +1,81 @@
+package core
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/dhcp"
+	"repro/internal/dnssim"
+	"repro/internal/packet"
+)
+
+// joinState is the DNS-label / DHCP-lease join state behind Pipeline's hot
+// path. A single Pipeline owns private tables it mutates through its own
+// DNS/Lease sink methods (localJoin); a shard of a ShardedPipeline holds a
+// read-only, sequence-pinned view over the dispatcher-owned shared stores
+// (snapshotJoin), so the join tables exist once per run instead of once
+// per shard.
+type joinState interface {
+	// label resolves the domain a server address meant at time t.
+	label(server netip.Addr, t time.Time) (string, bool)
+	// leaseMAC resolves the device MAC bound to a client address at t.
+	leaseMAC(addr netip.Addr, t time.Time) (packet.MAC, bool)
+	// observeDNS / observeLease fold broadcast mutations in. Only the
+	// write-owning side may call them: the single pipeline for localJoin,
+	// nobody for snapshotJoin (the dispatcher writes the stores directly).
+	observeDNS(e dnssim.Entry)
+	observeLease(l dhcp.Lease)
+}
+
+// localJoin is the single-pipeline join: private labeler and lease index,
+// mutated in stream order by the same goroutine that resolves flows.
+type localJoin struct {
+	labeler  *dnssim.Labeler
+	leaseIdx leaseIndex
+}
+
+func newLocalJoin() *localJoin {
+	return &localJoin{labeler: dnssim.NewLabeler(), leaseIdx: make(leaseIndex)}
+}
+
+func (j *localJoin) label(server netip.Addr, t time.Time) (string, bool) {
+	return j.labeler.Label(server, t)
+}
+
+func (j *localJoin) leaseMAC(addr netip.Addr, t time.Time) (packet.MAC, bool) {
+	return j.leaseIdx.lookup(addr, t)
+}
+
+func (j *localJoin) observeDNS(e dnssim.Entry) { j.labeler.Observe(e) }
+func (j *localJoin) observeLease(l dhcp.Lease) { j.leaseIdx.observe(l) }
+
+// snapshotJoin is the shard-side join: a read-only view over the
+// dispatcher's shared epoch-versioned stores, pinned to the broadcast
+// sequence number of the event being applied. The shard worker sets pin
+// before each Flow/HTTPMeta call; one snapshotJoin belongs to exactly one
+// worker goroutine, so the field needs no synchronization. Pinning makes
+// every lookup see exactly the table state a single pipeline would have
+// had when this event arrived in the stream — broadcasts enqueued after
+// the event stay invisible even though the shared stores already hold
+// them.
+type snapshotJoin struct {
+	labels *dnssim.LabelStore
+	leases *dhcp.LeaseStore
+	pin    uint64
+}
+
+func (j *snapshotJoin) label(server netip.Addr, t time.Time) (string, bool) {
+	return j.labels.LabelAt(server, t, j.pin)
+}
+
+func (j *snapshotJoin) leaseMAC(addr netip.Addr, t time.Time) (packet.MAC, bool) {
+	return j.leases.LookupAt(addr, t, j.pin)
+}
+
+func (j *snapshotJoin) observeDNS(dnssim.Entry) {
+	panic("core: broadcast reached a shard pipeline; join tables are dispatcher-owned")
+}
+
+func (j *snapshotJoin) observeLease(dhcp.Lease) {
+	panic("core: broadcast reached a shard pipeline; join tables are dispatcher-owned")
+}

@@ -144,12 +144,27 @@ func TestShardedCounterAccuracy(t *testing.T) {
 	st := ds.Stats
 	snap := m.Snapshot()
 
-	// Broadcast events (DNS, leases) are processed once per shard, so the
-	// ingest counter sees them 4×; flows and routed HTTP arrive once.
+	// DNS entries and leases are applied exactly once, at the dispatcher's
+	// shared stores — no per-shard amplification — so the ingest counter
+	// must equal a single pipeline's: every event counted once.
 	flowsSeen := st.FlowsProcessed + st.FlowsTapDropped + st.FlowsOutOfWindow + st.FlowsUnattributed
-	wantEvents := flowsSeen + 4*(st.DNSEntries+st.Leases) + st.HTTPEntries
+	wantEvents := flowsSeen + st.DNSEntries + st.Leases + st.HTTPEntries
 	if snap.Events != wantEvents {
 		t.Errorf("ingest events = %d, want %d", snap.Events, wantEvents)
+	}
+	// Epoch accounting: the dispatcher sealed at least one snapshot epoch,
+	// the shards pinned batches against it, and the snapshot-size gauge
+	// reflects the shared tables' retained bytes. Publishes are
+	// bookkeeping, not events — they must not have inflated the ingest
+	// counter above (the equality already proves they didn't).
+	if snap.EpochsPublished == 0 {
+		t.Error("no snapshot epochs published by a sharded run")
+	}
+	if snap.EpochPins == 0 {
+		t.Error("no shard batches pinned to a snapshot epoch")
+	}
+	if snap.SnapshotBytes == 0 {
+		t.Error("snapshot-size gauge never set")
 	}
 	dhcpS := stageByName(t, snap, "dhcp_normalize")
 	if dhcpS.Events != st.FlowsProcessed || dhcpS.Drops != st.FlowsUnattributed {

@@ -81,10 +81,12 @@ type Pipeline struct {
 	reg     *universe.Registry
 	geoDB   *geo.DB
 	matcher *appsig.Matcher
-	labeler *dnssim.Labeler
 	pseudo  *anonymize.Pseudonymizer
 
-	leaseIdx  leaseIndex
+	// join is the DNS/DHCP join state: private tables for a single
+	// pipeline, a sequence-pinned view over the dispatcher's shared
+	// stores for a shard (see join.go).
+	join      joinState
 	presence  *anonymize.PresenceTracker
 	stitcher  *appsig.Stitcher
 	switchDet *appsig.SwitchDetector
@@ -216,6 +218,13 @@ func (b *domainBitmap) count() int {
 // provides the tap-exclusion table, the geolocation feed, and the Zoom IP
 // list).
 func NewPipeline(reg *universe.Registry, opts Options) (*Pipeline, error) {
+	return newPipeline(reg, opts, nil)
+}
+
+// newPipeline builds a pipeline over the given join state; nil selects a
+// private localJoin (the single-pipeline configuration). The sharded
+// dispatcher passes each shard a snapshotJoin over its shared stores.
+func newPipeline(reg *universe.Registry, opts Options, join joinState) (*Pipeline, error) {
 	var pseudo *anonymize.Pseudonymizer
 	var err error
 	if opts.Key != nil {
@@ -253,14 +262,16 @@ func NewPipeline(reg *universe.Registry, opts Options) (*Pipeline, error) {
 		return nil, fmt.Errorf("core: %d domains exceed bitmap capacity", len(domains))
 	}
 
+	if join == nil {
+		join = newLocalJoin()
+	}
 	p := &Pipeline{
 		opts:       opts,
 		reg:        reg,
 		geoDB:      geo.FromRegistry(reg),
 		matcher:    appsig.NewMatcher(zoomNets),
-		labeler:    dnssim.NewLabeler(),
 		pseudo:     pseudo,
-		leaseIdx:   make(leaseIndex),
+		join:       join,
 		presence:   anonymize.NewPresenceTracker(),
 		switchDet:  appsig.NewSwitchDetector(),
 		iotDet:     iotDet,
@@ -344,14 +355,14 @@ func (idx leaseIndex) lookup(addr netip.Addr, t time.Time) (packet.MAC, bool) {
 func (p *Pipeline) Lease(l dhcp.Lease) {
 	p.stats.Leases++
 	p.om.Add(obs.StageIngest, 0)
-	p.leaseIdx.observe(l)
+	p.join.observeLease(l)
 }
 
 // lookupMAC resolves a client address at a time: DHCP leases for IPv4,
 // EUI-64 extraction for SLAAC-configured IPv6 residence addresses (no
 // DHCPv6 logs exist; the interface identifier carries the MAC directly).
 func (p *Pipeline) lookupMAC(addr netip.Addr, t time.Time) (packet.MAC, bool) {
-	if mac, ok := p.leaseIdx.lookup(addr, t); ok {
+	if mac, ok := p.join.leaseMAC(addr, t); ok {
 		return mac, true
 	}
 	if universe.ResidenceNetV6.Contains(addr) {
@@ -364,7 +375,7 @@ func (p *Pipeline) lookupMAC(addr netip.Addr, t time.Time) (packet.MAC, bool) {
 func (p *Pipeline) DNS(e dnssim.Entry) {
 	p.stats.DNSEntries++
 	p.om.Add(obs.StageIngest, 0)
-	p.labeler.Observe(e)
+	p.join.observeDNS(e)
 }
 
 // HTTPMeta implements trace.Sink: collect User-Agent evidence.
@@ -445,7 +456,7 @@ func (p *Pipeline) Flow(r flow.Record) {
 	t = m.Lap(obs.StageAggregate, t)
 
 	// Domain labeling via the DNS join.
-	domain, labeled := p.labeler.Label(r.RespAddr, r.Start)
+	domain, labeled := p.join.label(r.RespAddr, r.Start)
 	if !labeled {
 		p.stats.FlowsUnlabeled++
 		m.Drop(obs.StageDNSLabel)

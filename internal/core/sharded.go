@@ -24,19 +24,31 @@ import (
 // ShardedPipeline parallelizes ingest across N independent Pipeline shards.
 // Flows and HTTP metadata are routed to a shard by the client device's MAC
 // (resolved against a dispatcher-side lease index), so each device's entire
-// history lands on one shard and per-device aggregation stays exact. DNS
-// entries and DHCP leases are broadcast — every shard carries the full join
-// tables, trading memory for parallelism.
+// history lands on one shard and per-device aggregation stays exact.
+//
+// DNS entries and DHCP leases are NOT broadcast to the shards. The
+// dispatcher applies each of them exactly once to a pair of shared,
+// immutable, epoch-versioned join stores (dnssim.LabelStore,
+// dhcp.LeaseStore) that every shard reads concurrently — RCU-style: the
+// dispatcher is the single writer, batching broadcast mutations into the
+// stores as an append-only delta tagged with a monotonically increasing
+// sequence number, and sealing a new epoch at batch boundaries (an O(delta)
+// publication — the copy-on-write cells share all earlier records
+// structurally and publish through atomic pointers). Each routed event
+// carries the broadcast sequence number current when it was enqueued, and
+// its shard resolves the DNS/DHCP joins pinned to that number, so a shard
+// sees exactly the join state a single pipeline would have had at the same
+// position of the event stream: lease-before-flow ordering — and the
+// subtler DNS cases (re-resolution to a new domain mid-batch, the
+// labeler's look-ahead window) — hold by construction rather than by
+// replaying every mutation once per shard.
 //
 // Transport is batched: the dispatcher appends events into a fixed-capacity
 // open batch per shard and sends the whole batch when it fills (or on
 // Flush), so the per-event cost is one array store instead of a heap
-// allocation plus a channel send. Batches are recycled through a sync.Pool;
-// broadcast events are sealed once into a reference-counted box shared by
-// every shard instead of being copied N times. Within a shard, batches and
-// the events inside them are applied strictly FIFO across all event kinds,
-// which preserves the one ordering invariant attribution needs: a lease
-// enqueued before a flow is applied before that flow.
+// allocation plus a channel send. Batches are recycled through a sync.Pool.
+// Within a shard, batches and the events inside them are applied strictly
+// FIFO.
 //
 // The public surface mirrors Pipeline: it implements trace.Sink (and the
 // trace.BatchSink fast path), and Finalize returns a merged Dataset with
@@ -46,23 +58,36 @@ type ShardedPipeline struct {
 	reg    *universe.Registry
 	opts   Options
 	shards []*Pipeline
-	chans  []chan *eventBatch
-	done   []chan struct{}
+	// joins[i] is shard i's pinned view over the shared stores; owned by
+	// that shard's worker goroutine after construction.
+	joins []*snapshotJoin
+	chans []chan *eventBatch
+	done  []chan struct{}
 	// open holds the per-shard batch being filled; owned by the
 	// dispatcher goroutine, never touched by workers.
 	open []*eventBatch
 	// queued tracks per-shard in-flight events (flushed to the channel,
-	// not yet applied by the worker) for the queue-depth gauge.
+	// not yet applied by the worker) for the queue-depth gauge. Epoch
+	// publications are not events and never count here.
 	queued []atomic.Int64
 	// pendDispatch counts flows routed into each shard's open batch,
 	// settled into the shared obs dispatch counters at flush time — one
 	// atomic per batch instead of one per flow. Dispatcher-owned.
 	pendDispatch []int64
 
+	// labels and leases are the shared join stores (dispatcher writes,
+	// shards read); seq tags every broadcast mutation, epochDirty marks
+	// mutations not yet sealed into a published epoch.
+	labels     *dnssim.LabelStore
+	leases     *dhcp.LeaseStore
+	seq        uint64
+	epochDirty bool
+
 	dispatchIdx leaseIndex
-	// dispStats accumulates the cuts the dispatcher makes itself (flows
-	// and HTTP entries that never reach a shard); merged into the final
-	// Stats by Finalize.
+	// dispStats accumulates what the dispatcher accounts itself: the
+	// broadcast counters (DNS entries and leases are applied exactly once,
+	// here) and the cuts for flows and HTTP entries that never reach a
+	// shard; merged into the final Stats by Finalize.
 	dispStats Stats
 	om        *obs.Metrics
 	finalized bool
@@ -83,27 +108,17 @@ type eventKind uint8
 const (
 	evFlow eventKind = iota
 	evHTTP
-	evBroadcast
 )
 
-// shardEvent is one batch slot. Routed events (flows, HTTP metadata) are
-// stored inline — no per-event allocation; broadcast events point at a
-// shared sealed box.
+// shardEvent is one batch slot, stored inline — no per-event allocation.
+// seq pins the event to the broadcast sequence number current when it was
+// routed; the worker resolves the event's joins against exactly that
+// prefix of the shared stores.
 type shardEvent struct {
-	kind  eventKind
-	flow  flow.Record
-	http  httplog.Entry
-	bcast *broadcast
-}
-
-// broadcast is a DNS entry or DHCP lease sealed once by the dispatcher
-// and shared by every shard. The last worker to apply it (refs reaching
-// zero) recycles the box.
-type broadcast struct {
-	isLease bool
-	dns     dnssim.Entry
-	lease   dhcp.Lease
-	refs    atomic.Int32
+	kind eventKind
+	seq  uint64
+	flow flow.Record
+	http httplog.Entry
 }
 
 // eventBatch is a fixed-capacity run of events bound for one shard.
@@ -112,10 +127,7 @@ type eventBatch struct {
 	n      int
 }
 
-var (
-	batchPool = sync.Pool{New: func() any { return new(eventBatch) }}
-	bcastPool = sync.Pool{New: func() any { return new(broadcast) }}
-)
+var batchPool = sync.Pool{New: func() any { return new(eventBatch) }}
 
 // NewShardedPipeline builds n shards (n ≤ 0 selects GOMAXPROCS). All shards
 // share one pseudonymization key so device IDs are globally consistent; a
@@ -132,8 +144,10 @@ func NewShardedPipeline(reg *universe.Registry, opts Options, n int) (*ShardedPi
 		opts.Key = pseudo.Key()
 	}
 	sp := &ShardedPipeline{
-		reg:         reg,
-		opts:        opts,
+		reg:          reg,
+		opts:         opts,
+		labels:       dnssim.NewLabelStore(nil),
+		leases:       dhcp.NewLeaseStore(),
 		dispatchIdx:  make(leaseIndex),
 		queued:       make([]atomic.Int64, n),
 		pendDispatch: make([]int64, n),
@@ -144,44 +158,39 @@ func NewShardedPipeline(reg *universe.Registry, opts Options, n int) (*ShardedPi
 	sp.om.SetShards(n)
 	sp.om.SetQueueDepthFunc(sp.QueueDepths)
 	for i := 0; i < n; i++ {
-		p, err := NewPipeline(reg, opts)
+		join := &snapshotJoin{labels: sp.labels, leases: sp.leases}
+		p, err := newPipeline(reg, opts, join)
 		if err != nil {
 			return nil, err
 		}
 		ch := make(chan *eventBatch, shardChanCap)
 		done := make(chan struct{})
 		sp.shards = append(sp.shards, p)
+		sp.joins = append(sp.joins, join)
 		sp.chans = append(sp.chans, ch)
 		sp.done = append(sp.done, done)
 		sp.open = append(sp.open, batchPool.Get().(*eventBatch))
-		go func(p *Pipeline, shard int, ch chan *eventBatch, done chan struct{}) {
+		go func(p *Pipeline, join *snapshotJoin, shard int, ch chan *eventBatch, done chan struct{}) {
 			defer close(done)
 			for b := range ch {
+				// Pin the batch: every event resolves against the store
+				// prefix its own seq selects (counted once per batch).
+				sp.om.EpochPin()
 				for i := 0; i < b.n; i++ {
 					ev := &b.events[i]
+					join.pin = ev.seq
 					switch ev.kind {
 					case evFlow:
 						p.Flow(ev.flow)
 					case evHTTP:
 						p.HTTPMeta(ev.http)
-					case evBroadcast:
-						bc := ev.bcast
-						if bc.isLease {
-							p.Lease(bc.lease)
-						} else {
-							p.DNS(bc.dns)
-						}
-						ev.bcast = nil
-						if bc.refs.Add(-1) == 0 {
-							bcastPool.Put(bc)
-						}
 					}
 				}
 				sp.queued[shard].Add(-int64(b.n))
 				b.n = 0
 				batchPool.Put(b)
 			}
-		}(p, i, ch, done)
+		}(p, join, i, ch, done)
 	}
 	return sp, nil
 }
@@ -208,7 +217,7 @@ func (sp *ShardedPipeline) DeviceID(m packet.MAC) anonymize.DeviceID {
 }
 
 // slot returns the next free slot of a shard's open batch. The caller
-// must fill the slot's kind and payload before the next dispatcher
+// must fill the slot's kind, seq and payload before the next dispatcher
 // operation; writing fields in place (rather than copying a constructed
 // shardEvent) keeps the per-event cost to the payload bytes actually
 // used. Slots are reused across pooled batches, so unrelated fields may
@@ -227,12 +236,14 @@ func (sp *ShardedPipeline) slot(shard int) *shardEvent {
 	return ev
 }
 
-// flushShard sends a shard's open batch and starts a fresh one.
+// flushShard seals the current epoch (if broadcasts arrived since the last
+// seal), then sends the shard's open batch and starts a fresh one.
 func (sp *ShardedPipeline) flushShard(shard int) {
 	b := sp.open[shard]
 	if b.n == 0 {
 		return
 	}
+	sp.sealEpoch()
 	sp.queued[shard].Add(int64(b.n))
 	sp.chans[shard] <- b
 	sp.open[shard] = batchPool.Get().(*eventBatch)
@@ -240,6 +251,21 @@ func (sp *ShardedPipeline) flushShard(shard int) {
 		sp.om.DispatchN(shard, n)
 		sp.pendDispatch[shard] = 0
 	}
+}
+
+// sealEpoch publishes the broadcast mutations accumulated since the last
+// seal as a new epoch. The store cells already published each record via
+// their atomic pointers (O(delta) — nothing is copied here); sealing is
+// the observability boundary: it counts the epoch and refreshes the
+// snapshot-size gauge. Events enqueued after this point pin sequence
+// numbers beyond the sealed watermark.
+func (sp *ShardedPipeline) sealEpoch() {
+	if !sp.epochDirty {
+		return
+	}
+	sp.epochDirty = false
+	sp.om.EpochPublish()
+	sp.om.SetSnapshotBytes(sp.labels.RetainedBytes() + sp.leases.RetainedBytes())
 }
 
 // Flush sends every open batch to its shard, making all previously
@@ -253,29 +279,26 @@ func (sp *ShardedPipeline) Flush() {
 	}
 }
 
-// Lease indexes the binding for dispatch and broadcasts it to every shard.
+// Lease indexes the binding for dispatch and applies it once to the shared
+// lease store under the next broadcast sequence number. No per-shard work:
+// shards observe the binding through their pinned store views.
 func (sp *ShardedPipeline) Lease(l dhcp.Lease) {
 	sp.dispatchIdx.observe(l)
-	bc := bcastPool.Get().(*broadcast)
-	bc.lease, bc.isLease = l, true
-	sp.broadcast(bc)
+	sp.seq++
+	sp.leases.Observe(l, sp.seq)
+	sp.epochDirty = true
+	sp.dispStats.Leases++
+	sp.om.Add(obs.StageIngest, 0)
 }
 
-// DNS broadcasts a resolver entry to every shard.
+// DNS applies a resolver entry once to the shared label store under the
+// next broadcast sequence number.
 func (sp *ShardedPipeline) DNS(e dnssim.Entry) {
-	bc := bcastPool.Get().(*broadcast)
-	bc.dns, bc.isLease = e, false
-	sp.broadcast(bc)
-}
-
-// broadcast seals bc and enqueues one reference per shard.
-func (sp *ShardedPipeline) broadcast(bc *broadcast) {
-	bc.refs.Store(int32(len(sp.shards)))
-	for i := range sp.open {
-		ev := sp.slot(i)
-		ev.kind = evBroadcast
-		ev.bcast = bc
-	}
+	sp.seq++
+	sp.labels.Observe(e, sp.seq)
+	sp.epochDirty = true
+	sp.dispStats.DNSEntries++
+	sp.om.Add(obs.StageIngest, 0)
 }
 
 // clientMAC mirrors Pipeline.lookupMAC for dispatch: DHCP leases for IPv4,
@@ -291,9 +314,9 @@ func (sp *ShardedPipeline) clientMAC(addr netip.Addr, t time.Time) (packet.MAC, 
 }
 
 // Flow routes one flow to its device's shard. Flows that cannot be routed
-// (no MAC) are cut dispatcher-side — the shards' lease indexes are copies
-// of the dispatcher's, so they could not attribute them either; attributed
-// flows are counted at their target shard's intake.
+// (no MAC) are cut dispatcher-side — the dispatcher's lease index and the
+// shared store agree by construction, so a shard could not attribute them
+// either; attributed flows are counted at their target shard's intake.
 func (sp *ShardedPipeline) Flow(r flow.Record) { sp.routeFlow(&r) }
 
 func (sp *ShardedPipeline) routeFlow(r *flow.Record) {
@@ -305,6 +328,7 @@ func (sp *ShardedPipeline) routeFlow(r *flow.Record) {
 	shard := macShard(mac, len(sp.shards))
 	ev := sp.slot(shard)
 	ev.kind = evFlow
+	ev.seq = sp.seq
 	ev.flow = *r
 	sp.pendDispatch[shard]++
 }
@@ -345,12 +369,14 @@ func (sp *ShardedPipeline) routeHTTP(e *httplog.Entry) {
 	}
 	ev := sp.slot(macShard(mac, len(sp.shards)))
 	ev.kind = evHTTP
+	ev.seq = sp.seq
 	ev.http = *e
 }
 
 // EventBatch implements trace.BatchSink: dispatch a time-ordered run of
 // events. The incoming slice is only borrowed — routed events are copied
-// into shard batches and broadcasts into sealed boxes before returning.
+// into shard batches, broadcast mutations into the shared stores, before
+// returning.
 func (sp *ShardedPipeline) EventBatch(events []trace.Event) {
 	for i := range events {
 		ev := &events[i]
@@ -389,12 +415,13 @@ func macShard(mac packet.MAC, n int) int {
 //     or cut exactly once by the dispatcher, so shard and dispatcher counts
 //     add. Shard-side FlowsUnattributed is summed rather than overwritten:
 //     it is expected to be zero (the dispatcher pre-filters with the same
-//     lease index, and per-shard FIFO guarantees a lease is applied before
-//     any flow it attributes), and summing makes a violation surface as a
+//     lease bindings, and seq pinning guarantees a lease is visible to any
+//     flow routed after it), and summing makes a violation surface as a
 //     parity failure instead of being masked.
-//   - asserted: broadcast counters (DNSEntries, Leases). Every shard saw
-//     the full broadcast stream, so all copies must agree; a disagreement
-//     means the batch protocol lost an event and is worth crashing on.
+//   - dispatcher-owned: broadcast counters (DNSEntries, Leases). The
+//     dispatcher applies each broadcast exactly once to the shared stores
+//     and counts it there; a shard that counted one means a broadcast
+//     leaked through the routed-event path and is worth crashing on.
 func (sp *ShardedPipeline) Finalize() *Dataset {
 	if sp.finalized {
 		panic("core: Finalize called twice")
@@ -408,13 +435,17 @@ func (sp *ShardedPipeline) Finalize() *Dataset {
 		<-sp.done[i]
 	}
 	merged := &Dataset{byID: map[anonymize.DeviceID]*DeviceData{}}
-	for _, p := range sp.shards {
+	for i, p := range sp.shards {
 		ds := p.Finalize()
 		merged.Devices = append(merged.Devices, ds.Devices...)
 		for id, d := range ds.byID {
 			merged.byID[id] = d
 		}
 		s := ds.Stats
+		if s.DNSEntries != 0 || s.Leases != 0 {
+			panic(fmt.Sprintf("core: broadcast reached shard %d: %d DNS entries / %d leases (join tables are dispatcher-owned)",
+				i, s.DNSEntries, s.Leases))
+		}
 		merged.Stats.FlowsProcessed += s.FlowsProcessed
 		merged.Stats.FlowsTapDropped += s.FlowsTapDropped
 		merged.Stats.FlowsUnattributed += s.FlowsUnattributed
@@ -427,14 +458,8 @@ func (sp *ShardedPipeline) Finalize() *Dataset {
 	merged.Stats.FlowsOutOfWindow += sp.dispStats.FlowsOutOfWindow
 	merged.Stats.FlowsUnattributed += sp.dispStats.FlowsUnattributed
 	merged.Stats.HTTPEntries += sp.dispStats.HTTPEntries
-	dns0, leases0 := sp.shards[0].Stats().DNSEntries, sp.shards[0].Stats().Leases
-	for i, p := range sp.shards {
-		if s := p.Stats(); s.DNSEntries != dns0 || s.Leases != leases0 {
-			panic(fmt.Sprintf("core: broadcast invariant violated: shard %d saw %d DNS entries / %d leases, shard 0 saw %d / %d",
-				i, s.DNSEntries, s.Leases, dns0, leases0))
-		}
-	}
-	merged.Stats.DNSEntries, merged.Stats.Leases = dns0, leases0
+	merged.Stats.DNSEntries = sp.dispStats.DNSEntries
+	merged.Stats.Leases = sp.dispStats.Leases
 	sort.Slice(merged.Devices, func(i, j int) bool { return merged.Devices[i].ID < merged.Devices[j].ID })
 	return merged
 }

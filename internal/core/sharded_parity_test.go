@@ -10,7 +10,9 @@ import (
 	"repro/internal/campus"
 	"repro/internal/decodeerr"
 	"repro/internal/dhcp"
+	"repro/internal/dnssim"
 	"repro/internal/faultline"
+	"repro/internal/httplog"
 	"repro/internal/logsink"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -152,6 +154,169 @@ func TestShardedLeaseBeforeFlowOrdering(t *testing.T) {
 
 func mkIP(i int) netip.Addr {
 	return netip.AddrFrom4([4]byte{10, 9, byte(i >> 8), byte(i)})
+}
+
+func mkServer(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{198, 18, byte(i >> 8), byte(i)})
+}
+
+// TestShardedSnapshotAdversarialSchedule drives the lease-update-mid-batch
+// schedule the epoch-snapshot join must survive: every group interleaves a
+// flow *between* a lease and the renewal that would retroactively cover it,
+// an HTTP entry in the same gap, a mid-stream DNS re-resolution, and a
+// rebinding to a second device. A shard reading the shared stores without
+// per-event pinning would attribute the gap flow (the renewal is already
+// in the store when the shard applies the flow), record the gap HTTP
+// user-agent, and label the straddling flow with the *later* domain — all
+// three diverging from a single pipeline. The test asserts the exact
+// single-pipeline counts first (so the schedule provably exercises the
+// traps), then full Stats and per-device parity at shards {1,2,4,8} in
+// both per-event and batch delivery.
+func TestShardedSnapshotAdversarialSchedule(t *testing.T) {
+	reg, err := universe.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough groups to roll every shard's open batch over several times, at
+	// a count not aligned with batchCap so pairs straddle flush boundaries.
+	const groups = 2*batchCap + 37
+	base := campus.Day(10).Time().Add(6 * time.Hour)
+	key := []byte("parity-test-key-0123456789abcdef")
+
+	var stream []trace.Event
+	push := func(ev trace.Event) { stream = append(stream, ev) }
+	for i := 0; i < groups; i++ {
+		addr := mkIP(i)
+		server := mkServer(i)
+		t0 := base.Add(time.Duration(i) * 30 * time.Second)
+		macA, macB := testMAC, testMAC
+		macA[3], macA[4], macA[5] = 0xaa, byte(i>>8), byte(i)
+		macB[3], macB[4], macB[5] = 0xbb, byte(i>>8), byte(i)
+
+		mkFlow := func(at time.Time, bytes int64) trace.Event {
+			fl := flowAt(at, server, bytes)
+			fl.OrigAddr = addr
+			return trace.Event{Kind: trace.EventFlow, Flow: fl}
+		}
+		// 1. Initial binding and resolution.
+		push(trace.Event{Kind: trace.EventLease, Lease: dhcp.Lease{
+			MAC: macA, Addr: addr, Start: t0, End: t0.Add(time.Hour)}})
+		push(trace.Event{Kind: trace.EventDNS, DNS: dnssim.Entry{
+			Time: t0, Query: "facebook.com", Answer: server}})
+		// 2. Attributed, labeled flow inside the initial lease.
+		push(mkFlow(t0.Add(time.Second), 1000+int64(i)))
+		// 3. TRAP (lease): flow after lease A expired, before the renewal
+		// is in the stream. Single pipeline: unattributed. The renewal
+		// observed below retroactively covers this instant, so an unpinned
+		// shard would attribute it.
+		push(mkFlow(t0.Add(96*time.Minute), 2000+int64(i)))
+		// 4. TRAP (http): user-agent evidence in the same coverage gap —
+		// must NOT attach to the device.
+		push(trace.Event{Kind: trace.EventHTTP, HTTP: httplog.Entry{
+			Time: t0.Add(97 * time.Minute), Client: addr,
+			Host: "example.com", UserAgent: "adversarial-ua/1.0"}})
+		// 5. Renewal extends the episode to t0+2h.
+		push(trace.Event{Kind: trace.EventLease, Lease: dhcp.Lease{
+			MAC: macA, Addr: addr, Start: t0.Add(30 * time.Minute), End: t0.Add(2 * time.Hour)}})
+		// 6. Same instant as the trap flow, now after the renewal:
+		// attributed. Also labeled facebook.com — the re-resolution below
+		// is not in the stream yet even though its timestamp precedes this
+		// flow's, so an unpinned shard would label it netflix.com.
+		push(mkFlow(t0.Add(96*time.Minute), 3000+int64(i)))
+		// 7. Mid-stream re-resolution, timestamped before flow 6's Start.
+		push(trace.Event{Kind: trace.EventDNS, DNS: dnssim.Entry{
+			Time: t0.Add(40 * time.Minute), Query: "netflix.com", Answer: server}})
+		// 8. After the re-resolution in the stream: labeled netflix.com.
+		push(mkFlow(t0.Add(100*time.Minute), 4000+int64(i)))
+		// 9. Rebinding to a second device after expiry, then its flow.
+		push(trace.Event{Kind: trace.EventLease, Lease: dhcp.Lease{
+			MAC: macB, Addr: addr, Start: t0.Add(3 * time.Hour), End: t0.Add(4 * time.Hour)}})
+		push(mkFlow(t0.Add(3*time.Hour+time.Second), 5000+int64(i)))
+	}
+	replay := func(sink trace.Sink, batched bool) {
+		if bs, ok := sink.(trace.BatchSink); ok && batched {
+			// Uneven runs so group boundaries straddle EventBatch calls
+			// as well as shard batch flushes.
+			rest := stream
+			for len(rest) > 0 {
+				n := min(97, len(rest))
+				bs.EventBatch(rest[:n])
+				rest = rest[n:]
+			}
+			bs.Flush()
+			return
+		}
+		for i := range stream {
+			stream[i].Deliver(sink)
+		}
+	}
+
+	single, err := NewPipeline(reg, Options{Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay(single, false)
+	dsSingle := single.Finalize()
+	want := dsSingle.Stats
+
+	// The schedule must provably spring every trap on the single pipeline:
+	// 5 flows per group, exactly one (the coverage-gap flow) unattributed.
+	if want.FlowsProcessed != 4*groups || want.FlowsUnattributed != groups {
+		t.Fatalf("single: processed %d unattributed %d, want %d / %d",
+			want.FlowsProcessed, want.FlowsUnattributed, 4*groups, groups)
+	}
+	if want.Leases != 3*groups || want.DNSEntries != 2*groups || want.HTTPEntries != groups {
+		t.Fatalf("single: leases %d dns %d http %d, want %d / %d / %d",
+			want.Leases, want.DNSEntries, want.HTTPEntries, 3*groups, 2*groups, groups)
+	}
+
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, mode := range []string{"per-event", "batch"} {
+			t.Run(fmt.Sprintf("shards-%d-%s", n, mode), func(t *testing.T) {
+				sp, err := NewShardedPipeline(reg, Options{Key: key}, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				replay(sp, mode == "batch")
+				ds := sp.Finalize()
+				got := ds.Stats
+				wv, gv := reflect.ValueOf(want), reflect.ValueOf(got)
+				for i := 0; i < wv.NumField(); i++ {
+					if wv.Field(i).Interface() != gv.Field(i).Interface() {
+						t.Errorf("Stats.%s: single %v, sharded %v",
+							wv.Type().Field(i).Name, wv.Field(i).Interface(), gv.Field(i).Interface())
+					}
+				}
+				if len(ds.Devices) != len(dsSingle.Devices) {
+					t.Fatalf("device counts differ: single %d, sharded %d",
+						len(dsSingle.Devices), len(ds.Devices))
+				}
+				for _, a := range dsSingle.Devices {
+					b := ds.Device(a.ID)
+					if b == nil {
+						t.Fatalf("device %v missing from sharded dataset", a.ID)
+					}
+					if a.Type != b.Type || a.Flows != b.Flows {
+						t.Fatalf("device %v diverges: type %v/%v flows %d/%d",
+							a.ID, a.Type, b.Type, a.Flows, b.Flows)
+					}
+					if len(a.Daily) != len(b.Daily) {
+						t.Fatalf("device %v daily lengths diverge: %d vs %d",
+							a.ID, len(a.Daily), len(b.Daily))
+					}
+					for day := range a.Daily {
+						if a.Daily[day] != b.Daily[day] {
+							t.Fatalf("device %v day %d bytes diverge: %v vs %v",
+								a.ID, day, a.Daily[day], b.Daily[day])
+						}
+					}
+					if a.Social != b.Social || a.Steam != b.Steam {
+						t.Fatalf("device %v social/steam series diverge", a.ID)
+					}
+				}
+			})
+		}
+	}
 }
 
 // TestFaultParitySharded extends the parity suite to corrupted input: a

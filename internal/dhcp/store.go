@@ -1,0 +1,175 @@
+package dhcp
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// LeaseStore is the shared, epoch-versioned lease table behind the sharded
+// pipeline's DHCP join. One writer (the dispatcher) folds the broadcast
+// lease stream in through Observe, tagging every mutation with a
+// monotonically increasing sequence number; any number of concurrent
+// readers (the shard workers) resolve addresses through LookupAt pinned to
+// the sequence number their in-flight event carries. A reader therefore
+// sees exactly the bindings a single pipeline would have indexed at the
+// same point of the event stream — lease-before-flow ordering holds by
+// construction, without replaying every lease once per shard.
+//
+// Storage is copy-on-write with structural sharing: each address holds an
+// append-only record slice published through an atomic pointer. Appending
+// writes the new record past every published length and then publishes a
+// new slice header, so sealing the table at an epoch boundary is O(delta)
+// — the records appended since the last seal — never O(table). Readers
+// binary-search the sequence-visible prefix of the published slice and
+// then run the exact lookup loop a private leaseIndex would run.
+//
+// Renewals never mutate a published record (readers may hold the slice):
+// a renewal that extends a binding appends a fresh record carrying the
+// episode's original Start and the extended End. The lookup loop skips
+// records superseded by a later renewal of the same episode, so the
+// visible span list is record-for-record the coalesced span list a
+// single-pipeline leaseIndex holds at that stream position.
+type LeaseStore struct {
+	cells sync.Map // netip.Addr → *leaseCell
+	// retained approximates the store's live bytes (records plus cell
+	// overhead) for the obs snapshot-size gauge.
+	retained atomic.Int64
+}
+
+// leaseCell holds one address's published record history.
+type leaseCell struct {
+	recs atomic.Pointer[[]leaseRec]
+}
+
+// leaseRec is one immutable binding record: a lease episode (or a renewal
+// extension of one) as of mutation seq.
+type leaseRec struct {
+	mac   packet.MAC
+	start time.Time
+	end   time.Time
+	seq   uint64
+}
+
+// leaseRecBytes approximates the retained size of one record (two
+// time.Time values, a MAC, a sequence number, padding).
+const leaseRecBytes = 72
+
+// leaseCellBytes approximates the fixed overhead of one address cell
+// (sync.Map entry, cell struct, slice header).
+const leaseCellBytes = 96
+
+// NewLeaseStore returns an empty store.
+func NewLeaseStore() *LeaseStore { return &LeaseStore{} }
+
+// Observe folds one broadcast lease in under sequence number seq. Sequence
+// numbers must be strictly increasing across all Observe calls; leases
+// must arrive in non-decreasing start order (the log order). Single
+// writer only — concurrent Observe calls race.
+func (s *LeaseStore) Observe(l Lease, seq uint64) {
+	c := s.cell(l.Addr)
+	old := c.recs.Load()
+	if old != nil {
+		if n := len(*old); n > 0 {
+			last := &(*old)[n-1]
+			if last.mac == l.MAC && !l.Start.After(last.end) {
+				// Renewal of the current episode: extend by appending a
+				// record that shares the episode Start; a lease fully
+				// covered by the episode is a no-op, exactly like the
+				// in-place coalescing of a private leaseIndex.
+				if !l.End.After(last.end) {
+					return
+				}
+				s.append(c, old, leaseRec{mac: l.MAC, start: last.start, end: l.End, seq: seq})
+				return
+			}
+		}
+	}
+	s.append(c, old, leaseRec{mac: l.MAC, start: l.Start, end: l.End, seq: seq})
+}
+
+// cell returns (creating if needed) the record cell for addr.
+func (s *LeaseStore) cell(addr netip.Addr) *leaseCell {
+	if v, ok := s.cells.Load(addr); ok {
+		return v.(*leaseCell)
+	}
+	v, loaded := s.cells.LoadOrStore(addr, new(leaseCell))
+	if !loaded {
+		s.retained.Add(leaseCellBytes)
+	}
+	return v.(*leaseCell)
+}
+
+// append publishes old+rec. The element write lands past every published
+// length, and the new header is published with an atomic store, so a
+// concurrent LookupAt either sees the old header (and never touches the
+// new element) or the new header (and, by release/acquire on the pointer,
+// the fully written element).
+func (s *LeaseStore) append(c *leaseCell, old *[]leaseRec, rec leaseRec) {
+	var next []leaseRec
+	if old != nil {
+		next = append(*old, rec)
+	} else {
+		next = append(next, rec)
+	}
+	c.recs.Store(&next)
+	s.retained.Add(leaseRecBytes)
+}
+
+// LookupAt resolves addr at time t as of mutation sequence pin: only
+// records observed with seq ≤ pin are visible. Safe for any number of
+// concurrent callers, concurrently with Observe.
+func (s *LeaseStore) LookupAt(addr netip.Addr, t time.Time, pin uint64) (packet.MAC, bool) {
+	v, ok := s.cells.Load(addr)
+	if !ok {
+		return packet.MAC{}, false
+	}
+	p := v.(*leaseCell).recs.Load()
+	if p == nil {
+		return packet.MAC{}, false
+	}
+	recs := *p
+	// Records append in increasing seq, so the visible set is a prefix.
+	n := sort.Search(len(recs), func(i int) bool { return recs[i].seq > pin })
+	vis := recs[:n]
+	// The single-pipeline lookup loop over coalesced spans, with one
+	// addition: a record superseded by a later visible renewal of the same
+	// episode (same MAC, same episode Start) is skipped, so each episode
+	// is considered exactly once, at its widest visible extent.
+	for i := len(vis) - 1; i >= 0; i-- {
+		r := &vis[i]
+		if i+1 < len(vis) {
+			nx := &vis[i+1]
+			if nx.mac == r.mac && nx.start.Equal(r.start) {
+				continue
+			}
+		}
+		if !t.Before(r.start) && t.Before(r.end) {
+			return r.mac, true
+		}
+		if t.After(r.end) {
+			break
+		}
+	}
+	return packet.MAC{}, false
+}
+
+// RetainedBytes approximates the store's live size for the snapshot-size
+// gauge. Safe to call concurrently.
+func (s *LeaseStore) RetainedBytes() int64 { return s.retained.Load() }
+
+// Addrs returns every indexed address in sorted order (test and debugging
+// aid; iteration order of the underlying map is randomized).
+func (s *LeaseStore) Addrs() []netip.Addr {
+	var out []netip.Addr
+	s.cells.Range(func(k, _ any) bool {
+		out = append(out, k.(netip.Addr))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

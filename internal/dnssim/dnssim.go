@@ -92,6 +92,9 @@ func hashAddr(a netip.Addr) uint64 {
 // joins logs.
 type Labeler struct {
 	byAddr map[netip.Addr][]labelSpan
+	// interner canonicalizes domain strings so spans don't pin replayed
+	// log lines and downstream map probes compare pointer-equal keys.
+	interner *Interner
 	// LookAhead tolerates capture/log clock skew: a flow observed
 	// slightly before the first resolution of its server can still be
 	// labeled if the resolution follows within this window.
@@ -105,7 +108,11 @@ type labelSpan struct {
 
 // NewLabeler returns an empty labeler with a 1h look-ahead.
 func NewLabeler() *Labeler {
-	return &Labeler{byAddr: make(map[netip.Addr][]labelSpan), LookAhead: time.Hour}
+	return &Labeler{
+		byAddr:    make(map[netip.Addr][]labelSpan),
+		interner:  NewInterner(),
+		LookAhead: time.Hour,
+	}
 }
 
 // Observe folds one resolver log entry into the index. Consecutive
@@ -115,7 +122,7 @@ func (l *Labeler) Observe(e Entry) {
 	if n := len(spans); n > 0 && spans[n-1].domain == e.Query {
 		return
 	}
-	l.byAddr[e.Answer] = append(spans, labelSpan{start: e.Time, domain: e.Query})
+	l.byAddr[e.Answer] = append(spans, labelSpan{start: e.Time, domain: l.interner.Intern(e.Query)})
 }
 
 // Label returns the domain that server meant at time t, or ok=false when

@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/dhcp"
 	"repro/internal/dnssim"
@@ -393,21 +394,37 @@ func replayMerged(dir string, sink trace.Sink, opts ReplayOptions) error {
 	if err := advanceHTTP(); err != nil {
 		return err
 	}
+	// Day-rollover flushes tag batch epochs onto the replay stream the way
+	// the generator's per-day flushes do for live traces: each UTC day
+	// boundary becomes a stream boundary, so a batch-capable sink (the
+	// sharded pipeline) seals and publishes its join-table delta at least
+	// once per replayed day instead of only at end of input.
+	var curDay time.Time
+	rollDay := func(t time.Time) {
+		day := t.UTC().Truncate(24 * time.Hour)
+		if !curDay.IsZero() && day.After(curDay) {
+			out.Flush()
+		}
+		curDay = day
+	}
 	for haveFlow || haveDNS || haveHTTP {
 		// Pick the earliest of the available heads; DNS wins ties so
 		// resolutions precede the flows they label.
 		switch {
 		case haveDNS && (!haveFlow || !curFlow.Start.Before(curDNS.Time)) && (!haveHTTP || !curHTTP.Time.Before(curDNS.Time)):
+			rollDay(curDNS.Time)
 			out.DNS(curDNS)
 			if err := advanceDNS(); err != nil {
 				return err
 			}
 		case haveFlow && (!haveHTTP || !curHTTP.Time.Before(curFlow.Start)):
+			rollDay(curFlow.Start)
 			out.Flow(curFlow)
 			if err := advanceFlow(); err != nil {
 				return err
 			}
 		default:
+			rollDay(curHTTP.Time)
 			out.HTTPMeta(curHTTP)
 			if err := advanceHTTP(); err != nil {
 				return err

@@ -17,6 +17,12 @@ type IngestBench struct {
 	Seconds     float64 `json:"seconds"`
 	FlowsPerSec float64 `json:"flows_per_sec"`
 	BytesPerSec float64 `json:"bytes_per_sec"`
+	// Epoch-snapshot counters (sharded runs only; zero and omitted for a
+	// single pipeline). Reports written before these fields existed simply
+	// lack them — CompareBench skips metrics absent (≤ 0) on either side,
+	// so old baselines keep diffing cleanly.
+	EpochsPublished int64 `json:"epochs_published,omitempty"`
+	SnapshotBytes   int64 `json:"snapshot_bytes,omitempty"`
 }
 
 // BenchReport is the machine-readable record one `cmd/lockdown -bench-json`
@@ -107,6 +113,8 @@ func CompareBench(old, cur *BenchReport, maxRegress float64) []BenchDelta {
 	}
 	compare("ingest.flows_per_sec", old.Ingest.FlowsPerSec, cur.Ingest.FlowsPerSec, true)
 	compare("ingest.bytes_per_sec", old.Ingest.BytesPerSec, cur.Ingest.BytesPerSec, true)
+	compare("ingest.snapshot_bytes",
+		float64(old.Ingest.SnapshotBytes), float64(cur.Ingest.SnapshotBytes), false)
 	compare("wall_seconds", old.WallSeconds, cur.WallSeconds, false)
 	var figs []string
 	for name := range old.FiguresMS {

@@ -71,6 +71,45 @@ func TestCompareBench(t *testing.T) {
 	}
 }
 
+// TestCompareBenchOldBaselineWithoutEpochFields pins forward compatibility
+// of the baseline format: a baseline written before the epoch-snapshot
+// fields existed (epochs_published, snapshot_bytes zero after decode) must
+// compare cleanly against a current report that carries them — the
+// missing metrics are skipped, never reported as regressions, and the
+// rest of the comparison still runs.
+func TestCompareBenchOldBaselineWithoutEpochFields(t *testing.T) {
+	old := sampleReport(100000, 10) // pre-epoch baseline: zero-valued new fields
+	cur := sampleReport(99000, 10)
+	cur.Ingest.EpochsPublished = 75
+	cur.Ingest.SnapshotBytes = 48 << 20
+
+	for _, d := range CompareBench(old, cur, 0.10) {
+		if d.Metric == "ingest.snapshot_bytes" {
+			t.Errorf("snapshot_bytes compared against a baseline that lacks it (ratio %.3f)", d.Ratio)
+		}
+		if d.Regressed {
+			t.Errorf("%s unexpectedly regressed (ratio %.3f)", d.Metric, d.Ratio)
+		}
+	}
+
+	// Once both sides carry the gauge it participates like any metric: a
+	// snapshot that balloons past the threshold regresses.
+	old.Ingest.SnapshotBytes = 32 << 20
+	cur.Ingest.SnapshotBytes = 64 << 20
+	var saw bool
+	for _, d := range CompareBench(old, cur, 0.10) {
+		if d.Metric == "ingest.snapshot_bytes" {
+			saw = true
+			if !d.Regressed {
+				t.Errorf("doubled snapshot_bytes not flagged (ratio %.3f)", d.Ratio)
+			}
+		}
+	}
+	if !saw {
+		t.Error("snapshot_bytes missing from comparison when present in both reports")
+	}
+}
+
 func TestLoadBenchErrors(t *testing.T) {
 	if _, err := LoadBench(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("missing file should error")

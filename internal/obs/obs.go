@@ -134,6 +134,16 @@ type Metrics struct {
 	shards  atomic.Pointer[[]atomic.Int64]
 	depthFn atomic.Pointer[func() []int]
 
+	// Epoch-snapshot counters for the sharded pipeline's shared join
+	// tables: epochsPublished counts dispatcher seals, epochPins counts
+	// shard batches resolved against a pinned snapshot, snapshotBytes is
+	// a gauge of the shared tables' approximate retained size. Epoch
+	// publications are bookkeeping, not events — they must never feed the
+	// stage counters, the dispatch counters, or the queue-depth gauge.
+	epochsPublished atomic.Int64
+	epochPins       atomic.Int64
+	snapshotBytes   atomic.Int64
+
 	mu sync.Mutex // serializes SetShards
 }
 
@@ -268,6 +278,56 @@ func (m *Metrics) DispatchN(i int, n int64) {
 	(*p)[i].Add(n)
 }
 
+// EpochPublish counts one sealed epoch of the shared join tables (a
+// dispatcher publishing its pending broadcast delta at a batch boundary).
+func (m *Metrics) EpochPublish() {
+	if m == nil {
+		return
+	}
+	m.epochsPublished.Add(1)
+}
+
+// EpochPin counts one shard batch resolved against a pinned snapshot of
+// the shared join tables.
+func (m *Metrics) EpochPin() {
+	if m == nil {
+		return
+	}
+	m.epochPins.Add(1)
+}
+
+// SetSnapshotBytes updates the shared join tables' retained-size gauge.
+func (m *Metrics) SetSnapshotBytes(n int64) {
+	if m == nil {
+		return
+	}
+	m.snapshotBytes.Store(n)
+}
+
+// EpochsPublished returns the number of sealed join-table epochs.
+func (m *Metrics) EpochsPublished() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.epochsPublished.Load()
+}
+
+// EpochPins returns the number of shard batches pinned to a snapshot.
+func (m *Metrics) EpochPins() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.epochPins.Load()
+}
+
+// SnapshotBytes returns the shared join tables' retained-size gauge.
+func (m *Metrics) SnapshotBytes() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.snapshotBytes.Load()
+}
+
 // SetQueueDepthFunc registers a live queue-depth poll (per-shard pending
 // event counts), sampled at snapshot time.
 func (m *Metrics) SetQueueDepthFunc(f func() []int) {
@@ -365,5 +425,8 @@ func (m *Metrics) Snapshot() Snapshot {
 			s.Imbalance = float64(max) / mean
 		}
 	}
+	s.EpochsPublished = m.epochsPublished.Load()
+	s.EpochPins = m.epochPins.Load()
+	s.SnapshotBytes = m.snapshotBytes.Load()
 	return s
 }

@@ -57,6 +57,12 @@ type Snapshot struct {
 	Shards      []ShardSnapshot      `json:"shards,omitempty"`
 	// Imbalance is max/mean of per-shard dispatch counts (1.0 = perfect).
 	Imbalance float64 `json:"dispatch_imbalance,omitempty"`
+	// Epoch-snapshot counters for the shared join tables (sharded ingest
+	// only): sealed epochs, pinned shard batches, and the tables'
+	// approximate retained bytes.
+	EpochsPublished int64 `json:"epochs_published,omitempty"`
+	EpochPins       int64 `json:"epoch_pins,omitempty"`
+	SnapshotBytes   int64 `json:"snapshot_bytes,omitempty"`
 }
 
 // siCount formats an event count or rate with k/M/G suffixes.

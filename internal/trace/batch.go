@@ -65,6 +65,10 @@ type Batcher struct {
 	sink Sink
 	bs   BatchSink // non-nil when sink supports the batch fast path
 	buf  []Event
+	// epochs counts Flush calls — the stream boundaries a batch-capable
+	// sink treats as epoch seals (the sharded pipeline publishes its
+	// pending join-table delta at each one).
+	epochs int64
 }
 
 // NewBatcher wraps sink, detecting the batch fast path once.
@@ -125,7 +129,10 @@ func (b *Batcher) Lease(l dhcp.Lease) {
 
 // Flush drains the open run and forwards the flush to a batch-capable
 // sink; a no-op for plain sinks. Call at stream boundaries (end of input,
-// end of a trace day).
+// end of a trace day). Each forwarded flush is an epoch boundary: a
+// batch-capable sink must make every event delivered so far visible, and
+// the sharded pipeline additionally seals its pending join-table delta
+// into a published snapshot epoch there.
 func (b *Batcher) Flush() {
 	if b.bs == nil {
 		return
@@ -134,7 +141,17 @@ func (b *Batcher) Flush() {
 		b.bs.EventBatch(b.buf)
 		b.buf = b.buf[:0]
 	}
+	b.epochs++
 	b.bs.Flush()
+}
+
+// Epochs returns the number of stream-boundary flushes forwarded so far
+// (0 for a plain sink, which has no epoch concept).
+func (b *Batcher) Epochs() int64 {
+	if b.bs == nil {
+		return 0
+	}
+	return b.epochs
 }
 
 // Deliver replays one event through sink's per-event interface — the

@@ -131,6 +131,9 @@ type Reader struct {
 	schema Schema
 	line   int
 	raw    string
+	// values is the reusable record buffer Next splits into; the slice
+	// handed to the caller is borrowed and overwritten by the next call.
+	values []string
 }
 
 // NewReader parses the header from r and validates it against schema.
@@ -185,6 +188,11 @@ func (r *Reader) checkColumns(got []string, sel func(Field) string) error {
 // *decodeerr.Error wrapping ErrFieldCount — truncated when short (the
 // record lost its tail), malformed when long — and leaves the reader
 // positioned at the following line.
+//
+// The returned slice is borrowed: it is the Reader's reusable record
+// buffer and the next Next call overwrites it. Callers must finish with
+// (or copy) the values before advancing. The string elements themselves
+// are ordinary immutable strings and safe to retain.
 func (r *Reader) Next() ([]string, error) {
 	for r.s.Scan() {
 		r.line++
@@ -193,7 +201,20 @@ func (r *Reader) Next() ([]string, error) {
 			continue
 		}
 		r.raw = line
-		values := strings.Split(line, Separator)
+		// Split into the reusable buffer: the per-record strings.Split
+		// allocation was the last per-line allocation on the replay hot
+		// path besides the line itself.
+		values := r.values[:0]
+		for {
+			i := strings.IndexByte(line, '\t')
+			if i < 0 {
+				values = append(values, line)
+				break
+			}
+			values = append(values, line[:i])
+			line = line[i+1:]
+		}
+		r.values = values
 		if len(values) != len(r.schema.Fields) {
 			class := decodeerr.Malformed
 			if len(values) < len(r.schema.Fields) {
