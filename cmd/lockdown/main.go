@@ -57,6 +57,7 @@ type config struct {
 	progressFormat string
 	debugAddr      string
 	benchJSON      string
+	measureScaling bool
 
 	// Fault-robustness knobs (only meaningful with -logs; the generator
 	// path has no decode step to guard).
@@ -86,6 +87,7 @@ func main() {
 	flag.StringVar(&cfg.progressFormat, "progress-format", "text", "progress line format: text or json")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve expvar + pprof on this address while running (e.g. localhost:6060)")
 	flag.StringVar(&cfg.benchJSON, "bench-json", "", "write a machine-readable bench report (a .json path, or a directory receiving BENCH_<date>.json)")
+	flag.BoolVar(&cfg.measureScaling, "measure-scaling", false, "also measure single-vs-sharded reference rates on a recorded window and report scaling_efficiency (requires -bench-json and -shards ≥ 2)")
 	flag.StringVar(&cfg.faultPolicy, "fault-policy", "strict", "decode-error policy for -logs replay: strict, skip, quarantine or abort")
 	flag.Float64Var(&cfg.faultBudget, "fault-budget", 0.001, "tolerated dropped-record fraction under -fault-policy abort")
 	flag.Float64Var(&cfg.faultInject, "fault-inject", 0, "inject seeded corruption into the replayed logs at this per-record rate (testing)")
@@ -271,33 +273,41 @@ func run(cfg config) error {
 	if err := os.MkdirAll(cfg.out, 0o755); err != nil {
 		return err
 	}
-	// Each figure is timed individually so the bench report can localize
-	// regressions to one analysis.
-	figMS := make(map[string]float64, 16)
+	// Figure/stat finalization fans out over a bounded worker pool: every
+	// figure is an independent pure function over the sealed Dataset, each
+	// writing its own results slot, so they run concurrently on whatever
+	// cores ingest just released. Per-figure timings still land in
+	// figures_ms (localizing a regression to one analysis); the pool's
+	// wall time is reported separately as figures_wall_ms — on a
+	// multi-core host it is the max lane, not the sum.
+	res := results{scale: cfg.scale, stats: ds.Stats}
+	figTasks := []obs.TimedTask{
+		{Name: "fig1", Run: func() { res.fig1 = experiments.Fig1(ds) }},
+		{Name: "fig2", Run: func() { res.fig2 = experiments.Fig2(ds) }},
+		{Name: "fig3", Run: func() { res.fig3 = experiments.Fig3(ds) }},
+		{Name: "fig4", Run: func() { res.fig4 = experiments.Fig4(ds) }},
+		{Name: "fig5", Run: func() { res.fig5 = experiments.Fig5(ds) }},
+		{Name: "fig6", Run: func() { res.fig6 = experiments.Fig6(ds) }},
+		{Name: "fig7", Run: func() { res.fig7 = experiments.Fig7(ds) }},
+		{Name: "fig8", Run: func() { res.fig8 = experiments.Fig8(ds) }},
+		{Name: "headline", Run: func() { res.head = experiments.Headline(ds) }},
+		{Name: "population", Run: func() { res.pop = experiments.Population(ds) }},
+		{Name: "accuracy", Run: func() { res.acc = experiments.Accuracy(ds, truth, 100, cfg.seed) }},
+		{Name: "cdn_ablation", Run: func() { res.cdnAblate = experiments.CDNAblation(ds) }},
+		{Name: "iot_sweep", Run: func() {
+			res.iotSweep = experiments.IoTThresholdSweep(ds, truth, []float64{0.25, 0.5, 0.75, 1.0})
+		}},
+		{Name: "work_leisure", Run: func() { res.workPlay = experiments.WorkLeisure(ds) }},
+		{Name: "zoom_weekend", Run: func() { res.zoomWknd = experiments.ZoomWeekend(ds) }},
+		{Name: "convergence", Run: func() { res.convergence = experiments.DiurnalConvergence(ds) }},
+	}
+	figMS, figWallMS := obs.RunTimedParallel(0, figTasks)
+	// render_csv stays serial — it reads every figure's slot.
 	timed := func(name string, f func()) {
 		t0 := time.Now()
 		f()
 		figMS[name] = float64(time.Since(t0).Nanoseconds()) / 1e6
 	}
-	res := results{scale: cfg.scale, stats: ds.Stats}
-	timed("fig1", func() { res.fig1 = experiments.Fig1(ds) })
-	timed("fig2", func() { res.fig2 = experiments.Fig2(ds) })
-	timed("fig3", func() { res.fig3 = experiments.Fig3(ds) })
-	timed("fig4", func() { res.fig4 = experiments.Fig4(ds) })
-	timed("fig5", func() { res.fig5 = experiments.Fig5(ds) })
-	timed("fig6", func() { res.fig6 = experiments.Fig6(ds) })
-	timed("fig7", func() { res.fig7 = experiments.Fig7(ds) })
-	timed("fig8", func() { res.fig8 = experiments.Fig8(ds) })
-	timed("headline", func() { res.head = experiments.Headline(ds) })
-	timed("population", func() { res.pop = experiments.Population(ds) })
-	timed("accuracy", func() { res.acc = experiments.Accuracy(ds, truth, 100, cfg.seed) })
-	timed("cdn_ablation", func() { res.cdnAblate = experiments.CDNAblation(ds) })
-	timed("iot_sweep", func() {
-		res.iotSweep = experiments.IoTThresholdSweep(ds, truth, []float64{0.25, 0.5, 0.75, 1.0})
-	})
-	timed("work_leisure", func() { res.workPlay = experiments.WorkLeisure(ds) })
-	timed("zoom_weekend", func() { res.zoomWknd = experiments.ZoomWeekend(ds) })
-	timed("convergence", func() { res.convergence = experiments.DiurnalConvergence(ds) })
 
 	if cfg.yoy && cfg.logs == "" {
 		fmt.Fprintln(statusW, "simulating counterfactual baseline year...")
@@ -341,6 +351,9 @@ func run(cfg config) error {
 		}
 	}
 
+	if cfg.measureScaling && cfg.benchJSON == "" {
+		return fmt.Errorf("-measure-scaling requires -bench-json (it only affects the bench report)")
+	}
 	if cfg.benchJSON != "" {
 		shards := cfg.shards
 		if sp, ok := pipe.(*core.ShardedPipeline); ok {
@@ -352,6 +365,7 @@ func run(cfg config) error {
 			GOOS:        runtime.GOOS,
 			GOARCH:      runtime.GOARCH,
 			CPUs:        runtime.NumCPU(),
+			MaxProcs:    runtime.GOMAXPROCS(0),
 			Scale:       cfg.scale,
 			Shards:      shards,
 			Seed:        cfg.seed,
@@ -366,8 +380,18 @@ func run(cfg config) error {
 				EpochsPublished: metrics.EpochsPublished(),
 				SnapshotBytes:   metrics.SnapshotBytes(),
 			},
-			FiguresMS: figMS,
-			Stages:    metrics.Snapshot().Stages,
+			FiguresMS:     figMS,
+			FiguresWallMS: figWallMS,
+			Stages:        metrics.Snapshot().Stages,
+		}
+		if cfg.measureScaling {
+			singleRate, shardedRate, err := measureScaling(reg, cfg, shards, statusW)
+			if err != nil {
+				return err
+			}
+			br.Ingest.SingleRefEventsPerSec = singleRate
+			br.Ingest.ShardedRefEventsPerSec = shardedRate
+			br.Ingest.ScalingEfficiency = shardedRate / singleRate / float64(shards)
 		}
 		path := obs.BenchPath(cfg.benchJSON, br.Date)
 		if err := br.WriteFile(path); err != nil {

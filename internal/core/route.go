@@ -1,0 +1,196 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/campus"
+	"repro/internal/flow"
+	"repro/internal/httplog"
+	"repro/internal/trace"
+)
+
+// The batched dispatch path splits each incoming event run into three
+// phases so the per-event route work — the DHCP lease lookup, the EUI-64
+// extraction, the tap/window cuts, the shard hash — runs on parallel
+// decode/route workers while everything order-sensitive stays on the
+// single sequencer goroutine (the dispatcher itself):
+//
+//	phase A (sequencer): walk the run in stream order; apply every
+//	  broadcast (DNS entry, DHCP lease) to the shared epoch stores under
+//	  the next monotonic sequence number, exactly as the per-event path
+//	  does; stamp every routable event with the sequence number current
+//	  at its stream position (its pin).
+//	phase B (route workers, parallel): for every flow/HTTP event, resolve
+//	  the client MAC against the shared lease store *pinned to the
+//	  event's own sequence number* and decide its target shard (or drop
+//	  class). The pinned lookup is what makes this safe: phase A already
+//	  folded the whole run's leases into the store, but a flow's lookup
+//	  sees only records with seq ≤ its pin — byte-identical to the
+//	  single pipeline resolving it mid-stream. Workers touch only
+//	  immutable or concurrent-read-safe state (the epoch stores, the
+//	  registry, the campus calendar) and write disjoint decision slots.
+//	phase C (sequencer): walk the run in stream order again, copying
+//	  routed events into per-shard open batches (flushing full batches
+//	  into the SPSC rings) and settling drop/dispatch counters. All
+//	  mutation of dispatcher-owned state — open batches, pendDispatch,
+//	  dispStats, obs — happens here, single-threaded.
+//
+// Exactness therefore never depends on worker scheduling: sequence
+// numbers are assigned serially in phase A, shard batch order is
+// materialized serially in phase C, and phase B computes pure functions
+// of (event, pin).
+
+// Negative routeDecision.shard values classify events that never reach a
+// shard. Drop precedence must match Pipeline.Flow exactly — tap filter,
+// then capture window, then attribution — so a flow failing several cuts
+// lands in the same Stats counter under sharded and single ingest.
+const (
+	decDropTap    int32 = -1 // unroutable flow cut by the tap filter
+	decDropWindow int32 = -2 // unroutable flow outside the capture window
+	decDropUnattr int32 = -3 // unroutable flow with no DHCP binding
+	decDropHTTP   int32 = -4 // HTTP entry with no resolvable client MAC
+)
+
+// routeDecision is one event's routing outcome. seq is written by the
+// sequencer in phase A; shard by exactly one route worker in phase B; both
+// are read by the sequencer in phase C. The phase barriers (job handoff
+// and completion signals) order those accesses.
+type routeDecision struct {
+	seq   uint64
+	shard int32
+}
+
+// decideFlow resolves one flow's target shard (or drop class) as of pin.
+// Pure with respect to dispatcher state: safe from any route worker.
+func (sp *ShardedPipeline) decideFlow(r *flow.Record, pin uint64) int32 {
+	if mac, ok := sp.clientMACAt(r.OrigAddr, r.Start, pin); ok {
+		return int32(macShard(mac, len(sp.shards)))
+	}
+	if !sp.opts.DisableTapFilter && sp.reg.TapExcluded(r.RespAddr) {
+		return decDropTap
+	}
+	if _, ok := campus.DayOf(r.Start); !ok {
+		return decDropWindow
+	}
+	return decDropUnattr
+}
+
+// decideHTTP resolves one HTTP entry's target shard (or decDropHTTP) as of
+// pin. Pure with respect to dispatcher state: safe from any route worker.
+func (sp *ShardedPipeline) decideHTTP(e *httplog.Entry, pin uint64) int32 {
+	if mac, ok := sp.clientMACAt(e.Client, e.Time, pin); ok {
+		return int32(macShard(mac, len(sp.shards)))
+	}
+	return decDropHTTP
+}
+
+// decideRange computes phase-B decisions for events[lo:hi). Broadcast
+// events were fully handled in phase A and are skipped here.
+func (sp *ShardedPipeline) decideRange(events []trace.Event, decs []routeDecision, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ev := &events[i]
+		switch ev.Kind {
+		case trace.EventFlow:
+			decs[i].shard = sp.decideFlow(&ev.Flow, decs[i].seq)
+		case trace.EventHTTP:
+			decs[i].shard = sp.decideHTTP(&ev.HTTP, decs[i].seq)
+		}
+	}
+}
+
+// routeJob is one phase-B work slice handed to a route worker.
+type routeJob struct {
+	events []trace.Event
+	decs   []routeDecision
+	lo, hi int
+}
+
+// routePool runs phase B across persistent worker goroutines. The
+// sequencer participates: with k total route lanes it hands k-1 chunks to
+// workers and decides the first chunk itself, so the pool adds k-1
+// goroutines, not k. A nil pool (or a short run) means the sequencer
+// decides everything inline.
+type routePool struct {
+	sp   *ShardedPipeline
+	jobs []chan routeJob
+	done chan struct{}
+}
+
+// routeParallelMin is the run length below which phase B runs inline on
+// the sequencer: the fixed cost of a parallel round (one channel send and
+// one completion receive per worker) outweighs the route work of a short
+// run.
+const routeParallelMin = 128
+
+// newRoutePool starts lanes-1 route workers (lanes ≥ 2).
+func newRoutePool(sp *ShardedPipeline, lanes int) *routePool {
+	p := &routePool{
+		sp:   sp,
+		jobs: make([]chan routeJob, lanes-1),
+		done: make(chan struct{}, lanes-1),
+	}
+	for i := range p.jobs {
+		ch := make(chan routeJob)
+		p.jobs[i] = ch
+		go func() {
+			for j := range ch {
+				sp.decideRange(j.events, j.decs, j.lo, j.hi)
+				p.done <- struct{}{}
+			}
+		}()
+	}
+	return p
+}
+
+// run executes phase B over the whole run, splitting it into one
+// contiguous chunk per lane. Returns only after every decision slot in
+// [0, len(events)) is written.
+func (p *routePool) run(events []trace.Event, decs []routeDecision) {
+	n := len(events)
+	lanes := len(p.jobs) + 1
+	chunk := (n + lanes - 1) / lanes
+	sent := 0
+	for i, ch := range p.jobs {
+		lo := (i + 1) * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		ch <- routeJob{events: events, decs: decs, lo: lo, hi: hi}
+		sent++
+	}
+	// The sequencer decides the first chunk on its own core while the
+	// workers run theirs.
+	first := chunk
+	if first > n {
+		first = n
+	}
+	p.sp.decideRange(events, decs, 0, first)
+	for i := 0; i < sent; i++ {
+		<-p.done
+	}
+}
+
+// close stops the workers. Must not race run; Finalize calls it after the
+// last EventBatch.
+func (p *routePool) close() {
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+}
+
+// routeLanes picks the phase-B parallelism: one lane per available
+// processor, capped — route work is a minority share of an event's total
+// cost, so a few lanes saturate the sequencer long before the shard
+// workers run out of feed, and every extra lane competes with those
+// workers for cores.
+func routeLanes() int {
+	lanes := runtime.GOMAXPROCS(0)
+	if lanes > 4 {
+		lanes = 4
+	}
+	return lanes
+}

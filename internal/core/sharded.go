@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"repro/internal/anonymize"
-	"repro/internal/campus"
 	"repro/internal/dhcp"
 	"repro/internal/dnssim"
 	"repro/internal/flow"
@@ -22,9 +21,9 @@ import (
 )
 
 // ShardedPipeline parallelizes ingest across N independent Pipeline shards.
-// Flows and HTTP metadata are routed to a shard by the client device's MAC
-// (resolved against a dispatcher-side lease index), so each device's entire
-// history lands on one shard and per-device aggregation stays exact.
+// Flows and HTTP metadata are routed to a shard by the client device's MAC,
+// so each device's entire history lands on one shard and per-device
+// aggregation stays exact.
 //
 // DNS entries and DHCP leases are NOT broadcast to the shards. The
 // dispatcher applies each of them exactly once to a pair of shared,
@@ -43,12 +42,22 @@ import (
 // labeler's look-ahead window) — hold by construction rather than by
 // replaying every mutation once per shard.
 //
-// Transport is batched: the dispatcher appends events into a fixed-capacity
-// open batch per shard and sends the whole batch when it fills (or on
-// Flush), so the per-event cost is one array store instead of a heap
-// allocation plus a channel send. Batches are recycled through a sync.Pool.
-// Within a shard, batches and the events inside them are applied strictly
-// FIFO.
+// The dispatch side itself is pipelined for multi-core ingest. Routing
+// decisions (the lease lookup, the tap/window cuts, the shard hash) are
+// pure functions of (event, pinned sequence number), so the batched intake
+// path fans them out over parallel decode/route workers while a single
+// sequencer stage — the dispatcher goroutine — keeps everything
+// order-sensitive serial: sequence-number assignment, broadcast
+// application, batch placement, counter settlement (see route.go). The
+// dispatcher routes against the same shared lease store the shards read
+// (pinned the same way), so there is exactly one lease index per run.
+//
+// Transport is batched and lock-free: the dispatcher appends events into a
+// fixed-capacity open batch per shard and, when it fills (or on Flush),
+// publishes the whole batch as one slot of that shard's bounded SPSC ring
+// (see ring.go) — per event the cost is one array store, and per batch two
+// uncontended atomics. Batches are recycled through a sync.Pool. Within a
+// shard, batches and the events inside them are applied strictly FIFO.
 //
 // The public surface mirrors Pipeline: it implements trace.Sink (and the
 // trace.BatchSink fast path), and Finalize returns a merged Dataset with
@@ -61,29 +70,41 @@ type ShardedPipeline struct {
 	// joins[i] is shard i's pinned view over the shared stores; owned by
 	// that shard's worker goroutine after construction.
 	joins []*snapshotJoin
-	chans []chan *eventBatch
+	rings []*batchRing
 	done  []chan struct{}
 	// open holds the per-shard batch being filled; owned by the
 	// dispatcher goroutine, never touched by workers.
 	open []*eventBatch
-	// queued tracks per-shard in-flight events (flushed to the channel,
-	// not yet applied by the worker) for the queue-depth gauge. Epoch
-	// publications are not events and never count here.
+	// queued tracks per-shard in-flight events — flushed toward the
+	// shard's ring (including a batch stalled on a full ring) but not yet
+	// applied by the worker — for the queue-depth gauge. Bounded by
+	// QueueCapacity. Epoch publications are not events and never count
+	// here.
 	queued []atomic.Int64
 	// pendDispatch counts flows routed into each shard's open batch,
 	// settled into the shared obs dispatch counters at flush time — one
-	// atomic per batch instead of one per flow. Dispatcher-owned.
+	// atomic per batch instead of one per flow. Dispatcher-owned: the
+	// parallel route workers only *decide* shards (phase B); placement,
+	// and with it this counter, stays on the sequencer (phase C), so the
+	// settle-once-per-batch invariant survives the multi-worker decode
+	// stage.
 	pendDispatch []int64
 
+	// router fans the batched path's route decisions out over parallel
+	// workers (nil on a single-processor runtime: the sequencer decides
+	// inline). decs is the reusable per-run decision scratch.
+	router *routePool
+	decs   []routeDecision
+
 	// labels and leases are the shared join stores (dispatcher writes,
-	// shards read); seq tags every broadcast mutation, epochDirty marks
-	// mutations not yet sealed into a published epoch.
+	// shards AND the dispatcher's own route stage read); seq tags every
+	// broadcast mutation, epochDirty marks mutations not yet sealed into
+	// a published epoch.
 	labels     *dnssim.LabelStore
 	leases     *dhcp.LeaseStore
 	seq        uint64
 	epochDirty bool
 
-	dispatchIdx leaseIndex
 	// dispStats accumulates what the dispatcher accounts itself: the
 	// broadcast counters (DNS entries and leases are applied exactly once,
 	// here) and the cuts for flows and HTTP entries that never reach a
@@ -94,13 +115,14 @@ type ShardedPipeline struct {
 }
 
 // batchCap is the fixed event capacity of one shard batch: large enough
-// to amortize the channel send to noise, small enough that a pooled batch
-// (~60 KiB) stays cache- and GC-friendly.
+// to amortize the ring publication to noise, small enough that a pooled
+// batch (~60 KiB) stays cache- and GC-friendly.
 const batchCap = 256
 
-// shardChanCap bounds in-flight batches per shard; with batchCap this
-// allows ~8k events of backlog per shard before the dispatcher blocks.
-const shardChanCap = 32
+// queueCapacityEvents bounds the queue-depth gauge per shard: a full ring
+// of batches, plus the batch the dispatcher may be stalled publishing,
+// plus the batch the worker is applying — all at full batchCap.
+const queueCapacityEvents = (defaultRingCap + 2) * batchCap
 
 // eventKind tags one slot of an eventBatch.
 type eventKind uint8
@@ -148,31 +170,40 @@ func NewShardedPipeline(reg *universe.Registry, opts Options, n int) (*ShardedPi
 		opts:         opts,
 		labels:       dnssim.NewLabelStore(nil),
 		leases:       dhcp.NewLeaseStore(),
-		dispatchIdx:  make(leaseIndex),
 		queued:       make([]atomic.Int64, n),
 		pendDispatch: make([]int64, n),
 		om:           opts.Obs,
 	}
 	// Shards share the dispatcher's Metrics: counters are atomic, and the
-	// queue-depth callback gives snapshots a live view of channel backlog.
+	// queue-depth / ring-state callbacks give snapshots a live view of
+	// transport backlog.
 	sp.om.SetShards(n)
 	sp.om.SetQueueDepthFunc(sp.QueueDepths)
+	sp.om.SetRingStateFunc(sp.RingStates)
+	sp.om.SetQueueCapacity(queueCapacityEvents)
+	if lanes := routeLanes(); lanes >= 2 {
+		sp.router = newRoutePool(sp, lanes)
+	}
 	for i := 0; i < n; i++ {
 		join := &snapshotJoin{labels: sp.labels, leases: sp.leases}
 		p, err := newPipeline(reg, opts, join)
 		if err != nil {
 			return nil, err
 		}
-		ch := make(chan *eventBatch, shardChanCap)
+		ring := newBatchRing(defaultRingCap)
 		done := make(chan struct{})
 		sp.shards = append(sp.shards, p)
 		sp.joins = append(sp.joins, join)
-		sp.chans = append(sp.chans, ch)
+		sp.rings = append(sp.rings, ring)
 		sp.done = append(sp.done, done)
 		sp.open = append(sp.open, batchPool.Get().(*eventBatch))
-		go func(p *Pipeline, join *snapshotJoin, shard int, ch chan *eventBatch, done chan struct{}) {
+		go func(p *Pipeline, join *snapshotJoin, shard int, ring *batchRing, done chan struct{}) {
 			defer close(done)
-			for b := range ch {
+			for {
+				b, ok := ring.pop()
+				if !ok {
+					return
+				}
 				// Pin the batch: every event resolves against the store
 				// prefix its own seq selects (counted once per batch).
 				sp.om.EpochPin()
@@ -190,7 +221,7 @@ func NewShardedPipeline(reg *universe.Registry, opts Options, n int) (*ShardedPi
 				b.n = 0
 				batchPool.Put(b)
 			}
-		}(p, join, i, ch, done)
+		}(p, join, i, ring, done)
 	}
 	return sp, nil
 }
@@ -198,15 +229,39 @@ func NewShardedPipeline(reg *universe.Registry, opts Options, n int) (*ShardedPi
 // Shards returns the shard count.
 func (sp *ShardedPipeline) Shards() int { return len(sp.shards) }
 
-// QueueDepths returns the number of in-flight events per shard — flushed
-// to the shard's channel but not yet applied by its worker. Events still
-// sitting in the dispatcher's open batches are not included (those buffers
-// are dispatcher-owned and not safe to read concurrently). Safe to call
-// concurrently with ingest.
+// QueueDepths returns the number of in-flight events per shard: flushed
+// toward the shard's ring (including a batch the dispatcher is stalled
+// publishing into a full ring) but not yet applied by its worker. Events
+// still sitting in the dispatcher's open batches are not included (those
+// buffers are dispatcher-owned and not safe to read concurrently). Each
+// entry is bounded by QueueCapacity. Safe to call concurrently with
+// ingest.
 func (sp *ShardedPipeline) QueueDepths() []int {
 	out := make([]int, len(sp.queued))
 	for i := range sp.queued {
 		out[i] = int(sp.queued[i].Load())
+	}
+	return out
+}
+
+// QueueCapacity returns the per-shard upper bound on QueueDepths entries,
+// denominated in events: ring slots plus the two hand-off batches (one
+// stalled at the producer, one applying at the consumer), each at full
+// batchCap.
+func (sp *ShardedPipeline) QueueCapacity() int { return queueCapacityEvents }
+
+// RingStates returns each shard ring's transport gauges (occupancy in
+// batches, producer stall and consumer wait episodes). Safe to call
+// concurrently with ingest.
+func (sp *ShardedPipeline) RingStates() []obs.RingState {
+	out := make([]obs.RingState, len(sp.rings))
+	for i, r := range sp.rings {
+		out[i] = obs.RingState{
+			Batches:  r.len(),
+			Capacity: r.capacity(),
+			Stalls:   r.stallCount(),
+			Waits:    r.waitCount(),
+		}
 	}
 	return out
 }
@@ -226,7 +281,7 @@ func (sp *ShardedPipeline) slot(shard int) *shardEvent {
 	b := sp.open[shard]
 	if b.n == batchCap {
 		// Flush lazily, before handing out a slot, never after: once a
-		// batch is on the channel the worker owns it and the dispatcher
+		// batch is in the ring the worker owns it and the dispatcher
 		// must not touch its slots again.
 		sp.flushShard(shard)
 		b = sp.open[shard]
@@ -237,7 +292,9 @@ func (sp *ShardedPipeline) slot(shard int) *shardEvent {
 }
 
 // flushShard seals the current epoch (if broadcasts arrived since the last
-// seal), then sends the shard's open batch and starts a fresh one.
+// seal), then publishes the shard's open batch into its ring and starts a
+// fresh one. The queued gauge is raised before the (possibly stalling)
+// ring push so the events are never invisible in flight.
 func (sp *ShardedPipeline) flushShard(shard int) {
 	b := sp.open[shard]
 	if b.n == 0 {
@@ -245,7 +302,7 @@ func (sp *ShardedPipeline) flushShard(shard int) {
 	}
 	sp.sealEpoch()
 	sp.queued[shard].Add(int64(b.n))
-	sp.chans[shard] <- b
+	sp.rings[shard].push(b)
 	sp.open[shard] = batchPool.Get().(*eventBatch)
 	if n := sp.pendDispatch[shard]; n > 0 {
 		sp.om.DispatchN(shard, n)
@@ -268,22 +325,22 @@ func (sp *ShardedPipeline) sealEpoch() {
 	sp.om.SetSnapshotBytes(sp.labels.RetainedBytes() + sp.leases.RetainedBytes())
 }
 
-// Flush sends every open batch to its shard, making all previously
-// accepted events visible to the workers. The generator calls this at
-// trace day boundaries (via trace.BatchSink) and Finalize calls it before
-// draining; callers replaying live streams may call it at any stream
-// boundary. Must not be called after Finalize.
+// Flush publishes every open batch to its shard's ring, making all
+// previously accepted events visible to the workers. The generator calls
+// this at trace day boundaries (via trace.BatchSink) and Finalize calls it
+// before draining; callers replaying live streams may call it at any
+// stream boundary. Must not be called after Finalize.
 func (sp *ShardedPipeline) Flush() {
 	for i := range sp.open {
 		sp.flushShard(i)
 	}
 }
 
-// Lease indexes the binding for dispatch and applies it once to the shared
-// lease store under the next broadcast sequence number. No per-shard work:
-// shards observe the binding through their pinned store views.
+// Lease applies the binding once to the shared lease store under the next
+// broadcast sequence number. No per-shard work — shards and the
+// dispatcher's own route stage observe the binding through their pinned
+// store views (there is exactly one lease index per run).
 func (sp *ShardedPipeline) Lease(l dhcp.Lease) {
-	sp.dispatchIdx.observe(l)
 	sp.seq++
 	sp.leases.Observe(l, sp.seq)
 	sp.epochDirty = true
@@ -301,10 +358,13 @@ func (sp *ShardedPipeline) DNS(e dnssim.Entry) {
 	sp.om.Add(obs.StageIngest, 0)
 }
 
-// clientMAC mirrors Pipeline.lookupMAC for dispatch: DHCP leases for IPv4,
-// EUI-64 extraction for SLAAC IPv6.
-func (sp *ShardedPipeline) clientMAC(addr netip.Addr, t time.Time) (packet.MAC, bool) {
-	if mac, ok := sp.dispatchIdx.lookup(addr, t); ok {
+// clientMACAt mirrors Pipeline.lookupMAC for dispatch, resolved against
+// the shared lease store as of sequence number pin: DHCP leases for IPv4,
+// EUI-64 extraction for SLAAC IPv6. Safe for concurrent callers (the
+// parallel route workers) — the store is single-writer/multi-reader and
+// the fallback is pure.
+func (sp *ShardedPipeline) clientMACAt(addr netip.Addr, t time.Time, pin uint64) (packet.MAC, bool) {
+	if mac, ok := sp.leases.LookupAt(addr, t, pin); ok {
 		return mac, true
 	}
 	if universe.ResidenceNetV6.Contains(addr) {
@@ -314,43 +374,42 @@ func (sp *ShardedPipeline) clientMAC(addr netip.Addr, t time.Time) (packet.MAC, 
 }
 
 // Flow routes one flow to its device's shard. Flows that cannot be routed
-// (no MAC) are cut dispatcher-side — the dispatcher's lease index and the
-// shared store agree by construction, so a shard could not attribute them
-// either; attributed flows are counted at their target shard's intake.
+// (no MAC) are cut dispatcher-side — the dispatcher routes against the
+// same pinned lease store the shards read, so a shard could not attribute
+// them either; attributed flows are counted at their target shard's
+// intake.
 func (sp *ShardedPipeline) Flow(r flow.Record) { sp.routeFlow(&r) }
 
+// routeFlow is the per-event (serial) route path: decide against the
+// current sequence number, then place.
 func (sp *ShardedPipeline) routeFlow(r *flow.Record) {
-	mac, ok := sp.clientMAC(r.OrigAddr, r.Start)
-	if !ok {
-		sp.dropUnroutable(r)
-		return
-	}
-	shard := macShard(mac, len(sp.shards))
-	ev := sp.slot(shard)
-	ev.kind = evFlow
-	ev.seq = sp.seq
-	ev.flow = *r
-	sp.pendDispatch[shard]++
+	sp.placeFlow(r, sp.decideFlow(r, sp.seq), sp.seq)
 }
 
-// dropUnroutable accounts a flow with no routable MAC. Cut precedence must
-// match Pipeline.Flow exactly — tap filter, then capture window, then
-// attribution — so that a flow failing several cuts at once lands in the
-// same Stats counter under sharded and single ingest.
-func (sp *ShardedPipeline) dropUnroutable(r *flow.Record) {
+// placeFlow applies one flow's routing decision: copy into the target
+// shard's open batch, or settle the dispatcher-side cut. Sequencer-only.
+func (sp *ShardedPipeline) placeFlow(r *flow.Record, dec int32, seq uint64) {
+	if dec >= 0 {
+		shard := int(dec)
+		ev := sp.slot(shard)
+		ev.kind = evFlow
+		ev.seq = seq
+		ev.flow = *r
+		sp.pendDispatch[shard]++
+		return
+	}
 	sp.om.Add(obs.StageIngest, r.TotalBytes())
-	if !sp.opts.DisableTapFilter && sp.reg.TapExcluded(r.RespAddr) {
+	switch dec {
+	case decDropTap:
 		sp.dispStats.FlowsTapDropped++
 		sp.om.Drop(obs.StageTapFilter)
-		return
-	}
-	if _, ok := campus.DayOf(r.Start); !ok {
+	case decDropWindow:
 		sp.dispStats.FlowsOutOfWindow++
 		sp.om.Drop(obs.StageTapFilter)
-		return
+	default:
+		sp.dispStats.FlowsUnattributed++
+		sp.om.Drop(obs.StageDHCPNormalize)
 	}
-	sp.dispStats.FlowsUnattributed++
-	sp.om.Drop(obs.StageDHCPNormalize)
 }
 
 // HTTPMeta routes metadata to its device's shard. A single Pipeline counts
@@ -360,35 +419,77 @@ func (sp *ShardedPipeline) dropUnroutable(r *flow.Record) {
 func (sp *ShardedPipeline) HTTPMeta(e httplog.Entry) { sp.routeHTTP(&e) }
 
 func (sp *ShardedPipeline) routeHTTP(e *httplog.Entry) {
-	mac, ok := sp.clientMAC(e.Client, e.Time)
-	if !ok {
-		sp.dispStats.HTTPEntries++
-		sp.om.Add(obs.StageIngest, 0)
-		sp.om.Drop(obs.StageDHCPNormalize)
+	sp.placeHTTP(e, sp.decideHTTP(e, sp.seq), sp.seq)
+}
+
+// placeHTTP applies one HTTP entry's routing decision. Sequencer-only.
+func (sp *ShardedPipeline) placeHTTP(e *httplog.Entry, dec int32, seq uint64) {
+	if dec >= 0 {
+		ev := sp.slot(int(dec))
+		ev.kind = evHTTP
+		ev.seq = seq
+		ev.http = *e
 		return
 	}
-	ev := sp.slot(macShard(mac, len(sp.shards)))
-	ev.kind = evHTTP
-	ev.seq = sp.seq
-	ev.http = *e
+	sp.dispStats.HTTPEntries++
+	sp.om.Add(obs.StageIngest, 0)
+	sp.om.Drop(obs.StageDHCPNormalize)
 }
 
 // EventBatch implements trace.BatchSink: dispatch a time-ordered run of
 // events. The incoming slice is only borrowed — routed events are copied
 // into shard batches, broadcast mutations into the shared stores, before
-// returning.
+// returning. Long runs take the three-phase parallel route path described
+// in route.go; short runs (or a single-processor runtime) fall back to the
+// serial per-event loop, which is stream-for-stream identical.
 func (sp *ShardedPipeline) EventBatch(events []trace.Event) {
+	if sp.router == nil || len(events) < routeParallelMin {
+		for i := range events {
+			ev := &events[i]
+			switch ev.Kind {
+			case trace.EventFlow:
+				sp.routeFlow(&ev.Flow)
+			case trace.EventDNS:
+				sp.DNS(ev.DNS)
+			case trace.EventHTTP:
+				sp.routeHTTP(&ev.HTTP)
+			case trace.EventLease:
+				sp.Lease(ev.Lease)
+			}
+		}
+		return
+	}
+
+	if cap(sp.decs) < len(events) {
+		sp.decs = make([]routeDecision, len(events))
+	}
+	decs := sp.decs[:len(events)]
+
+	// Phase A (sequencer): apply broadcasts in stream order, stamp every
+	// routable event with the sequence number current at its position.
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case trace.EventDNS:
+			sp.DNS(ev.DNS)
+		case trace.EventLease:
+			sp.Lease(ev.Lease)
+		default:
+			decs[i].seq = sp.seq
+		}
+	}
+
+	// Phase B (parallel): pure route decisions, pinned per event.
+	sp.router.run(events, decs)
+
+	// Phase C (sequencer): place in stream order, settle counters.
 	for i := range events {
 		ev := &events[i]
 		switch ev.Kind {
 		case trace.EventFlow:
-			sp.routeFlow(&ev.Flow)
-		case trace.EventDNS:
-			sp.DNS(ev.DNS)
+			sp.placeFlow(&ev.Flow, decs[i].shard, decs[i].seq)
 		case trace.EventHTTP:
-			sp.routeHTTP(&ev.HTTP)
-		case trace.EventLease:
-			sp.Lease(ev.Lease)
+			sp.placeHTTP(&ev.HTTP, decs[i].shard, decs[i].seq)
 		}
 	}
 }
@@ -415,9 +516,9 @@ func macShard(mac packet.MAC, n int) int {
 //     or cut exactly once by the dispatcher, so shard and dispatcher counts
 //     add. Shard-side FlowsUnattributed is summed rather than overwritten:
 //     it is expected to be zero (the dispatcher pre-filters with the same
-//     lease bindings, and seq pinning guarantees a lease is visible to any
-//     flow routed after it), and summing makes a violation surface as a
-//     parity failure instead of being masked.
+//     pinned lease store, so a lease is visible to any flow routed after
+//     it), and summing makes a violation surface as a parity failure
+//     instead of being masked.
 //   - dispatcher-owned: broadcast counters (DNSEntries, Leases). The
 //     dispatcher applies each broadcast exactly once to the shared stores
 //     and counts it there; a shard that counted one means a broadcast
@@ -428,8 +529,11 @@ func (sp *ShardedPipeline) Finalize() *Dataset {
 	}
 	sp.finalized = true
 	sp.Flush()
-	for i := range sp.chans {
-		close(sp.chans[i])
+	if sp.router != nil {
+		sp.router.close()
+	}
+	for i := range sp.rings {
+		sp.rings[i].close()
 	}
 	for i := range sp.done {
 		<-sp.done[i]

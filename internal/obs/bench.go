@@ -23,6 +23,22 @@ type IngestBench struct {
 	// so old baselines keep diffing cleanly.
 	EpochsPublished int64 `json:"epochs_published,omitempty"`
 	SnapshotBytes   int64 `json:"snapshot_bytes,omitempty"`
+	// Scaling reference rates (written by -measure-scaling runs; omitted
+	// otherwise, with the same ≤0-skip compatibility as the epoch fields):
+	// the same recorded event window replayed through a fresh single
+	// pipeline and a fresh sharded pipeline, events per second each, and
+	// their quotient normalized by the shard count:
+	//
+	//	scaling_efficiency = sharded ev/s ÷ single ev/s ÷ shards
+	//
+	// 1.0 is perfect linear scaling; 0.4 at 4 shards means 1.6× over the
+	// single pipeline. Only meaningful when MaxProcs ≥ shards — on fewer
+	// cores the shards time-slice one processor and the quotient measures
+	// scheduling overhead, not scaling (benchdiff skips its floor gate in
+	// that case).
+	SingleRefEventsPerSec  float64 `json:"single_ref_events_per_sec,omitempty"`
+	ShardedRefEventsPerSec float64 `json:"sharded_ref_events_per_sec,omitempty"`
+	ScalingEfficiency      float64 `json:"scaling_efficiency,omitempty"`
 }
 
 // BenchReport is the machine-readable record one `cmd/lockdown -bench-json`
@@ -34,15 +50,23 @@ type BenchReport struct {
 	GOOS      string  `json:"goos"`
 	GOARCH    string  `json:"goarch"`
 	CPUs      int     `json:"cpus"`
-	Scale     float64 `json:"scale"`
-	Shards    int     `json:"shards"`
-	Seed      int64   `json:"seed"`
+	// MaxProcs is runtime.GOMAXPROCS at run time — the parallelism the run
+	// actually had, as opposed to CPUs (the machine's count). Zero in
+	// reports written before the field existed.
+	MaxProcs int     `json:"maxprocs,omitempty"`
+	Scale    float64 `json:"scale"`
+	Shards   int     `json:"shards"`
+	Seed     int64   `json:"seed"`
 
 	WallSeconds float64     `json:"wall_seconds"`
 	Ingest      IngestBench `json:"ingest"`
-	// FiguresMS maps each figure/experiment name to its compute time.
-	FiguresMS map[string]float64 `json:"figures_ms"`
-	Stages    []StageSnapshot    `json:"stages,omitempty"`
+	// FiguresMS maps each figure/experiment name to its compute time; the
+	// entries sum to roughly the serial cost. FiguresWallMS is what the
+	// run actually paid for the figure phase — smaller than the sum when
+	// the parallel finalization pool overlaps figures on spare cores.
+	FiguresMS     map[string]float64 `json:"figures_ms"`
+	FiguresWallMS float64            `json:"figures_wall_ms,omitempty"`
+	Stages        []StageSnapshot    `json:"stages,omitempty"`
 }
 
 // BenchPath resolves where a bench report lands: a path ending in .json is
@@ -115,7 +139,10 @@ func CompareBench(old, cur *BenchReport, maxRegress float64) []BenchDelta {
 	compare("ingest.bytes_per_sec", old.Ingest.BytesPerSec, cur.Ingest.BytesPerSec, true)
 	compare("ingest.snapshot_bytes",
 		float64(old.Ingest.SnapshotBytes), float64(cur.Ingest.SnapshotBytes), false)
+	compare("ingest.scaling_efficiency",
+		old.Ingest.ScalingEfficiency, cur.Ingest.ScalingEfficiency, true)
 	compare("wall_seconds", old.WallSeconds, cur.WallSeconds, false)
+	compare("figures_wall_ms", old.FiguresWallMS, cur.FiguresWallMS, false)
 	var figs []string
 	for name := range old.FiguresMS {
 		if _, ok := cur.FiguresMS[name]; ok {

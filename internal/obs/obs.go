@@ -130,9 +130,14 @@ type Metrics struct {
 	decodeDrops [decodeerr.NumClasses]atomic.Int64
 
 	// shards tracks per-shard dispatch counts for the sharded pipeline
-	// (nil for single-pipeline runs); depthFn polls live queue depths.
-	shards  atomic.Pointer[[]atomic.Int64]
-	depthFn atomic.Pointer[func() []int]
+	// (nil for single-pipeline runs); depthFn polls live queue depths,
+	// ringFn polls per-shard transport ring gauges, and queueCap is the
+	// per-shard upper bound on the queue-depth gauge (events) — the
+	// denominator consumers should report depths against.
+	shards   atomic.Pointer[[]atomic.Int64]
+	depthFn  atomic.Pointer[func() []int]
+	ringFn   atomic.Pointer[func() []RingState]
+	queueCap atomic.Int64
 
 	// Epoch-snapshot counters for the sharded pipeline's shared join
 	// tables: epochsPublished counts dispatcher seals, epochPins counts
@@ -337,6 +342,48 @@ func (m *Metrics) SetQueueDepthFunc(f func() []int) {
 	m.depthFn.Store(&f)
 }
 
+// RingState is one shard transport ring's gauges at a point in time:
+// occupancy and capacity are denominated in batches (the ring's publication
+// unit), stalls counts producer full-ring episodes, waits consumer
+// empty-ring episodes.
+type RingState struct {
+	Batches  int
+	Capacity int
+	Stalls   int64
+	Waits    int64
+}
+
+// SetRingStateFunc registers a live per-shard transport ring poll, sampled
+// at snapshot time.
+func (m *Metrics) SetRingStateFunc(f func() []RingState) {
+	if m == nil {
+		return
+	}
+	m.ringFn.Store(&f)
+}
+
+// SetQueueCapacity records the per-shard queue-depth bound in events: the
+// maximum value any QueueDepthFunc entry can reach (ring slots plus
+// in-hand-off batches, times the batch capacity). Snapshot exposes it so
+// depth gauges are read against the right denominator — ring occupancy is
+// denominated in batches, the depth gauge in events, and conflating the
+// two was exactly the bug this field exists to prevent.
+func (m *Metrics) SetQueueCapacity(events int) {
+	if m == nil {
+		return
+	}
+	m.queueCap.Store(int64(events))
+}
+
+// QueueCapacity returns the per-shard queue-depth bound in events (0 when
+// never set).
+func (m *Metrics) QueueCapacity() int {
+	if m == nil {
+		return 0
+	}
+	return int(m.queueCap.Load())
+}
+
 // StageCounters returns one stage's current counts (for tests and ad-hoc
 // inspection; Snapshot covers the full set).
 func (m *Metrics) StageCounters(s Stage) StageSnapshot {
@@ -408,11 +455,23 @@ func (m *Metrics) Snapshot() Snapshot {
 		if f := m.depthFn.Load(); f != nil {
 			depths = (*f)()
 		}
+		var rings []RingState
+		if f := m.ringFn.Load(); f != nil {
+			rings = (*f)()
+		}
+		s.QueueCapacity = int(m.queueCap.Load())
 		var sum, max int64
 		for i := range *p {
 			sh := ShardSnapshot{Dispatched: (*p)[i].Load()}
 			if i < len(depths) {
 				sh.QueueDepth = depths[i]
+			}
+			if i < len(rings) {
+				r := rings[i]
+				sh.RingBatches = r.Batches
+				sh.RingCapacity = r.Capacity
+				sh.RingStalls = r.Stalls
+				sh.RingWaits = r.Waits
 			}
 			sum += sh.Dispatched
 			if sh.Dispatched > max {

@@ -25,10 +25,20 @@ type DecodeDropSnapshot struct {
 	Drops int64  `json:"drops"`
 }
 
-// ShardSnapshot is one shard's dispatch count and live queue depth.
+// ShardSnapshot is one shard's dispatch count, live queue depth, and
+// transport-ring gauges. QueueDepth is denominated in events (bounded by
+// Snapshot.QueueCapacity); RingBatches/RingCapacity are denominated in
+// batches — the ring publishes whole batches, so the two use different
+// units on purpose.
 type ShardSnapshot struct {
 	Dispatched int64 `json:"dispatched"`
 	QueueDepth int   `json:"queue_depth"`
+	// Ring transport gauges: current occupancy and depth in batches,
+	// producer full-ring stall episodes, consumer empty-ring waits.
+	RingBatches  int   `json:"ring_batches,omitempty"`
+	RingCapacity int   `json:"ring_capacity,omitempty"`
+	RingStalls   int64 `json:"ring_stalls,omitempty"`
+	RingWaits    int64 `json:"ring_waits,omitempty"`
 }
 
 // Snapshot is a point-in-time view of the whole ingest: cumulative totals,
@@ -51,6 +61,9 @@ type Snapshot struct {
 	Total      int64           `json:"total,omitempty"`
 	ETASeconds float64         `json:"eta_s,omitempty"`
 	Stages     []StageSnapshot `json:"stages,omitempty"`
+	// QueueCapacity is the per-shard bound on ShardSnapshot.QueueDepth in
+	// events (sharded ingest only).
+	QueueCapacity int `json:"queue_capacity,omitempty"`
 	// DecodeDrops break rejected input records down by decode-fault class
 	// (populated only when a fault policy dropped records).
 	DecodeDrops []DecodeDropSnapshot `json:"decode_drops,omitempty"`
