@@ -23,12 +23,15 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Full race pass at four scheduler procs so the lock-free ring, the
+# route/figure worker pools, and the epoch-snapshot stores see real
+# interleavings. -short keeps the generator-bound packages inside the
+# time budget; the concurrency-heavy packages then rerun un-short so
+# nothing the -short matrix narrows escapes the detector.
 race:
-	$(GO) test -race -short ./...
-	$(GO) test -race -count=1 \
-		-run 'TestRing|TestParallelRouteParity|TestRouteShortRunStaysSerial|TestQueueDepthBounded|TestDispatchSettlesOncePerBatch' \
-		./internal/core
-	$(GO) test -race -count=1 -run 'TestRunTimedParallel' ./internal/obs
+	GOMAXPROCS=4 $(GO) test -race -short ./...
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+		./internal/core ./internal/obs ./internal/dhcp ./internal/dnssim ./internal/logsink
 
 # Standard linters plus the repository's custom invariant analyzers.
 lint: lint-golangci lint-custom
@@ -44,9 +47,13 @@ lint-golangci:
 	fi
 
 # cmd/lintlock enforces the privacy-boundary, determinism, obs-nil-guard,
-# and hot-path-error invariants (see README "Static analysis").
+# and hot-path-error invariants plus the concurrency protocols
+# (atomiconly, poolsafe, goroutineowner, seqpin); the second pass audits
+# every //lintlock:ignore directive for bare or stale suppressions (see
+# README "Static analysis").
 lint-custom:
 	$(GO) run ./cmd/lintlock ./...
+	$(GO) run ./cmd/lintlock -suppressions ./...
 
 # Short negative-input fuzz pass over the external-format parsers;
 # CI runs this on every push (see the fuzz-smoke job).

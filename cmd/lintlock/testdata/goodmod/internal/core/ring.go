@@ -1,0 +1,49 @@
+// Package core is clean under the concurrency-protocol analyzers: typed
+// atomics accessed through their method set, an owned goroutine with a
+// close-signaled stop and WaitGroup edge, and pool discipline with a
+// reset before Put.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type ring struct {
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+func (r *ring) push()       { r.tail.Add(1) }
+func (r *ring) pop()        { r.head.Add(1) }
+func (r *ring) length() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Watch runs until stop closes; wg.Done gives the owner a join edge.
+func Watch(r *ring, stop <-chan struct{}, wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.length()
+			}
+		}
+	}()
+}
+
+type batch struct {
+	n     int
+	items []int
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batch) }}
+
+// process recycles its batch with per-use state reset before Put.
+func process() {
+	b := batchPool.Get().(*batch)
+	b.items = b.items[:0]
+	b.n = 0
+	batchPool.Put(b)
+}

@@ -1,7 +1,18 @@
-// Package experiments is clean under every analyzer.
+// Package experiments is clean under every analyzer; the one wall-clock
+// read carries a justified suppression, which the -suppressions audit
+// lists without failing.
 package experiments
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
+
+// Stamp's clock read never reaches a results record.
+func Stamp() time.Time {
+	//lintlock:ignore determinism startup banner timestamp, not results-path
+	return time.Now()
+}
 
 // Record is pseudonym-based.
 type Record struct {

@@ -1,0 +1,3 @@
+module suppressmod
+
+go 1.22

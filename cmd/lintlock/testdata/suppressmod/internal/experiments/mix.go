@@ -1,0 +1,25 @@
+// Package experiments exercises the CLI suppression audit: one justified
+// directive, one stale directive naming an analyzer that left the suite,
+// and one bare directive with no justification. -suppressions must list
+// all three and exit 1.
+package experiments
+
+import "time"
+
+// Stamp carries a justified suppression.
+func Stamp() time.Time {
+	//lintlock:ignore determinism fixture clock feeds the audit test only
+	return time.Now()
+}
+
+// Stale names an analyzer that no longer exists.
+func Stale() time.Time {
+	//lintlock:ignore clockcheck this analyzer was removed long ago
+	return time.Now()
+}
+
+// Bare has no justification.
+func Bare() time.Time {
+	//lintlock:ignore determinism
+	return time.Now()
+}

@@ -99,9 +99,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the full suite in the order diagnostics are grouped.
+// Analyzers returns the full suite in the order diagnostics are grouped:
+// the methodology invariants (privacy, determinism), the robustness checks
+// (obs nil guard, hot-path errors), then the concurrency-protocol family
+// (atomic access discipline, pool recycling, goroutine ownership, seq-
+// pinned join reads).
 func Analyzers() []*Analyzer {
-	return []*Analyzer{PrivLeak, Determinism, ObsNil, ErrPath}
+	return []*Analyzer{
+		PrivLeak, Determinism, ObsNil, ErrPath,
+		AtomicOnly, PoolSafe, GoroutineOwner, SeqPin,
+	}
 }
 
 // ByName resolves a comma-separated analyzer selection against the suite.

@@ -9,6 +9,8 @@ package analysis
 // its line and every want must be matched.
 
 import (
+	"go/ast"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -24,31 +26,51 @@ var (
 // loadFixture type-checks the fixture directory as one package named by
 // importPath.
 func loadFixture(t *testing.T, dir, importPath string) *Result {
+	return loadFixtureSeq(t, fixturePkg{dir, importPath})
+}
+
+// fixturePkg names one fixture directory and the import path to check it
+// under.
+type fixturePkg struct {
+	dir, importPath string
+}
+
+// loadFixtureSeq type-checks several fixture directories in order, making
+// each package importable by the later ones under its import path — the
+// multi-package variant for analyzers whose invariant spans a provider and
+// a consumer package (e.g. seqpin's store/shard split).
+func loadFixtureSeq(t *testing.T, pkgs ...fixturePkg) *Result {
 	t.Helper()
 	loadMu.Lock()
 	defer loadMu.Unlock()
 
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("reading fixture dir: %v", err)
-	}
-	var files []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			files = append(files, e.Name())
+	res := &Result{Fset: sharedFset}
+	locals := make(map[string]*types.Package, len(pkgs))
+	for _, fp := range pkgs {
+		entries, err := os.ReadDir(fp.dir)
+		if err != nil {
+			t.Fatalf("reading fixture dir: %v", err)
 		}
+		var files []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				files = append(files, e.Name())
+			}
+		}
+		if len(files) == 0 {
+			t.Fatalf("no fixture files in %s", fp.dir)
+		}
+		pkg, err := parsePackage(fp.importPath, "", fp.dir, files)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		if err := typecheck(pkg, locals); err != nil {
+			t.Fatalf("type-checking fixture: %v", err)
+		}
+		locals[pkg.ImportPath] = pkg.Types
+		res.Packages = append(res.Packages, pkg)
 	}
-	if len(files) == 0 {
-		t.Fatalf("no fixture files in %s", dir)
-	}
-	pkg, err := parsePackage(importPath, "", dir, files)
-	if err != nil {
-		t.Fatalf("parsing fixture: %v", err)
-	}
-	if err := typecheck(pkg, nil); err != nil {
-		t.Fatalf("type-checking fixture: %v", err)
-	}
-	return &Result{Fset: sharedFset, Packages: []*Package{pkg}}
+	return res
 }
 
 // runFixture loads dir as importPath, runs the analyzers, and checks the
@@ -60,19 +82,36 @@ func runFixture(t *testing.T, dir, importPath string, analyzers ...*Analyzer) []
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}
-	checkWants(t, res.Packages[0], diags)
+	checkWants(t, diags, res.Packages[0])
 	return diags
 }
 
-// checkWants matches diagnostics against the fixture's want comments.
-func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+// runFixtureSeq is runFixture over a multi-package fixture; want comments
+// are honored in every loaded package.
+func runFixtureSeq(t *testing.T, analyzers []*Analyzer, pkgs ...fixturePkg) []Diagnostic {
+	t.Helper()
+	res := loadFixtureSeq(t, pkgs...)
+	diags, err := Run(res, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	checkWants(t, diags, res.Packages...)
+	return diags
+}
+
+// checkWants matches diagnostics against the fixtures' want comments.
+func checkWants(t *testing.T, diags []Diagnostic, pkgs ...*Package) {
 	t.Helper()
 	type key struct {
 		file string
 		line int
 	}
 	wants := make(map[key][]string)
-	for _, file := range pkg.Files {
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		files = append(files, pkg.Files...)
+	}
+	for _, file := range files {
 		path := sharedFset.Position(file.Pos()).Filename
 		src, err := os.ReadFile(path)
 		if err != nil {

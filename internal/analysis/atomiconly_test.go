@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+// The mixed fixture is the historical bug shape: ring cursors accessed via
+// sync/atomic on the push/pop path but read plainly by a gauge, plus a
+// plain reset of a typed atomic. Every want line must fire.
+func TestAtomicOnlyFlagsMixedAccess(t *testing.T) {
+	diags := runFixture(t, fixtureDir("atomiconly", "mixed"), "fixture/internal/core", AtomicOnly)
+	if len(diags) < 4 {
+		t.Fatalf("expected the four mixed-access findings, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestAtomicOnlyAcceptsDisciplinedRing(t *testing.T) {
+	diags := runFixture(t, fixtureDir("atomiconly", "clean"), "fixture/internal/core", AtomicOnly)
+	if len(diags) != 0 {
+		t.Fatalf("atomiconly fired on a disciplined ring: %v", diags)
+	}
+}
+
+// The analyzer is module-wide — it must fire regardless of package path.
+func TestAtomicOnlyHasNoPackageFilter(t *testing.T) {
+	diags := runFixture(t, fixtureDir("atomiconly", "mixed"), "fixture/cmd/tool", AtomicOnly)
+	if len(diags) == 0 {
+		t.Fatal("atomiconly should apply outside internal/ too")
+	}
+}

@@ -4,9 +4,11 @@ import "testing"
 
 // TestRepositoryIsClean is the acceptance gate: the full suite over the
 // whole module must report nothing. Any new wall-clock read, global rand
-// draw, map-order leak, raw-identifier crossing, unguarded obs method, or
-// dropped hot-path error fails this test (and `make lint` / the
-// lint-custom CI job) until fixed or suppressed with a justification.
+// draw, map-order leak, raw-identifier crossing, unguarded obs method,
+// dropped hot-path error, mixed plain/atomic field access, pool-protocol
+// breach, unowned goroutine, or unpinned store read fails this test (and
+// `make lint` / the lint-custom CI job) until fixed or suppressed with a
+// justification.
 func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the entire module; skipped in -short")
@@ -36,7 +38,7 @@ func TestByName(t *testing.T) {
 		t.Fatal("unknown analyzer name did not error")
 	}
 	all, err := ByName("")
-	if err != nil || len(all) != 4 {
+	if err != nil || len(all) != 8 {
 		t.Fatalf("default selection: %v %v", all, err)
 	}
 }

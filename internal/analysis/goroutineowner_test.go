@@ -1,0 +1,30 @@
+package analysis
+
+import "testing"
+
+func TestGoroutineOwnerFlagsLeaks(t *testing.T) {
+	diags := runFixture(t, fixtureDir("goroutineowner", "bad"), "fixture/internal/core", GoroutineOwner)
+	if len(diags) < 3 {
+		t.Fatalf("expected three goroutineowner findings, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestGoroutineOwnerAcceptsOwnedWorkers(t *testing.T) {
+	diags := runFixture(t, fixtureDir("goroutineowner", "good"), "fixture/internal/core", GoroutineOwner)
+	if len(diags) != 0 {
+		t.Fatalf("goroutineowner fired on owned workers: %v", diags)
+	}
+}
+
+// Short-lived packages are out of scope: the same leaky fixture under a
+// non-target path must stay silent.
+func TestGoroutineOwnerIgnoresShortLivedPackages(t *testing.T) {
+	res := loadFixture(t, fixtureDir("goroutineowner", "bad"), "fixture/internal/experiments")
+	diags, err := Run(res, []*Analyzer{GoroutineOwner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("goroutineowner fired outside the long-lived packages: %v", diags)
+	}
+}

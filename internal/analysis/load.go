@@ -31,6 +31,9 @@ type Package struct {
 	// ignore directive on that line.
 	suppress        map[string]map[int][]string
 	directiveIssues []Diagnostic
+	// directives records every well-formed ignore directive for the
+	// suppression audit (lintlock -suppressions).
+	directives []Directive
 }
 
 // A Result is the output of one Load: a shared FileSet plus the packages
@@ -260,6 +263,11 @@ func (p *Package) scanDirectives(file *ast.File) {
 				continue
 			}
 			names := strings.Split(fields[0], ",")
+			p.directives = append(p.directives, Directive{
+				Pos:           pos,
+				Analyzers:     names,
+				Justification: strings.Join(fields[1:], " "),
+			})
 			byLine := p.suppress[pos.Filename]
 			if byLine == nil {
 				byLine = make(map[int][]string)

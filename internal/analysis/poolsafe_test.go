@@ -1,0 +1,20 @@
+package analysis
+
+import "testing"
+
+// The bad fixture reproduces the historical bug shapes: a pooled batch
+// escaping via an exported return (named and direct), a Put with no reset,
+// and a use after Put.
+func TestPoolSafeFlagsProtocolViolations(t *testing.T) {
+	diags := runFixture(t, fixtureDir("poolsafe", "bad"), "fixture/internal/core", PoolSafe)
+	if len(diags) < 4 {
+		t.Fatalf("expected four poolsafe findings, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestPoolSafeAcceptsRecyclingDiscipline(t *testing.T) {
+	diags := runFixture(t, fixtureDir("poolsafe", "good"), "fixture/internal/core", PoolSafe)
+	if len(diags) != 0 {
+		t.Fatalf("poolsafe fired on disciplined recycling: %v", diags)
+	}
+}

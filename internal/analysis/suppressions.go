@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Directive is one well-formed //lintlock:ignore comment: where it is,
+// which analyzers it silences, and why. The suppression audit (lintlock
+// -suppressions) lists them all and rejects stale ones, so every silenced
+// finding in the repository stays enumerable and justified.
+type Directive struct {
+	Pos           token.Position
+	Analyzers     []string
+	Justification string
+}
+
+// String renders the audit line: file:line: analyzer(s): justification.
+func (d Directive) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s",
+		d.Pos.Filename, d.Pos.Line, strings.Join(d.Analyzers, ","), d.Justification)
+}
+
+// AuditSuppressions collects every ignore directive in the loaded packages
+// and validates it: a directive must carry a justification (bare ones are
+// already Diagnostics from the load) and must name only known analyzers
+// (or "all") — a directive naming an analyzer that no longer exists is
+// stale: it silences nothing and hides a stale claim about the code.
+// Directives are returned sorted by position; issues carry the "lintlock"
+// analyzer name like other framework diagnostics.
+func AuditSuppressions(res *Result, analyzers []*Analyzer) ([]Directive, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers)+1)
+	known["all"] = true
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var dirs []Directive
+	var issues []Diagnostic
+	for _, pkg := range res.Packages {
+		issues = append(issues, pkg.directiveIssues...)
+		for _, d := range pkg.directives {
+			dirs = append(dirs, d)
+			for _, name := range d.Analyzers {
+				if !known[name] {
+					issues = append(issues, Diagnostic{
+						Pos:      d.Pos,
+						Analyzer: "lintlock",
+						Message: fmt.Sprintf("stale ignore directive: %q is not an analyzer "+
+							"in the suite; it suppresses nothing — delete it or fix the name", name),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(dirs, func(i, j int) bool {
+		a, b := dirs[i].Pos, dirs[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	sort.Slice(issues, func(i, j int) bool {
+		a, b := issues[i].Pos, issues[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return dirs, issues
+}

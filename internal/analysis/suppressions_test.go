@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The audit fixture carries one justified directive for a real analyzer,
+// one naming an analyzer that does not exist (stale), and one bare
+// directive (no justification).
+func TestAuditSuppressions(t *testing.T) {
+	res := loadFixture(t, fixtureDir("suppressions"), "fixture/internal/experiments")
+	dirs, issues := AuditSuppressions(res, Analyzers())
+
+	if len(dirs) != 2 {
+		t.Fatalf("want the two well-formed directives listed, got %d: %v", len(dirs), dirs)
+	}
+	if !strings.Contains(dirs[0].String(), "determinism") ||
+		!strings.Contains(dirs[0].Justification, "fixture clock") {
+		t.Errorf("directive audit line malformed: %s", dirs[0])
+	}
+
+	var stale, bare int
+	for _, d := range issues {
+		switch {
+		case strings.Contains(d.Message, "stale ignore directive"):
+			stale++
+		case strings.Contains(d.Message, "justification"):
+			bare++
+		}
+	}
+	if stale != 1 || bare != 1 {
+		t.Fatalf("want 1 stale + 1 bare issue, got stale=%d bare=%d: %v", stale, bare, issues)
+	}
+}
+
+// A clean module audit returns the repository's real directives with no
+// issues — this is what `lintlock -suppressions` gates in CI.
+func TestRepositorySuppressionsAreJustified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module; skipped in -short")
+	}
+	res, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	dirs, issues := AuditSuppressions(res, Analyzers())
+	for _, d := range issues {
+		t.Errorf("%s", d)
+	}
+	for _, d := range dirs {
+		if strings.TrimSpace(d.Justification) == "" {
+			t.Errorf("%s: directive with empty justification", d.Pos)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Package core is clean under atomiconly: every access to an atomic field
+// is atomic, typed atomics go through their method set, and construction
+// uses a composite literal (legal — pre-publication).
+package core
+
+import "sync/atomic"
+
+type ring struct {
+	head   uint64
+	tail   uint64
+	closed atomic.Uint32
+	slots  []int
+}
+
+func newRing(n int) *ring {
+	return &ring{slots: make([]int, n)}
+}
+
+func (r *ring) push(v int) {
+	t := atomic.LoadUint64(&r.tail)
+	r.slots[t%uint64(len(r.slots))] = v
+	atomic.StoreUint64(&r.tail, t+1)
+}
+
+func (r *ring) pop() (int, bool) {
+	h := atomic.LoadUint64(&r.head)
+	if atomic.LoadUint64(&r.tail) == h {
+		return 0, false
+	}
+	v := r.slots[h%uint64(len(r.slots))]
+	atomic.StoreUint64(&r.head, h+1)
+	return v, true
+}
+
+func (r *ring) len() int {
+	return int(atomic.LoadUint64(&r.tail) - atomic.LoadUint64(&r.head))
+}
+
+func (r *ring) close()         { r.closed.Store(1) }
+func (r *ring) isClosed() bool { return r.closed.Load() == 1 }

@@ -1,0 +1,41 @@
+// Package core reproduces the historical bug shape atomiconly exists to
+// catch: an SPSC ring whose cursors are atomic on the push/pop path but
+// read plainly by a gauge — a torn read under real concurrency — plus a
+// plain reset of a typed atomic.
+package core
+
+import "sync/atomic"
+
+type ring struct {
+	head   uint64
+	tail   uint64
+	closed atomic.Uint32
+	slots  []int
+}
+
+func (r *ring) push(v int) {
+	t := atomic.LoadUint64(&r.tail)
+	r.slots[t%uint64(len(r.slots))] = v
+	atomic.StoreUint64(&r.tail, t+1)
+}
+
+func (r *ring) pop() (int, bool) {
+	h := atomic.LoadUint64(&r.head)
+	if atomic.LoadUint64(&r.tail) == h {
+		return 0, false
+	}
+	v := r.slots[h%uint64(len(r.slots))]
+	atomic.StoreUint64(&r.head, h+1)
+	return v, true
+}
+
+// len mixes in the plain reads: both cursors are atomic everywhere else.
+func (r *ring) len() int {
+	return int(r.tail - r.head) // want "plain read of" "plain read of"
+}
+
+// reset mixes in a plain write and a plain assignment to a typed atomic.
+func (r *ring) reset() {
+	r.tail = 0                 // want "plain write to"
+	r.closed = atomic.Uint32{} // want "plain assignment to atomic-typed field"
+}

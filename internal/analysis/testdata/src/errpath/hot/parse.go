@@ -31,7 +31,7 @@ func Parse(lines []string) (total int, err error) {
 	if err := s.push("end"); err != nil { // checked: fine
 		return 0, err
 	}
-	_ = s.push("explicit") // explicit discard: fine
+	_ = s.push("explicit")   // explicit discard: fine
 	defer s.push("teardown") // defers are teardown best-effort: fine
 
 	var sb strings.Builder

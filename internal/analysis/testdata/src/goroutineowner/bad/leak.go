@@ -1,0 +1,32 @@
+// Package core reproduces the bug shape goroutineowner exists to catch in
+// the long-lived packages: workers launched with no shutdown edge, which a
+// daemon embedding the package would leak on every restart of the
+// pipeline.
+package core
+
+// leakLoop spins forever with no stop signal.
+func leakLoop() {
+	go func() { // want "no provable shutdown edge"
+		for {
+			work()
+		}
+	}()
+}
+
+// leakDecl launches a same-package function that also has no edge.
+func leakDecl() {
+	go pump() // want "no provable shutdown edge"
+}
+
+func pump() {
+	for {
+		work()
+	}
+}
+
+// leakOpaque launches a function value the analyzer cannot see into.
+func leakOpaque(f func()) {
+	go f() // want "cannot inspect"
+}
+
+func work() {}

@@ -1,0 +1,41 @@
+// Package core is clean under goroutineowner: every goroutine carries a
+// provable shutdown edge — a WaitGroup count-down, a close-signaled
+// channel loop, or a completion close the owner waits on.
+package core
+
+import "sync"
+
+func workers(jobs chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // WaitGroup edge
+		defer wg.Done()
+		for j := range jobs {
+			consume(j)
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { // completion-close edge
+		defer close(done)
+		consume(0)
+	}()
+
+	stop := make(chan struct{})
+	go watcher(stop) // declared worker with a receive edge
+
+	close(stop)
+	wg.Wait()
+	<-done
+}
+
+func watcher(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		}
+	}
+}
+
+func consume(int) {}

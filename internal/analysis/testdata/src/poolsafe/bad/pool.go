@@ -1,0 +1,39 @@
+// Package core reproduces the historical bug shapes poolsafe exists to
+// catch: a pooled batch escaping through an exported return value, a Put
+// with no reset of per-use state, and a value touched after its Put.
+package core
+
+import "sync"
+
+type batch struct {
+	events []int
+	owner  *int
+	n      int
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batch) }}
+
+// Take leaks a pooled batch to the caller of an exported API.
+func Take() *batch {
+	b := batchPool.Get().(*batch)
+	return b // want "escapes through exported Take"
+}
+
+// TakeDirect leaks the Get result without even naming it.
+func TakeDirect() any {
+	return batchPool.Get() // want "escapes through exported TakeDirect"
+}
+
+// recycleDirty returns a batch still carrying the previous use's events.
+func recycleDirty(b *batch) {
+	batchPool.Put(b) // want "without resetting per-use state"
+}
+
+// recycleThenRead keeps using the batch after the pool owns it again.
+func recycleThenRead(b *batch) int {
+	b.events = b.events[:0]
+	b.owner = nil
+	b.n = 0
+	batchPool.Put(b)
+	return b.n // want "used after being returned to its pool"
+}

@@ -1,0 +1,45 @@
+// Package core is clean under poolsafe: batches stay internal, state is
+// reset before Put, and nothing touches a batch once the pool owns it.
+package core
+
+import "sync"
+
+type batch struct {
+	events []int
+	owner  *int
+	n      int
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batch) }}
+
+// take keeps the pooled value on an unexported path.
+func take() *batch {
+	b := batchPool.Get().(*batch)
+	return b
+}
+
+// recycle resets per-use state and lets go.
+func recycle(b *batch) {
+	b.events = b.events[:0]
+	b.owner = nil
+	b.n = 0
+	batchPool.Put(b)
+}
+
+// recycleFresh puts a brand-new value; nothing to reset.
+func recycleFresh() {
+	batchPool.Put(new(batch))
+}
+
+// Sum is an exported API that exposes only a copy of pooled state.
+func Sum(vs []int) int {
+	b := take()
+	b.events = append(b.events, vs...)
+	b.n = len(b.events)
+	total := 0
+	for _, v := range b.events {
+		total += v
+	}
+	recycle(b)
+	return total
+}

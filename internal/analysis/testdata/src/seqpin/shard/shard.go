@@ -1,0 +1,36 @@
+// Package core reproduces the bug shape seqpin exists to catch: shard
+// code resolving a join against the store head instead of the seq-pinned
+// accessor — plausible data, wrong epoch.
+package core
+
+import "fixture/internal/dhcp"
+
+type shard struct {
+	leases *dhcp.LeaseStore
+	pin    uint64
+}
+
+// resolvePinned is the sanctioned path.
+func (s *shard) resolvePinned(addr string) (string, bool) {
+	return s.leases.LookupAt(addr, s.pin)
+}
+
+// observe is the dispatcher writer path (sequence-tagged).
+func (s *shard) observe(addr, mac string, seq uint64) {
+	s.leases.Observe(addr, mac, seq)
+}
+
+// gauge reads store metadata, not join state.
+func (s *shard) gauge() int64 {
+	return s.leases.RetainedBytes()
+}
+
+// resolveHead reads the unpinned head — the exactness bug.
+func (s *shard) resolveHead(addr string) (string, bool) {
+	return s.leases.Lookup(addr) // want "without a sequence pin"
+}
+
+// snapshotAddrs iterates head state from shard code.
+func (s *shard) snapshotAddrs() []string {
+	return s.leases.Addrs() // want "without a sequence pin"
+}

@@ -1,0 +1,23 @@
+// Package experiments exercises the suppression audit: one justified
+// directive, one stale (unknown analyzer), one bare.
+package experiments
+
+import "time"
+
+// Stamp carries a justified suppression for a real analyzer.
+func Stamp() time.Time {
+	//lintlock:ignore determinism fixture clock is part of the audit test
+	return time.Now()
+}
+
+// Stale names an analyzer that is not in the suite.
+func Stale() time.Time {
+	//lintlock:ignore clockcheck this analyzer no longer exists
+	return time.Now()
+}
+
+// Bare has a directive with no justification.
+func Bare() time.Time {
+	//lintlock:ignore determinism
+	return time.Now()
+}

@@ -45,11 +45,11 @@ type IngestBench struct {
 // run writes (BENCH_<date>.json). CI archives these and diffs consecutive
 // runs with cmd/benchdiff to catch throughput and per-figure regressions.
 type BenchReport struct {
-	Date      string  `json:"date"` // YYYY-MM-DD (UTC)
-	GoVersion string  `json:"go_version"`
-	GOOS      string  `json:"goos"`
-	GOARCH    string  `json:"goarch"`
-	CPUs      int     `json:"cpus"`
+	Date      string `json:"date"` // YYYY-MM-DD (UTC)
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
 	// MaxProcs is runtime.GOMAXPROCS at run time — the parallelism the run
 	// actually had, as opposed to CPUs (the machine's count). Zero in
 	// reports written before the field existed.

@@ -21,6 +21,10 @@ var (
 type DebugServer struct {
 	srv *http.Server
 	ln  net.Listener
+	// done closes when the serve goroutine exits; Close waits on it so
+	// shutdown is complete, not merely requested (the goroutineowner
+	// contract for long-lived packages).
+	done chan struct{}
 }
 
 // ServeDebug exposes m as the expvar variable "obs" (under /debug/vars)
@@ -48,13 +52,25 @@ func ServeDebug(addr string, m *Metrics) (*DebugServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &DebugServer{srv: &http.Server{Handler: http.DefaultServeMux}, ln: ln}
-	go func() { _ = d.srv.Serve(ln) }()
+	d := &DebugServer{
+		srv:  &http.Server{Handler: http.DefaultServeMux},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(d.done)
+		_ = d.srv.Serve(ln)
+	}()
 	return d, nil
 }
 
 // Addr returns the bound address (useful with ":0").
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
-// Close shuts the listener down.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Close shuts the listener down and waits for the serve goroutine to
+// exit, so no request handling races the caller's teardown.
+func (d *DebugServer) Close() error {
+	err := d.srv.Close()
+	<-d.done
+	return err
+}
