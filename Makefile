@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race lint lint-golangci lint-custom fuzz-smoke fault-smoke ci bench cover figures figures-full examples clean
+.PHONY: all build vet test test-short race lint lint-golangci lint-custom fuzz-smoke fault-smoke daemon-smoke ci bench cover figures figures-full examples clean
 
 BENCH_JSON ?= BENCH_$(shell date +%F).json
 BENCH_SHARDED_JSON ?= BENCH_shards4_$(shell date +%F).json
@@ -80,6 +80,21 @@ fault-smoke:
 		-shards 4 -fault-inject 0.001 -fault-seed 7 -fault-policy skip
 	diff -r fault-skip fault-skip-sharded
 
+# Service-mode smoke: generate a 5%-scale rotated dataset (two weeks
+# around the shutdown), mark it complete, run the batch CLI over it, then
+# start lockdownd on the same dataset and key, poll /v1/epoch until the
+# final epoch is published, diff the queried figure CSVs and report
+# against the batch files (must be byte-identical), and check that
+# SIGTERM shuts the daemon down with exit code 0.
+daemon-smoke:
+	$(GO) run ./cmd/tracegen -scale 0.05 -rotate -days 36:50 -out daemonlogs
+	touch daemonlogs/COMPLETE
+	$(GO) run ./cmd/lockdown -logs daemonlogs -quiet -out daemon-batch \
+		-key 6c6f636b646f776e642d736d6f6b652d6b6579
+	$(GO) build -o bin/lockdownd ./cmd/lockdownd
+	sh scripts/daemon_smoke.sh bin/lockdownd daemonlogs daemon-batch \
+		6c6f636b646f776e642d736d6f6b652d6b6579 0.05
+
 ci: build vet test race lint
 
 # Go micro-benchmarks plus machine-readable end-to-end bench reports
@@ -125,4 +140,4 @@ examples:
 clean:
 	rm -rf results results_full results-bench results-bench-sharded \
 		results-bench-sharded-p2 results-bench-p4 faultlogs fault-skip \
-		fault-skip-sharded
+		fault-skip-sharded daemonlogs daemon-batch bin

@@ -37,12 +37,36 @@ import (
 	"repro/internal/devclass"
 	"repro/internal/experiments"
 	"repro/internal/faultline"
+	"repro/internal/figset"
 	"repro/internal/logsink"
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/trace"
 	"repro/internal/universe"
+	"repro/internal/viz"
 )
+
+func siBytes(v float64) string { return viz.SIBytes(v) }
+
+// rotatedLayout reports whether dir holds a rotated dataset (per-day
+// subdirectories) rather than a flat one (top-level conn.log).
+func rotatedLayout(dir string) bool {
+	if _, err := os.Stat(filepath.Join(dir, logsink.ConnFile)); err == nil {
+		return false
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			if _, err := os.Stat(filepath.Join(dir, e.Name(), logsink.ConnFile)); err == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
 
 // config carries one run's settings (flag values; tests drive run directly).
 type config struct {
@@ -219,9 +243,15 @@ func run(cfg config) error {
 	truth := map[anonymize.DeviceID]devclass.Type{}
 	ingestStart := time.Now()
 	if cfg.logs != "" {
+		// Auto-detect the dataset layout: a flat tracegen directory has a
+		// top-level conn.log; a rotated one has per-day subdirectories.
+		replay := logsink.ReplayWithOptions
+		if rotatedLayout(cfg.logs) {
+			replay = logsink.ReplayRotatedWithOptions
+		}
 		fmt.Fprintf(statusW, "replaying dataset from %s...\n", cfg.logs)
 		prog.Start()
-		if err := logsink.ReplayWithOptions(cfg.logs, pipe, replayOpts); err != nil {
+		if err := replay(cfg.logs, pipe, replayOpts); err != nil {
 			return err
 		}
 		// Ground truth for the accuracy experiment: rebuild the same
@@ -280,28 +310,7 @@ func run(cfg config) error {
 	// figures_ms (localizing a regression to one analysis); the pool's
 	// wall time is reported separately as figures_wall_ms — on a
 	// multi-core host it is the max lane, not the sum.
-	res := results{scale: cfg.scale, stats: ds.Stats}
-	figTasks := []obs.TimedTask{
-		{Name: "fig1", Run: func() { res.fig1 = experiments.Fig1(ds) }},
-		{Name: "fig2", Run: func() { res.fig2 = experiments.Fig2(ds) }},
-		{Name: "fig3", Run: func() { res.fig3 = experiments.Fig3(ds) }},
-		{Name: "fig4", Run: func() { res.fig4 = experiments.Fig4(ds) }},
-		{Name: "fig5", Run: func() { res.fig5 = experiments.Fig5(ds) }},
-		{Name: "fig6", Run: func() { res.fig6 = experiments.Fig6(ds) }},
-		{Name: "fig7", Run: func() { res.fig7 = experiments.Fig7(ds) }},
-		{Name: "fig8", Run: func() { res.fig8 = experiments.Fig8(ds) }},
-		{Name: "headline", Run: func() { res.head = experiments.Headline(ds) }},
-		{Name: "population", Run: func() { res.pop = experiments.Population(ds) }},
-		{Name: "accuracy", Run: func() { res.acc = experiments.Accuracy(ds, truth, 100, cfg.seed) }},
-		{Name: "cdn_ablation", Run: func() { res.cdnAblate = experiments.CDNAblation(ds) }},
-		{Name: "iot_sweep", Run: func() {
-			res.iotSweep = experiments.IoTThresholdSweep(ds, truth, []float64{0.25, 0.5, 0.75, 1.0})
-		}},
-		{Name: "work_leisure", Run: func() { res.workPlay = experiments.WorkLeisure(ds) }},
-		{Name: "zoom_weekend", Run: func() { res.zoomWknd = experiments.ZoomWeekend(ds) }},
-		{Name: "convergence", Run: func() { res.convergence = experiments.DiurnalConvergence(ds) }},
-	}
-	figMS, figWallMS := obs.RunTimedParallel(0, figTasks)
+	res, figMS, figWallMS := figset.Compute(ds, figset.Params{Scale: cfg.scale, Seed: cfg.seed, Truth: truth})
 	// render_csv stays serial — it reads every figure's slot.
 	timed := func(name string, f func()) {
 		t0 := time.Now()
@@ -327,9 +336,9 @@ func run(cfg config) error {
 			return err
 		}
 		y := experiments.YearOverYear(ds, basePipe.Finalize())
-		res.yoy = &y
+		res.YoY = &y
 	}
-	timed("render_csv", func() { err = res.writeCSVs(cfg.out) })
+	timed("render_csv", func() { err = res.WriteCSVs(cfg.out) })
 	if err != nil {
 		return err
 	}
@@ -338,7 +347,7 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
-	if err := res.report(f); err != nil {
+	if err := res.Report(f); err != nil {
 		f.Close()
 		return err
 	}
@@ -346,7 +355,7 @@ func run(cfg config) error {
 		return err
 	}
 	if !cfg.quiet {
-		if err := res.report(os.Stdout); err != nil {
+		if err := res.Report(os.Stdout); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/figset"
+)
+
+// epochSnapshot is one published epoch: an immutable dataset snapshot and
+// its computed figure set. Handlers only ever read it.
+type epochSnapshot struct {
+	epoch int
+	day   string // last sealed day
+	final bool   // dataset complete; snapshot equals the batch finalize
+	ds    *core.Dataset
+	res   *figset.Results
+}
+
+// serverState holds the atomically swapped current epoch. Each request
+// loads the pointer exactly once, so every response is assembled from a
+// single epoch even while the next one is being published.
+type serverState struct {
+	cur atomic.Pointer[epochSnapshot]
+}
+
+func newServerState() *serverState { return &serverState{} }
+
+func (s *serverState) publish(snap *epochSnapshot) { s.cur.Store(snap) }
+
+// snap loads the current epoch for one request, answering 503 (with a
+// Retry-After) itself when nothing is sealed yet.
+func (s *serverState) snap(w http.ResponseWriter) (*epochSnapshot, bool) {
+	snap := s.cur.Load()
+	if snap == nil {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "no epoch sealed yet", http.StatusServiceUnavailable)
+		return nil, false
+	}
+	w.Header().Set("X-Lockdown-Epoch", strconv.Itoa(snap.epoch))
+	return snap, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *serverState) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/epoch", s.handleEpoch)
+	mux.HandleFunc("/v1/figures", s.handleFigureIndex)
+	mux.HandleFunc("/v1/figures/", s.handleFigure)
+	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/devices", s.handleDevices)
+	return mux
+}
+
+func (s *serverState) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snap(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, map[string]any{
+		"epoch":   snap.epoch,
+		"day":     snap.day,
+		"final":   snap.final,
+		"flows":   snap.ds.Stats.FlowsProcessed,
+		"bytes":   snap.ds.Stats.BytesProcessed,
+		"devices": len(snap.ds.Devices),
+	})
+}
+
+func (s *serverState) handleFigureIndex(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snap(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, map[string]any{
+		"epoch":   snap.epoch,
+		"figures": figset.FigureNames(),
+	})
+}
+
+func (s *serverState) handleFigure(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snap(w)
+	if !ok {
+		return
+	}
+	name := path.Base(r.URL.Path)
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	if err := snap.res.WriteFigure(w, name); err != nil {
+		// Nothing has been written yet on the unknown-name path (the name
+		// switch fails before any output), so the 404 is clean.
+		w.Header().Del("Content-Type")
+		http.Error(w, fmt.Sprintf("unknown figure %q", name), http.StatusNotFound)
+	}
+}
+
+func (s *serverState) handleReport(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snap(w)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = snap.res.Report(w)
+}
+
+// handleDevices serves aggregate counts only — the daemon never exposes
+// per-device records, pseudonymous or not.
+func (s *serverState) handleDevices(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snap(w)
+	if !ok {
+		return
+	}
+	byType := map[string]int{}
+	resident, post, switches := 0, 0, 0
+	for _, d := range snap.ds.Devices {
+		byType[d.Type.String()]++
+		if d.Resident {
+			resident++
+		}
+		if d.PostShutdown {
+			post++
+		}
+		if d.IsSwitch {
+			switches++
+		}
+	}
+	writeJSON(w, map[string]any{
+		"epoch":         snap.epoch,
+		"total":         len(snap.ds.Devices),
+		"resident":      resident,
+		"post_shutdown": post,
+		"switches":      switches,
+		"by_type":       byType,
+	})
+}

@@ -272,3 +272,47 @@ func BenchmarkStitcherAdd(b *testing.B) {
 		st.Add(uint64(i%1000), AppTikTok, "tiktok.com", t0.Add(time.Duration(i)*time.Second), time.Minute, 100)
 	}
 }
+
+func TestVisitOpenMatchesFlushWithoutClosing(t *testing.T) {
+	out, emit := collectSessions()
+	st := NewStitcher(0, emit)
+	t0 := time.Date(2020, 3, 10, 12, 0, 0, 0, time.UTC)
+	// Two open sessions on different devices; the Facebook one touched
+	// Instagram-only content, so both VisitOpen and Flush must emit it as
+	// Instagram.
+	st.Add(2, AppTikTok, "tiktokcdn.com", t0, 5*time.Minute, 100)
+	st.Add(1, AppFacebook, "facebook.com", t0, 5*time.Minute, 10)
+	st.Add(1, AppFacebook, "cdninstagram.com", t0.Add(time.Minute), time.Minute, 20)
+
+	var visited []Session
+	st.VisitOpen(func(s Session) { visited = append(visited, s) })
+
+	if len(*out) != 0 {
+		t.Fatalf("VisitOpen emitted %d sessions through the stitcher; want 0", len(*out))
+	}
+	if st.Open() != 2 {
+		t.Fatalf("VisitOpen closed sessions: %d open, want 2", st.Open())
+	}
+
+	// VisitOpen again after extending a session: still non-destructive,
+	// the extension visible.
+	st.Add(2, AppTikTok, "tiktokcdn.com", t0.Add(4*time.Minute), 10*time.Minute, 50)
+	var again []Session
+	st.VisitOpen(func(s Session) { again = append(again, s) })
+	if len(again) != 2 || again[1].Flows != 2 {
+		t.Fatalf("second VisitOpen = %+v; want 2 sessions with extended TikTok", again)
+	}
+
+	st.Flush()
+	if len(*out) != 2 {
+		t.Fatalf("Flush emitted %d sessions, want 2", len(*out))
+	}
+	for i, s := range *out {
+		if s != again[i] {
+			t.Fatalf("Flush session %d = %+v, VisitOpen saw %+v", i, s, again[i])
+		}
+	}
+	if (*out)[0].App != AppInstagram {
+		t.Fatalf("disambiguation: got %q, want %q", (*out)[0].App, AppInstagram)
+	}
+}

@@ -94,19 +94,25 @@ func (st *Stitcher) Add(device uint64, app, domain string, start time.Time, dur 
 	}
 }
 
-func (st *Stitcher) finish(key sessionKey, s *openSession) {
+// sealed renders an open session as Flush would emit it, applying the
+// §5.2 Facebook/Instagram disambiguation.
+func sealed(key sessionKey, s *openSession) Session {
 	app := key.family
 	if app == AppFacebook && s.instagram {
 		app = AppInstagram
 	}
-	st.emit(Session{
+	return Session{
 		Device: key.device,
 		App:    app,
 		Start:  s.start,
 		End:    s.end,
 		Bytes:  s.bytes,
 		Flows:  s.flows,
-	})
+	}
+}
+
+func (st *Stitcher) finish(key sessionKey, s *openSession) {
+	st.emit(sealed(key, s))
 	delete(st.open, key)
 }
 
@@ -129,3 +135,25 @@ func (st *Stitcher) Flush() {
 
 // Open returns the number of sessions currently open.
 func (st *Stitcher) Open() int { return len(st.open) }
+
+// VisitOpen calls fn for every open session, exactly as Flush would emit
+// it (same deterministic order, same Facebook/Instagram disambiguation),
+// but leaves the stitcher untouched: the sessions stay open and later
+// flows keep extending them. Snapshot publication uses this to fold
+// in-flight sessions into a point-in-time view without perturbing the
+// final Flush.
+func (st *Stitcher) VisitOpen(fn func(Session)) {
+	keys := make([]sessionKey, 0, len(st.open))
+	for k := range st.open {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].device != keys[j].device {
+			return keys[i].device < keys[j].device
+		}
+		return keys[i].family < keys[j].family
+	})
+	for _, k := range keys {
+		fn(sealed(k, st.open[k]))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/anonymize"
+	"repro/internal/appsig"
 	"repro/internal/campus"
 	"repro/internal/devclass"
 	"repro/internal/geo"
@@ -123,6 +124,58 @@ func (p *Pipeline) Finalize() *Dataset {
 	}
 	p.finalized = true
 	p.stitcher.Flush()
+	return p.buildDataset(false)
+}
+
+// Snapshot produces a point-in-time Dataset without closing the pipeline:
+// in-flight stitcher sessions are folded in as Flush would emit them (but
+// stay open), and every slice that Finalize would alias with live
+// accumulator state is deep-copied, so the returned Dataset is immutable
+// under continued ingest. Classification, presence, geolocation and
+// switch-detection reads are side-effect free, so snapshotting never
+// perturbs the eventual Finalize. Not safe for concurrent use with
+// feeding; call it at a stream boundary (the daemon snapshots at epoch
+// seals).
+func (p *Pipeline) Snapshot() *Dataset {
+	if p.finalized {
+		panic("core: Snapshot after Finalize")
+	}
+	return p.buildDataset(true)
+}
+
+// cloneF32 deep-copies a daily/hourly accumulator slice (nil stays nil —
+// several fields use nil as "never seen").
+func cloneF32(s []float32) []float32 {
+	if s == nil {
+		return nil
+	}
+	return append([]float32(nil), s...)
+}
+
+// buildDataset renders the accumulated state as a Dataset. In snapshot
+// mode the stitcher's open sessions are overlaid without closing them and
+// mutable slices are copied; in finalize mode (stitcher already flushed)
+// the device records alias the accumulator slices — the pipeline is done
+// with them.
+func (p *Pipeline) buildDataset(snapshot bool) *Dataset {
+	var pending map[anonymize.DeviceID]*[campus.NumMonths][3]SocialMonth
+	if snapshot {
+		pending = make(map[anonymize.DeviceID]*[campus.NumMonths][3]SocialMonth)
+		p.stitcher.VisitOpen(func(s appsig.Session) {
+			month, idx, ok := sessionCell(s)
+			if !ok {
+				return
+			}
+			id := anonymize.DeviceID(s.Device)
+			cell := pending[id]
+			if cell == nil {
+				cell = new([campus.NumMonths][3]SocialMonth)
+				pending[id] = cell
+			}
+			cell[month][idx].Duration += s.Duration()
+			cell[month][idx].Sessions++
+		})
+	}
 
 	ds := &Dataset{
 		Stats: p.stats,
@@ -144,6 +197,24 @@ func (p *Pipeline) Finalize() *Dataset {
 		if v, ok := devclass.LookupOUI(st.mac); ok {
 			ouiHint = v.Hint
 		}
+		daily, zoom, gameplay, hourWeek := st.daily, st.zoom, st.gameplay, st.hourWeek
+		social := st.social
+		if snapshot {
+			daily = cloneF32(daily)
+			zoom = cloneF32(zoom)
+			gameplay = cloneF32(gameplay)
+			for w := range hourWeek {
+				hourWeek[w] = cloneF32(hourWeek[w])
+			}
+			if cell := pending[id]; cell != nil {
+				for m := range social {
+					for i := range social[m] {
+						social[m][i].Duration += cell[m][i].Duration
+						social[m][i].Sessions += cell[m][i].Sessions
+					}
+				}
+			}
+		}
 		d := &DeviceData{
 			ID:             id,
 			Type:           ty,
@@ -157,13 +228,13 @@ func (p *Pipeline) Finalize() *Dataset {
 			Resident:       p.presence.Resident(id),
 			PostShutdown:   p.presence.PostShutdownUser(id),
 			IsSwitch:       p.switchDet.IsSwitch(uint64(id)),
-			Daily:          st.daily,
-			ZoomDaily:      st.zoom,
-			GameplayDaily:  st.gameplay,
-			HourWeek:       st.hourWeek,
+			Daily:          daily,
+			ZoomDaily:      zoom,
+			GameplayDaily:  gameplay,
+			HourWeek:       hourWeek,
 			SitesFeb:       st.sitesFeb.count(),
 			SitesAprMay:    st.sitesAprMay.count(),
-			Social:         st.social,
+			Social:         social,
 			Steam:          st.steam,
 			GroupBytes:     st.groupBytes,
 			ZoomHourly:     st.zoomHourly,

@@ -555,17 +555,29 @@ func (p *Pipeline) Flow(r flow.Record) {
 
 // onSession receives stitched sessions and accounts monthly durations.
 func (p *Pipeline) onSession(s appsig.Session) {
-	month, ok := campus.MonthOf(s.Start)
+	month, idx, ok := sessionCell(s)
 	if !ok {
-		return
-	}
-	idx := socialIndex(s.App)
-	if idx < 0 {
 		return
 	}
 	d := p.device(anonymize.DeviceID(s.Device))
 	d.social[month][idx].Duration += s.Duration()
 	d.social[month][idx].Sessions++
+}
+
+// sessionCell resolves the (month, social-app column) a stitched session
+// accounts to; ok is false for sessions outside the study months or apps
+// not tracked by Figure 6. Shared by final accounting (onSession) and the
+// snapshot overlay of still-open sessions, so both attribute identically.
+func sessionCell(s appsig.Session) (campus.Month, int, bool) {
+	month, ok := campus.MonthOf(s.Start)
+	if !ok {
+		return 0, 0, false
+	}
+	idx := socialIndex(s.App)
+	if idx < 0 {
+		return 0, 0, false
+	}
+	return month, idx, true
 }
 
 // socialIndex maps an app name to its Figure 6 column.

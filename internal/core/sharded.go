@@ -538,9 +538,46 @@ func (sp *ShardedPipeline) Finalize() *Dataset {
 	for i := range sp.done {
 		<-sp.done[i]
 	}
+	return sp.merge((*Pipeline).Finalize)
+}
+
+// Quiesce publishes every open batch and waits until the shard workers
+// have applied everything in flight, leaving the shards idle (parked in
+// ring.pop) but alive. The wait is on the per-shard queued gauges: a
+// worker decrements its gauge with an atomic add only after applying the
+// whole batch, and the dispatcher's load observing zero synchronizes with
+// that decrement, so every shard-state write the batch made is visible to
+// the caller. Must be called from the ingest goroutine (the dispatcher);
+// nothing else may feed events concurrently.
+func (sp *ShardedPipeline) Quiesce() {
+	sp.Flush()
+	for i := range sp.queued {
+		for sp.queued[i].Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Snapshot quiesces the shards and merges their point-in-time Snapshots
+// into one immutable Dataset, without closing rings or workers — ingest
+// may resume immediately afterwards. Same merge policy as Finalize. Must
+// be called from the ingest goroutine: the workers are parked (no batch
+// is in flight after Quiesce) and the dispatcher is here, so no one
+// mutates shard state while it is read.
+func (sp *ShardedPipeline) Snapshot() *Dataset {
+	if sp.finalized {
+		panic("core: Snapshot after Finalize")
+	}
+	sp.Quiesce()
+	return sp.merge((*Pipeline).Snapshot)
+}
+
+// merge combines per-shard datasets (rendered by get — Finalize or
+// Snapshot) under the documented Stats merge policy.
+func (sp *ShardedPipeline) merge(get func(*Pipeline) *Dataset) *Dataset {
 	merged := &Dataset{byID: map[anonymize.DeviceID]*DeviceData{}}
 	for i, p := range sp.shards {
-		ds := p.Finalize()
+		ds := get(p)
 		merged.Devices = append(merged.Devices, ds.Devices...)
 		for id, d := range ds.byID {
 			merged.byID[id] = d

@@ -1,11 +1,9 @@
-package main
+package figset
 
 import (
 	"fmt"
 	"io"
 	"math"
-	"os"
-	"path/filepath"
 
 	"repro/internal/appsig"
 	"repro/internal/campus"
@@ -14,31 +12,6 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/viz"
 )
-
-// results bundles every computed experiment for rendering.
-type results struct {
-	scale float64
-	fig1  experiments.Fig1Result
-	fig2  experiments.Fig2Result
-	fig3  experiments.Fig3Result
-	fig4  experiments.Fig4Result
-	fig5  experiments.Fig5Result
-	fig6  experiments.Fig6Result
-	fig7  experiments.Fig7Result
-	fig8  experiments.Fig8Result
-	head  experiments.HeadlineResult
-	pop   experiments.PopulationResult
-	acc   experiments.AccuracyResult
-
-	yoy         *experiments.YearOverYearResult
-	cdnAblate   experiments.CDNAblationResult
-	iotSweep    []experiments.IoTThresholdPoint
-	workPlay    experiments.WorkLeisureResult
-	zoomWknd    experiments.ZoomWeekendResult
-	convergence experiments.DiurnalConvergenceResult
-
-	stats core.Stats
-}
 
 func siBytes(v float64) string { return viz.SIBytes(v) }
 
@@ -50,89 +23,79 @@ func dayLabels() []string {
 	return labels
 }
 
-func writeCSVFile(dir, name, labelHeader string, labels []string, cols map[string][]float64, order []string) error {
-	f, err := os.Create(filepath.Join(dir, name))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return viz.WriteCSV(f, labelHeader, labels, cols, order)
-}
+var monthLabels = []string{"February", "March", "April", "May"}
 
-func (r *results) writeCSVs(dir string) error {
-	labels := dayLabels()
-
-	// Figure 1: active devices per day by type.
+// Figure 1: active devices per day by type.
+func (r *Results) writeFig1(w io.Writer) error {
 	cols := map[string][]float64{}
 	var order []string
 	for _, ty := range devclass.Types {
 		series := make([]float64, campus.NumDays)
-		for d, v := range r.fig1.ByType[ty] {
+		for d, v := range r.Fig1.ByType[ty] {
 			series[d] = float64(v)
 		}
 		cols[ty.String()] = series
 		order = append(order, ty.String())
 	}
-	if err := writeCSVFile(dir, "fig1_active_devices.csv", "date", labels, cols, order); err != nil {
-		return err
-	}
+	return viz.WriteCSV(w, "date", dayLabels(), cols, order)
+}
 
-	// Figure 2: mean and median bytes per device per day by type.
-	cols = map[string][]float64{}
-	order = order[:0]
+// Figure 2: mean and median bytes per device per day by type.
+func (r *Results) writeFig2(w io.Writer) error {
+	cols := map[string][]float64{}
+	var order []string
 	for _, ty := range devclass.Types {
-		cols["mean_"+ty.String()] = r.fig2.Mean[ty]
-		cols["median_"+ty.String()] = r.fig2.Median[ty]
+		cols["mean_"+ty.String()] = r.Fig2.Mean[ty]
+		cols["median_"+ty.String()] = r.Fig2.Median[ty]
 		order = append(order, "mean_"+ty.String(), "median_"+ty.String())
 	}
-	if err := writeCSVFile(dir, "fig2_bytes_per_device.csv", "date", labels, cols, order); err != nil {
-		return err
-	}
+	return viz.WriteCSV(w, "date", dayLabels(), cols, order)
+}
 
-	// Figure 3: normalized hour-of-week medians.
+// Figure 3: normalized hour-of-week medians.
+func (r *Results) writeFig3(w io.Writer) error {
 	hourLabels := make([]string, campus.HoursPerWeek)
 	for h := range hourLabels {
 		hourLabels[h] = fmt.Sprintf("h%03d", h)
 	}
-	cols = map[string][]float64{}
-	order = order[:0]
-	for w, label := range r.fig3.WeekLabels {
-		cols[label] = r.fig3.Normalized[w]
+	cols := map[string][]float64{}
+	var order []string
+	for w2, label := range r.Fig3.WeekLabels {
+		cols[label] = r.Fig3.Normalized[w2]
 		order = append(order, label)
 	}
-	if err := writeCSVFile(dir, "fig3_hour_of_week.csv", "hour", hourLabels, cols, order); err != nil {
-		return err
-	}
+	return viz.WriteCSV(w, "hour", hourLabels, cols, order)
+}
 
-	// Figure 4: population × device-group medians.
-	cols = map[string][]float64{}
-	order = order[:0]
+// Figure 4: population × device-group medians.
+func (r *Results) writeFig4(w io.Writer) error {
+	cols := map[string][]float64{}
+	var order []string
 	for _, pop := range []string{experiments.PopDomestic, experiments.PopInternational} {
 		for _, grp := range []string{"mobile-desktop", "unclassified"} {
-			if series := r.fig4.Median[pop][grp]; series != nil {
+			if series := r.Fig4.Median[pop][grp]; series != nil {
 				name := pop + "_" + grp
 				cols[name] = series
 				order = append(order, name)
 			}
 		}
 	}
-	if err := writeCSVFile(dir, "fig4_population_medians.csv", "date", labels, cols, order); err != nil {
-		return err
-	}
+	return viz.WriteCSV(w, "date", dayLabels(), cols, order)
+}
 
-	// Figure 5: daily aggregate Zoom.
-	if err := writeCSVFile(dir, "fig5_zoom_daily.csv", "date", labels,
-		map[string][]float64{"zoom_bytes": r.fig5.Bytes}, []string{"zoom_bytes"}); err != nil {
-		return err
-	}
+// Figure 5: daily aggregate Zoom.
+func (r *Results) writeFig5(w io.Writer) error {
+	return viz.WriteCSV(w, "date", dayLabels(),
+		map[string][]float64{"zoom_bytes": r.Fig5.Bytes}, []string{"zoom_bytes"})
+}
 
-	// Figure 6: monthly summaries per app/population.
-	monthLabels := []string{"February", "March", "April", "May"}
-	cols = map[string][]float64{}
-	order = order[:0]
+// Figure 6: monthly summaries per app/population.
+func (r *Results) writeFig6(w io.Writer) error {
+	cols := map[string][]float64{}
+	var order []string
 	for _, app := range appsig.SocialMediaApps {
 		for _, pop := range []string{experiments.PopDomestic, experiments.PopInternational} {
-			sums := r.fig6.Summary[app][pop]
+			sums := r.Fig6.Summary[app][pop]
 			for _, stat := range []string{"n", "p1", "q1", "median", "q3", "p95", "p99"} {
 				name := fmt.Sprintf("%s_%s_%s", app, pop, stat)
 				series := make([]float64, campus.NumMonths)
@@ -160,18 +123,18 @@ func (r *results) writeCSVs(dir string) error {
 			}
 		}
 	}
-	if err := writeCSVFile(dir, "fig6_social_durations.csv", "month", monthLabels, cols, order); err != nil {
-		return err
-	}
+	return viz.WriteCSV(w, "month", monthLabels, cols, order)
+}
 
-	// Figure 7: steam bytes and connections summaries.
-	cols = map[string][]float64{}
-	order = order[:0]
+// Figure 7: steam bytes and connections summaries.
+func (r *Results) writeFig7(w io.Writer) error {
+	cols := map[string][]float64{}
+	var order []string
 	for _, pop := range []string{experiments.PopDomestic, experiments.PopInternational} {
 		for _, metric := range []string{"bytes", "connections"} {
-			sums := r.fig7.Bytes[pop]
+			sums := r.Fig7.Bytes[pop]
 			if metric == "connections" {
-				sums = r.fig7.Connections[pop]
+				sums = r.Fig7.Connections[pop]
 			}
 			for _, stat := range []string{"n", "q1", "median", "q3", "p95"} {
 				name := fmt.Sprintf("steam_%s_%s_%s", metric, pop, stat)
@@ -196,24 +159,24 @@ func (r *results) writeCSVs(dir string) error {
 			}
 		}
 	}
-	if err := writeCSVFile(dir, "fig7_steam.csv", "month", monthLabels, cols, order); err != nil {
-		return err
-	}
+	return viz.WriteCSV(w, "month", monthLabels, cols, order)
+}
 
-	// Figure 8: switch gameplay moving average.
-	if err := writeCSVFile(dir, "fig8_switch_gameplay.csv", "date", labels,
+// Figure 8: switch gameplay moving average.
+func (r *Results) writeFig8(w io.Writer) error {
+	return viz.WriteCSV(w, "date", dayLabels(),
 		map[string][]float64{
-			"gameplay_raw":    r.fig8.GameplayRaw,
-			"gameplay_3d_avg": r.fig8.GameplayAvg,
-		}, []string{"gameplay_raw", "gameplay_3d_avg"}); err != nil {
-		return err
-	}
+			"gameplay_raw":    r.Fig8.GameplayRaw,
+			"gameplay_3d_avg": r.Fig8.GameplayAvg,
+		}, []string{"gameplay_raw", "gameplay_3d_avg"})
+}
 
-	// Extension: work/leisure category shares per month and population.
-	cols = map[string][]float64{}
-	order = order[:0]
+// Extension: work/leisure category shares per month and population.
+func (r *Results) writeWorkLeisure(w io.Writer) error {
+	cols := map[string][]float64{}
+	var order []string
 	for _, pop := range []string{experiments.PopDomestic, experiments.PopInternational} {
-		shares := r.workPlay.Share[pop]
+		shares := r.WorkPlay.Share[pop]
 		for g := core.CategoryGroup(0); g < core.NumGroups; g++ {
 			name := pop + "_" + g.String()
 			series := make([]float64, campus.NumMonths)
@@ -224,58 +187,58 @@ func (r *results) writeCSVs(dir string) error {
 			order = append(order, name)
 		}
 	}
-	if err := writeCSVFile(dir, "ext_work_leisure.csv", "month", monthLabels, cols, order); err != nil {
-		return err
-	}
+	return viz.WriteCSV(w, "month", monthLabels, cols, order)
+}
 
-	// Extension: Zoom hour-of-day, weekday vs weekend (online term).
+// Extension: Zoom hour-of-day, weekday vs weekend (online term).
+func (r *Results) writeZoomHourly(w io.Writer) error {
 	hod := make([]string, 24)
 	for h := range hod {
 		hod[h] = fmt.Sprintf("%02d:00", h)
 	}
-	return writeCSVFile(dir, "ext_zoom_hourly.csv", "hour", hod,
+	return viz.WriteCSV(w, "hour", hod,
 		map[string][]float64{
-			"weekday": r.zoomWknd.WeekdayHourly[:],
-			"weekend": r.zoomWknd.WeekendHourly[:],
+			"weekday": r.ZoomWknd.WeekdayHourly[:],
+			"weekend": r.ZoomWknd.WeekendHourly[:],
 		}, []string{"weekday", "weekend"})
 }
 
-// report renders the ASCII report.
-func (r *results) report(w io.Writer) error {
+// Report renders the ASCII report.
+func (r *Results) Report(w io.Writer) error {
 	labels := dayLabels()
 	p := func(format string, args ...any) {
 		fmt.Fprintf(w, format+"\n", args...)
 	}
 	atScale := func(v float64) string {
-		return fmt.Sprintf("%.0f (≈%.0f at paper scale)", v, v/r.scale)
+		return fmt.Sprintf("%.0f (≈%.0f at paper scale)", v, v/r.Scale)
 	}
 
 	p("==============================================================")
-	p(" Locked-In during Lock-Down — reproduction report (scale %.3g)", r.scale)
+	p(" Locked-In during Lock-Down — reproduction report (scale %.3g)", r.Scale)
 	p("==============================================================")
 	p("")
 	p("Pipeline: %d flows processed, %d tap-dropped, %d unattributed, %d unlabeled",
-		r.stats.FlowsProcessed, r.stats.FlowsTapDropped, r.stats.FlowsUnattributed, r.stats.FlowsUnlabeled)
+		r.Stats.FlowsProcessed, r.Stats.FlowsTapDropped, r.Stats.FlowsUnattributed, r.Stats.FlowsUnlabeled)
 	p("          %s total, %d DNS entries, %d leases, %d HTTP metadata entries",
-		siBytes(float64(r.stats.BytesProcessed)), r.stats.DNSEntries, r.stats.Leases, r.stats.HTTPEntries)
+		siBytes(float64(r.Stats.BytesProcessed)), r.Stats.DNSEntries, r.Stats.Leases, r.Stats.HTTPEntries)
 	p("")
 
 	p("— Figure 1: active devices per day by type —")
 	p("  peak %s on %v (paper: 32,019); low %s on %v (paper: 4,973)",
-		atScale(float64(r.fig1.Peak)), r.fig1.PeakDay, atScale(float64(r.fig1.Low)), r.fig1.LowDay)
+		atScale(float64(r.Fig1.Peak)), r.Fig1.PeakDay, atScale(float64(r.Fig1.Low)), r.Fig1.LowDay)
 	chart := viz.Chart{
 		Title: "  active devices/day (all types)", Height: 10, Width: 60,
 		Format: func(v float64) string { return fmt.Sprintf("%.0f", v) },
 	}
 	total := make([]float64, campus.NumDays)
-	for d, v := range r.fig1.Total {
+	for d, v := range r.Fig1.Total {
 		total[d] = float64(v)
 	}
 	mob := make([]float64, campus.NumDays)
 	unc := make([]float64, campus.NumDays)
 	for d := range mob {
-		mob[d] = float64(r.fig1.ByType[devclass.Mobile][d])
-		unc[d] = float64(r.fig1.ByType[devclass.Unknown][d])
+		mob[d] = float64(r.Fig1.ByType[devclass.Mobile][d])
+		unc[d] = float64(r.Fig1.ByType[devclass.Unknown][d])
 	}
 	if err := chart.Render(w, labels, map[string][]float64{"total": total, "mobile": mob, "unclassified": unc},
 		[]string{"total", "mobile", "unclassified"}); err != nil {
@@ -287,26 +250,26 @@ func (r *results) report(w io.Writer) error {
 	febDay, mayDay := campus.Day(12), campus.FirstDay(campus.May)+5
 	for _, ty := range devclass.Types {
 		p("  %-18s Feb: mean %9s median %9s | May: mean %9s median %9s", ty.String(),
-			siBytes(r.fig2.Mean[ty][febDay]), siBytes(r.fig2.Median[ty][febDay]),
-			siBytes(r.fig2.Mean[ty][mayDay]), siBytes(r.fig2.Median[ty][mayDay]))
+			siBytes(r.Fig2.Mean[ty][febDay]), siBytes(r.Fig2.Median[ty][febDay]),
+			siBytes(r.Fig2.Mean[ty][mayDay]), siBytes(r.Fig2.Median[ty][mayDay]))
 	}
 	p("")
 
 	p("— Figure 3: normalized median traffic per device per hour of week —")
-	for wk, label := range r.fig3.WeekLabels {
+	for wk, label := range r.Fig3.WeekLabels {
 		peak := 0.0
-		for _, v := range r.fig3.Normalized[wk] {
+		for _, v := range r.Fig3.Normalized[wk] {
 			peak = math.Max(peak, v)
 		}
-		p("  %-18s devices=%5d peak=%5.1f×min", label, r.fig3.Devices[wk], peak)
+		p("  %-18s devices=%5d peak=%5.1f×min", label, r.Fig3.Devices[wk], peak)
 	}
 	p("")
 
 	p("— Figure 4: median daily bytes (excl. Zoom), post-shutdown users —")
 	for _, pop := range []string{experiments.PopDomestic, experiments.PopInternational} {
 		for _, grp := range []string{"mobile-desktop", "unclassified"} {
-			if series := r.fig4.Median[pop][grp]; series != nil {
-				p("  %-13s %-14s n=%4d Feb=%9s May=%9s", pop, grp, r.fig4.N[pop][grp],
+			if series := r.Fig4.Median[pop][grp]; series != nil {
+				p("  %-13s %-14s n=%4d Feb=%9s May=%9s", pop, grp, r.Fig4.N[pop][grp],
 					siBytes(series[febDay]), siBytes(series[mayDay]))
 			}
 		}
@@ -315,11 +278,11 @@ func (r *results) report(w io.Writer) error {
 
 	p("— Figure 5: daily aggregate Zoom traffic (post-shutdown users) —")
 	p("  peak %s on %v (paper: ≈600 GB at full scale → %s at this scale)",
-		siBytes(r.fig5.Peak), r.fig5.PeakDay, siBytes(600*(1<<30)*r.scale))
+		siBytes(r.Fig5.Peak), r.Fig5.PeakDay, siBytes(600*(1<<30)*r.Scale))
 	p("  online-term weekday mean %s vs weekend mean %s",
-		siBytes(r.fig5.WeekdayMean), siBytes(r.fig5.WeekendMean))
+		siBytes(r.Fig5.WeekdayMean), siBytes(r.Fig5.WeekendMean))
 	if err := (viz.Chart{Title: "  zoom bytes/day", Height: 8, Width: 60}).Render(w, labels,
-		map[string][]float64{"zoom": r.fig5.Bytes}, []string{"zoom"}); err != nil {
+		map[string][]float64{"zoom": r.Fig5.Bytes}, []string{"zoom"}); err != nil {
 		return err
 	}
 	p("")
@@ -327,7 +290,7 @@ func (r *results) report(w io.Writer) error {
 	p("— Figure 6: monthly mobile session hours (median [IQR], by population) —")
 	for _, app := range appsig.SocialMediaApps {
 		for _, pop := range []string{experiments.PopDomestic, experiments.PopInternational} {
-			sums := r.fig6.Summary[app][pop]
+			sums := r.Fig6.Summary[app][pop]
 			line := fmt.Sprintf("  %-10s %-13s", app, pop)
 			for m := campus.February; m < campus.NumMonths; m++ {
 				s := sums[m]
@@ -340,7 +303,7 @@ func (r *results) report(w io.Writer) error {
 
 	p("— Figure 7: monthly Steam usage per device (by population) —")
 	for _, pop := range []string{experiments.PopDomestic, experiments.PopInternational} {
-		b, c := r.fig7.Bytes[pop], r.fig7.Connections[pop]
+		b, c := r.Fig7.Bytes[pop], r.Fig7.Connections[pop]
 		line := fmt.Sprintf("  %-13s", pop)
 		for m := campus.February; m < campus.NumMonths; m++ {
 			line += fmt.Sprintf(" | %s n=%-3d %8s %4.0f conns", m.String()[:3], b[m].N, siBytes(b[m].Median), c[m].Median)
@@ -351,49 +314,49 @@ func (r *results) report(w io.Writer) error {
 
 	p("— Figure 8: Nintendo Switch gameplay (3-day moving average) —")
 	p("  switches pre-shutdown %s (paper: 1,097); post %s (paper: 267 + 40 new); new %s (paper: 40)",
-		atScale(float64(r.fig8.PreShutdown)), atScale(float64(r.fig8.PostShutdown)), atScale(float64(r.fig8.NewSwitches)))
+		atScale(float64(r.Fig8.PreShutdown)), atScale(float64(r.Fig8.PostShutdown)), atScale(float64(r.Fig8.NewSwitches)))
 	if err := (viz.Chart{Title: "  gameplay bytes/day (3d avg)", Height: 8, Width: 60}).Render(w, labels,
-		map[string][]float64{"gameplay": r.fig8.GameplayAvg}, []string{"gameplay"}); err != nil {
+		map[string][]float64{"gameplay": r.Fig8.GameplayAvg}, []string{"gameplay"}); err != nil {
 		return err
 	}
 	p("")
 
 	p("— §4.1 headline results (post-shutdown users) —")
-	p("  traffic growth Feb→Apr/May: %+.0f%% (paper: +58%%)", r.head.TrafficGrowth*100)
-	p("  distinct sites growth:      %+.0f%% (paper: +34%%)", r.head.DistinctSiteGrowth*100)
+	p("  traffic growth Feb→Apr/May: %+.0f%% (paper: +58%%)", r.Head.TrafficGrowth*100)
+	p("  distinct sites growth:      %+.0f%% (paper: +34%%)", r.Head.DistinctSiteGrowth*100)
 	p("  weekend dip pre/post:       %.0f%% / %.0f%% (persist, unlike Feldmann et al.)",
-		r.head.WeekendDipPre*100, r.head.WeekendDipPost*100)
-	p("  post-shutdown users:        %s (paper: 6,522)", atScale(float64(r.head.PostShutdownUsers)))
+		r.Head.WeekendDipPre*100, r.Head.WeekendDipPost*100)
+	p("  post-shutdown users:        %s (paper: 6,522)", atScale(float64(r.Head.PostShutdownUsers)))
 	p("")
 
 	p("— §4.2 population split —")
 	p("  international: %s (paper: 1,022); share of identified: %.0f%% (paper: 18%%)",
-		atScale(float64(r.pop.International)), r.pop.IntlShare*100)
+		atScale(float64(r.Pop.International)), r.Pop.IntlShare*100)
 	p("")
 
 	p("— §3 classifier accuracy (100 sampled devices vs ground truth) —")
 	p("  correct %d, conservative omissions %d, affirmative errors %d (paper: 84/14/2)",
-		r.acc.Correct, r.acc.Omissions, r.acc.Affirmative)
+		r.Acc.Correct, r.Acc.Omissions, r.Acc.Affirmative)
 	p("")
 
 	p("— Ablations and extensions —")
 	p("  CDN exclusion (§4.2): international %d with exclusion vs %d without; %d flipped domestic",
-		r.cdnAblate.IntlExcluded, r.cdnAblate.IntlIncluded, r.cdnAblate.FlippedToDomestic)
+		r.CDNAblate.IntlExcluded, r.CDNAblate.IntlIncluded, r.CDNAblate.FlippedToDomestic)
 	p("  Saidi threshold sweep (§3):")
-	for _, pt := range r.iotSweep {
+	for _, pt := range r.IoTSweep {
 		p("    threshold %.2f: %5d IoT devices, %d correct / %d omissions / %d affirmative",
 			pt.Threshold, pt.IoTCount, pt.Correct, pt.Omissions, pt.Affirmative)
 	}
-	dom := r.workPlay.Share[experiments.PopDomestic]
+	dom := r.WorkPlay.Share[experiments.PopDomestic]
 	p("  work/leisure shares (domestic): Feb work %.1f%% video %.1f%% | Apr work %.1f%% video %.1f%%",
 		dom[campus.February][core.GroupWork]*100, dom[campus.February][core.GroupVideo]*100,
 		dom[campus.April][core.GroupWork]*100, dom[campus.April][core.GroupVideo]*100)
 	p("  weekend Zoom peak at hour %d (§5.1's afternoon bump, \"not shown\" in the paper)",
-		r.zoomWknd.WeekendPeakHour)
+		r.ZoomWknd.WeekendPeakHour)
 	p("  diurnal convergence (§2 vs Feldmann et al.): similarities %v → converged=%v",
-		fmtSims(r.convergence.Similarity), r.convergence.Converged)
-	if r.yoy != nil {
-		p("  year-over-year (counterfactual baseline): %+.0f%% (paper: +53%% vs 2019)", r.yoy.Growth*100)
+		fmtSims(r.Convergence.Similarity), r.Convergence.Converged)
+	if r.YoY != nil {
+		p("  year-over-year (counterfactual baseline): %+.0f%% (paper: +53%% vs 2019)", r.YoY.Growth*100)
 	}
 	return nil
 }

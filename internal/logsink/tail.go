@@ -1,0 +1,394 @@
+package logsink
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/dhcp"
+	"repro/internal/dnssim"
+	"repro/internal/flow"
+	"repro/internal/httplog"
+	"repro/internal/trace"
+	"repro/internal/zeeklog"
+)
+
+// TailSentinel is the default marker file name: its existence under a
+// rotated dataset root declares the dataset complete (the writer will
+// append no further bytes and create no further day directories).
+const TailSentinel = "COMPLETE"
+
+// ErrTailStopped is returned by TailRotated when its Stop channel closes.
+// It propagates through the parsers as an ordinary (unclassified) stream
+// error, so a line the writer was mid-append at shutdown is neither
+// emitted nor counted as a decode drop — the tail simply stops between
+// records.
+var ErrTailStopped = errors.New("logsink: tail stopped")
+
+// TailOptions configures TailRotated. The embedded ReplayOptions carry
+// the same fault machinery batch replay uses (guard policy, seeded
+// injection with identical per-day/per-file sub-seeding, so a tailed and
+// a batch-replayed dataset see byte-identical corruption).
+type TailOptions struct {
+	ReplayOptions
+	// Poll is the interval between checks for new bytes, new day
+	// directories, and the sentinel (default 200ms).
+	Poll time.Duration
+	// Stop, when closed, aborts the tail with ErrTailStopped at the next
+	// poll boundary.
+	Stop <-chan struct{}
+	// Sentinel overrides the completion marker file name (default
+	// TailSentinel).
+	Sentinel string
+	// OnDaySealed, when non-nil, is called after each day directory has
+	// been fully replayed into the sink (and the sink's batcher flushed —
+	// a batch-capable sink has sealed the day's epoch). final is true
+	// when the dataset is complete: this was the last day.
+	OnDaySealed func(day string, final bool)
+}
+
+// TailRotated follows a growing rotated dataset under root, streaming
+// events into sink as the writer produces them, and returns once the
+// sentinel file declares the dataset complete (or with ErrTailStopped on
+// Stop). It is the live-ingest counterpart of ReplayRotatedWithOptions
+// and produces the same event stream with one documented difference:
+// DHCP leases are merged into each day's traffic in timestamp order
+// (winning ties) instead of being replayed in a global first pass — a
+// tail cannot read future days. The result is equivalent: every lease
+// lookup is time-aware, a lease starting after t never matches nor
+// terminates a lookup at t, and leases still arrive in global start
+// order, so attribution, coalescing, and the final dataset are identical
+// (the tail parity tests pin this).
+//
+// Within a day the tail blocks at end-of-file until more bytes arrive: a
+// torn final line means "the writer is mid-append" and parsing resumes
+// when the line completes — no duplicate event, no phantom truncated
+// drop. A day is final once a later day directory or the sentinel exists
+// (the rotating writer closes a day before starting the next); only then
+// is a torn final line a real truncated record, handled by the guard
+// exactly as batch replay handles it.
+//
+// Tail mode requires plain (uncompressed) logs: a gzip stream cannot be
+// incrementally decoded past a torn tail.
+func TailRotated(root string, sink trace.Sink, opts TailOptions) error {
+	poll := opts.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	sentinel := opts.Sentinel
+	if sentinel == "" {
+		sentinel = TailSentinel
+	}
+	sentinelPath := filepath.Join(root, sentinel)
+
+	dayOpts := func(d string) ReplayOptions {
+		o := opts.ReplayOptions
+		if o.Inject != nil {
+			sub := o.Inject.Sub(d)
+			o.Inject = &sub
+		}
+		return o
+	}
+
+	seen := 0 // day directories fully replayed so far
+	for {
+		days, err := dayDirs(root)
+		if err != nil {
+			return err
+		}
+		complete := fileExists(sentinelPath)
+		if seen < len(days) {
+			day := days[seen]
+			next := seen + 1
+			final := func() bool {
+				if fileExists(sentinelPath) {
+					return true
+				}
+				ds, err := dayDirs(root)
+				return err == nil && len(ds) > next
+			}
+			if err := tailDay(filepath.Join(root, day), sink, dayOpts(day), poll, opts.Stop, final); err != nil {
+				return err
+			}
+			seen = next
+			if opts.OnDaySealed != nil {
+				ds, err := dayDirs(root)
+				last := fileExists(sentinelPath) && err == nil && len(ds) == seen
+				opts.OnDaySealed(day, last)
+			}
+			continue
+		}
+		if complete {
+			if seen == 0 {
+				return fmt.Errorf("logsink: no day directories under %s", root)
+			}
+			return nil
+		}
+		select {
+		case <-opts.Stop:
+			return ErrTailStopped
+		case <-time.After(poll):
+		}
+	}
+}
+
+// dayDirs lists root's day directories in chronological (lexical) order.
+// A root that does not exist yet is an empty dataset, not an error — the
+// writer may not have started.
+func dayDirs(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var days []string
+	for _, e := range entries {
+		if e.IsDir() {
+			days = append(days, e.Name())
+		}
+	}
+	sort.Strings(days) // YYYY-MM-DD sorts chronologically
+	return days, nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// tailReader is a blocking reader over one growing log file: at
+// end-of-file it polls for more bytes, returning io.EOF only once the
+// day is final (checked before a read that still found nothing — the
+// writer closed the file before the finality marker appeared, so no more
+// bytes can arrive), and ErrTailStopped when stop closes. The parsers'
+// line scanners block inside Read, which is exactly the torn-tail
+// contract: an incomplete final line waits for the writer instead of
+// decoding as truncated.
+type tailReader struct {
+	f     *os.File
+	poll  time.Duration
+	stop  <-chan struct{}
+	final func() bool
+	fin   bool // finality observed before the previous empty read
+}
+
+func (r *tailReader) Read(p []byte) (int, error) {
+	for {
+		n, err := r.f.Read(p)
+		if n > 0 {
+			return n, nil
+		}
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		if r.fin {
+			return 0, io.EOF
+		}
+		if r.final() {
+			// Drain once more: bytes may have landed between the empty
+			// read above and the finality check.
+			r.fin = true
+			continue
+		}
+		select {
+		case <-r.stop:
+			return 0, ErrTailStopped
+		case <-time.After(r.poll):
+		}
+	}
+}
+
+func (r *tailReader) Close() error { return r.f.Close() }
+
+// openTail opens one log for tailing, waiting for the file to appear (a
+// freshly rotated day directory may not have all files yet).
+func openTail(dir, name string, poll time.Duration, stop <-chan struct{}, final func() bool) (io.ReadCloser, error) {
+	for {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err == nil {
+			return &tailReader{f: f, poll: poll, stop: stop, final: final}, nil
+		}
+		if !os.IsNotExist(err) {
+			return nil, err
+		}
+		if fileExists(filepath.Join(dir, name+".gz")) {
+			return nil, fmt.Errorf("logsink: %s is gzip-compressed in %s; tail mode requires plain logs", name, dir)
+		}
+		if final() {
+			return nil, fmt.Errorf("logsink: %s missing in finalized day directory %s", name, dir)
+		}
+		select {
+		case <-stop:
+			return nil, ErrTailStopped
+		case <-time.After(poll):
+		}
+	}
+}
+
+// logStream is the shape every per-file reader shares (conn, dns, dhcp,
+// http): typed record iteration plus the raw line and line number the
+// guard reports on rejects.
+type logStream[T any] interface {
+	Next() (T, error)
+	Raw() string
+	Line() int
+}
+
+// streamHead is the merge head of one tailed stream.
+type streamHead[T any] struct {
+	cur  T
+	ok   bool
+	prev string // previous raw line, for lenient duplicate detection
+}
+
+// advanceHead fills a merge head with the stream's next accepted record,
+// applying the guard policy and (under lenient policies) adjacent-
+// duplicate detection — the same per-record loop batch replay runs.
+func advanceHead[T any](h *streamHead[T], r logStream[T], source string, opts ReplayOptions) error {
+	g := opts.Guard
+	lenient := opts.lenient()
+	for {
+		v, err := r.Next()
+		if err == io.EOF {
+			h.ok = false
+			return nil
+		}
+		if err != nil {
+			if rerr := g.Reject(source, r.Raw(), err); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		if lenient {
+			if raw := r.Raw(); raw != "" && raw == h.prev {
+				if rerr := g.RejectDuplicate(source, r.Line(), raw); rerr != nil {
+					return rerr
+				}
+				continue
+			} else {
+				h.prev = raw
+			}
+		}
+		g.Accept()
+		h.cur, h.ok = v, true
+		return nil
+	}
+}
+
+// tailDay streams one day directory into sink as a timestamp-ordered
+// four-way merge (leases win ties, then DNS, then flows, then HTTP — so
+// a binding precedes the flows it attributes and a resolution precedes
+// the flows it labels), blocking at each file's tail until the day is
+// final. The sink's batcher is flushed at day end, which is the epoch
+// seal for a batch-capable sink.
+func tailDay(dir string, sink trace.Sink, opts ReplayOptions, poll time.Duration, stop <-chan struct{}, final func() bool) error {
+	open := func(name string) (io.ReadCloser, error) {
+		return openTail(dir, name, poll, stop, final)
+	}
+	dhcpF, err := open(DHCPFile)
+	if err != nil {
+		return err
+	}
+	defer dhcpF.Close()
+	connF, err := open(ConnFile)
+	if err != nil {
+		return err
+	}
+	defer connF.Close()
+	dnsF, err := open(DNSFile)
+	if err != nil {
+		return err
+	}
+	defer dnsF.Close()
+	httpF, err := open(HTTPFile)
+	if err != nil {
+		return err
+	}
+	defer httpF.Close()
+
+	// The header reads at construction block until the writer has written
+	// each file's schema line; header errors stay fatal under every
+	// policy, exactly as in batch replay.
+	dhcpR, err := dhcp.NewLogReader(opts.inject(dhcpF, DHCPFile))
+	if err != nil {
+		return fmt.Errorf("dhcp.log: %w", err)
+	}
+	connR, err := zeeklog.NewConnReader(opts.inject(connF, ConnFile))
+	if err != nil {
+		return fmt.Errorf("conn.log: %w", err)
+	}
+	dnsR, err := dnssim.NewLogReader(opts.inject(dnsF, DNSFile))
+	if err != nil {
+		return fmt.Errorf("dns.log: %w", err)
+	}
+	httpR, err := httplog.NewReader(opts.inject(httpF, HTTPFile))
+	if err != nil {
+		return fmt.Errorf("http.log: %w", err)
+	}
+
+	var (
+		lease streamHead[dhcp.Lease]
+		fl    streamHead[flow.Record]
+		dn    streamHead[dnssim.Entry]
+		ht    streamHead[httplog.Entry]
+	)
+	if err := advanceHead(&lease, dhcpR, "dhcp", opts); err != nil {
+		return err
+	}
+	if err := advanceHead(&fl, connR, "conn", opts); err != nil {
+		return err
+	}
+	if err := advanceHead(&dn, dnsR, "dns", opts); err != nil {
+		return err
+	}
+	if err := advanceHead(&ht, httpR, "http", opts); err != nil {
+		return err
+	}
+
+	out := trace.NewBatcher(sink)
+	for lease.ok || fl.ok || dn.ok || ht.ok {
+		// Earliest timestamp wins; on ties the earlier consider call wins,
+		// encoding the lease > DNS > flow > HTTP priority.
+		best := 0
+		var bt time.Time
+		consider := func(code int, ok bool, t time.Time) {
+			if ok && (best == 0 || t.Before(bt)) {
+				best, bt = code, t
+			}
+		}
+		consider(1, lease.ok, lease.cur.Start)
+		consider(2, dn.ok, dn.cur.Time)
+		consider(3, fl.ok, fl.cur.Start)
+		consider(4, ht.ok, ht.cur.Time)
+		switch best {
+		case 1:
+			out.Lease(lease.cur)
+			if err := advanceHead(&lease, dhcpR, "dhcp", opts); err != nil {
+				return err
+			}
+		case 2:
+			out.DNS(dn.cur)
+			if err := advanceHead(&dn, dnsR, "dns", opts); err != nil {
+				return err
+			}
+		case 3:
+			out.Flow(fl.cur)
+			if err := advanceHead(&fl, connR, "conn", opts); err != nil {
+				return err
+			}
+		default:
+			out.HTTPMeta(ht.cur)
+			if err := advanceHead(&ht, httpR, "http", opts); err != nil {
+				return err
+			}
+		}
+	}
+	out.Flush()
+	return nil
+}

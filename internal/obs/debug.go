@@ -25,6 +25,12 @@ type DebugServer struct {
 	// shutdown is complete, not merely requested (the goroutineowner
 	// contract for long-lived packages).
 	done chan struct{}
+	// closeOnce makes Close idempotent and race-safe: concurrent and
+	// repeated Close calls all observe one complete shutdown and the same
+	// error, so a caller's teardown can race a signal handler's without a
+	// double-close on the listener.
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // ServeDebug exposes m as the expvar variable "obs" (under /debug/vars)
@@ -35,6 +41,16 @@ type DebugServer struct {
 // The endpoint is unauthenticated: bind it to localhost unless the network
 // is trusted.
 func ServeDebug(addr string, m *Metrics) (*DebugServer, error) {
+	return ServeDebugMux(addr, m, nil)
+}
+
+// ServeDebugMux is ServeDebug with an application handler mounted on the
+// same port: requests under /debug/ go to the process-wide
+// net/http.DefaultServeMux (expvar + pprof), everything else to handler.
+// A nil handler serves DefaultServeMux alone. The server may be restarted
+// on the same address after Close: the listener is released before Close
+// returns.
+func ServeDebugMux(addr string, m *Metrics, handler http.Handler) (*DebugServer, error) {
 	if m == nil {
 		return nil, fmt.Errorf("obs: ServeDebug requires non-nil Metrics")
 	}
@@ -48,12 +64,19 @@ func ServeDebug(addr string, m *Metrics) (*DebugServer, error) {
 			return mm.Snapshot()
 		}))
 	})
+	root := http.Handler(http.DefaultServeMux)
+	if handler != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/debug/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		root = mux
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	d := &DebugServer{
-		srv:  &http.Server{Handler: http.DefaultServeMux},
+		srv:  &http.Server{Handler: root},
 		ln:   ln,
 		done: make(chan struct{}),
 	}
@@ -68,9 +91,13 @@ func ServeDebug(addr string, m *Metrics) (*DebugServer, error) {
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
 // Close shuts the listener down and waits for the serve goroutine to
-// exit, so no request handling races the caller's teardown.
+// exit, so no request handling races the caller's teardown. Close is
+// idempotent: every call (including concurrent ones) returns after the
+// shutdown is complete, with the error of the one close that ran.
 func (d *DebugServer) Close() error {
-	err := d.srv.Close()
-	<-d.done
-	return err
+	d.closeOnce.Do(func() {
+		d.closeErr = d.srv.Close()
+		<-d.done
+	})
+	return d.closeErr
 }

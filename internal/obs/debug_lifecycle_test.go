@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDebugServerDoubleClose: repeated and concurrent Close calls must all
+// complete with the same result — a signal handler's shutdown racing the
+// main goroutine's defer must not double-close the listener.
+func TestDebugServerDoubleClose(t *testing.T) {
+	d, err := ServeDebug("127.0.0.1:0", NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = d.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != errs[0] {
+			t.Fatalf("Close %d returned %v, Close 0 returned %v", i, err, errs[0])
+		}
+	}
+	if err := d.Close(); err != errs[0] {
+		t.Fatalf("late Close returned %v, want %v", err, errs[0])
+	}
+}
+
+// TestDebugServerCloseRacingStart closes servers immediately after (and
+// concurrently with) their first requests: shutdown must always be clean
+// regardless of where startup had progressed.
+func TestDebugServerCloseRacingStart(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		d, err := ServeDebug("127.0.0.1:0", NewMetrics())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			// The request may win or lose the race with Close; either
+			// outcome is fine, it just must not trip the race detector or
+			// hang.
+			resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", d.Addr()))
+			if err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			_ = d.Close()
+		}()
+		wg.Wait()
+	}
+}
+
+// TestDebugServerRestartSameAddr: after Close the address is released and
+// a new server can bind it — restart is safe, and the expvar hook follows
+// the newest Metrics.
+func TestDebugServerRestartSameAddr(t *testing.T) {
+	d1, err := ServeDebug("127.0.0.1:0", NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := d1.Addr()
+	if err := d1.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	d2, err := ServeDebug(addr, NewMetrics())
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer d2.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted server: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"obs"`) {
+		t.Fatalf("restarted /debug/vars lacks obs variable: %s", body)
+	}
+}
+
+// TestServeDebugMuxRoutes: an application handler shares the port with the
+// debug endpoints — /debug/ goes to expvar/pprof, the rest to the handler.
+func TestServeDebugMuxRoutes(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ping", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "pong")
+	})
+	d, err := ServeDebugMux("127.0.0.1:0", NewMetrics(), mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", d.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/v1/ping"); code != http.StatusOK || body != "pong" {
+		t.Fatalf("/v1/ping: %d %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != http.StatusOK || !strings.Contains(body, `"obs"`) {
+		t.Fatalf("/debug/vars: %d %q", code, body)
+	}
+}

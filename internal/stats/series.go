@@ -92,8 +92,18 @@ func (r *Reservoir[T]) Offer(item T) {
 	}
 }
 
-// Sample returns the current sample (aliasing internal storage).
+// Sample returns the current sample (aliasing internal storage). Callers
+// that publish the sample beyond the reservoir's lifetime — or keep
+// offering items afterwards — should use Snapshot instead: later Offers
+// overwrite slots in place, so an aliased Sample would mutate under the
+// holder.
 func (r *Reservoir[T]) Sample() []T { return r.items }
+
+// Snapshot returns a copy of the current sample that later Offers cannot
+// mutate.
+func (r *Reservoir[T]) Snapshot() []T {
+	return append([]T(nil), r.items...)
+}
 
 // Seen returns the number of items offered so far.
 func (r *Reservoir[T]) Seen() int { return r.seen }

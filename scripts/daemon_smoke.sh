@@ -1,0 +1,72 @@
+#!/usr/bin/env sh
+# Daemon smoke: start lockdownd over a complete rotated dataset, poll
+# /v1/epoch until the final epoch is published, diff a queried figure CSV
+# and the report against a batch cmd/lockdown run over the same dataset
+# and key, then check clean SIGTERM shutdown (exit code 0).
+#
+# Usage: daemon_smoke.sh <lockdownd-binary> <dataset-root> <batch-out-dir> <key-hex> <scale> [days-from:to]
+set -eu
+
+BIN=$1
+ROOT=$2
+BATCH=$3
+KEY=$4
+SCALE=$5
+
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+"$BIN" -root "$ROOT" -addr 127.0.0.1:0 -scale "$SCALE" -key "$KEY" -poll 20ms \
+    >"$OUT/stdout" 2>"$OUT/stderr" &
+PID=$!
+
+fail() {
+    echo "daemon-smoke: $1" >&2
+    echo "--- daemon stdout ---" >&2; cat "$OUT/stdout" >&2 || true
+    echo "--- daemon stderr ---" >&2; cat "$OUT/stderr" >&2 || true
+    kill "$PID" 2>/dev/null || true
+    exit 1
+}
+
+# Wait for the startup line and extract the bound address.
+ADDR=""
+i=0
+while [ $i -lt 200 ]; do
+    ADDR=$(sed -n 's|.*serving on http://\([^ ]*\).*|\1|p' "$OUT/stdout" | head -1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || fail "daemon exited before announcing its address"
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$ADDR" ] || fail "no startup line after 20s"
+echo "daemon-smoke: daemon on $ADDR (pid $PID)"
+
+# Poll /v1/epoch until the dataset is fully ingested and finalized.
+i=0
+while [ $i -lt 1200 ]; do
+    if curl -fsS "http://$ADDR/v1/epoch" 2>/dev/null | grep -q '"final": true'; then
+        break
+    fi
+    kill -0 "$PID" 2>/dev/null || fail "daemon exited during ingest"
+    i=$((i + 1))
+    sleep 0.5
+done
+curl -fsS "http://$ADDR/v1/epoch" | grep -q '"final": true' || fail "final epoch not reached in 600s"
+curl -fsS "http://$ADDR/v1/epoch"
+echo ""
+
+# The queried artifacts must be byte-identical to the batch run's files.
+for fig in fig1_active_devices.csv fig5_zoom_daily.csv; do
+    curl -fsS "http://$ADDR/v1/figures/$fig" -o "$OUT/$fig" || fail "GET /v1/figures/$fig failed"
+    cmp "$OUT/$fig" "$BATCH/$fig" || fail "$fig differs from batch output"
+done
+curl -fsS "http://$ADDR/v1/report" -o "$OUT/report.txt" || fail "GET /v1/report failed"
+cmp "$OUT/report.txt" "$BATCH/report.txt" || fail "report.txt differs from batch output"
+echo "daemon-smoke: figure CSVs and report byte-identical to batch run"
+
+# Clean shutdown: SIGTERM must exit 0.
+kill -TERM "$PID"
+RC=0
+wait "$PID" || RC=$?
+[ "$RC" -eq 0 ] || fail "daemon exited $RC after SIGTERM, want 0"
+echo "daemon-smoke: clean shutdown (exit 0)"
