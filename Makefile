@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race lint lint-golangci lint-custom fuzz-smoke fault-smoke daemon-smoke ci bench cover figures figures-full examples clean
+.PHONY: all build vet test test-short race lint lint-golangci lint-custom fuzz-smoke fault-smoke daemon-smoke cache-smoke ci bench cover figures figures-full examples clean
 
 BENCH_JSON ?= BENCH_$(shell date +%F).json
 BENCH_SHARDED_JSON ?= BENCH_shards4_$(shell date +%F).json
@@ -95,6 +95,17 @@ daemon-smoke:
 	sh scripts/daemon_smoke.sh bin/lockdownd daemonlogs daemon-batch \
 		6c6f636b646f776e642d736d6f6b652d6b6579 0.05
 
+# Stage-cache smoke: a cold 5%-scale run populates the content-addressed
+# cache, a warm rerun must hit every stage, emit byte-identical outputs,
+# and clear a 3x wall-clock gate, and a figure-only knob change
+# (-fig-workers) must reuse the cached stats while recomputing only
+# figures (see scripts/cache_smoke.sh and the ci cache-smoke job; the go
+# test variant is cmd/lockdown/cache_test.go).
+cache-smoke:
+	$(GO) build -o bin/lockdown ./cmd/lockdown
+	sh scripts/cache_smoke.sh bin/lockdown cache-smoke-work \
+		6c6f636b646f776e2d6661756c742d736d6f6b65 0.05
+
 ci: build vet test race lint
 
 # Go micro-benchmarks plus machine-readable end-to-end bench reports
@@ -140,4 +151,4 @@ examples:
 clean:
 	rm -rf results results_full results-bench results-bench-sharded \
 		results-bench-sharded-p2 results-bench-p4 faultlogs fault-skip \
-		fault-skip-sharded daemonlogs daemon-batch bin
+		fault-skip-sharded daemonlogs daemon-batch cache-smoke-work bin

@@ -118,6 +118,10 @@ func run(w io.Writer, oldPath, newPath string, maxRegress, minEfficiency, maxEff
 		fmt.Fprintln(w, floorNote)
 	}
 
+	if newR.Cache != nil {
+		fmt.Fprintf(w, "%s\n", cacheLine(newR.Cache))
+	}
+
 	if summaryPath != "" {
 		if err := writeSummary(summaryPath, oldR, newR, deltas, floorNote, floorFailed); err != nil {
 			return 0, err
@@ -161,6 +165,16 @@ func writeSummary(path string, oldR, newR *obs.BenchReport, deltas []obs.BenchDe
 			fmt.Fprintf(f, "\n%s\n", floorNote)
 		}
 	}
+	if newR.Cache != nil {
+		fmt.Fprintf(f, "\n%s\n", cacheLine(newR.Cache))
+	}
 	fmt.Fprintln(f)
 	return f.Close()
+}
+
+// cacheLine renders a candidate report's stage-cache accounting (runs
+// with -cache-dir write it; older reports simply lack it).
+func cacheLine(c *obs.CacheBench) string {
+	return fmt.Sprintf("cache: hits=%d misses=%d invalidations=%d verify_failures=%d",
+		c.Hits, c.Misses, c.Invalidations, c.VerifyFailures)
 }

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/appsig"
+	"repro/internal/core"
+	"repro/internal/figset"
+	"repro/internal/obs"
+	"repro/internal/stagecache"
+	"repro/internal/universe"
+)
+
+// runCache bundles one run's stage-cache state: the store (nil when
+// caching is inactive), the run-invariant code and rules digests every
+// stage key chains from, and a human-readable note when -cache-dir was
+// given but caching could not engage.
+type runCache struct {
+	store *stagecache.Store
+	code  stagecache.Digest
+	rules stagecache.Digest
+	note  string
+}
+
+// openRunCache resolves the cache flags. Caching requires a fixed
+// pseudonymization key: with a random per-run key the device pseudonyms in
+// a cached dataset are unlinkable to any other run, so reuse would be
+// meaningless — the cache stays off (with a note) rather than serving
+// surprising results.
+func openRunCache(cfg config, reg *universe.Registry, metrics *obs.Metrics) (*runCache, error) {
+	rc := &runCache{}
+	if cfg.cacheDir == "" {
+		return rc, nil
+	}
+	mode, err := stagecache.ParseMode(cfg.cacheMode)
+	if err != nil {
+		return nil, err
+	}
+	if mode == stagecache.ModeOff {
+		rc.note = "mode=off"
+		return rc, nil
+	}
+	if len(cfg.key) == 0 {
+		rc.note = "disabled: -key required (random per-run pseudonyms make cached stages unlinkable)"
+		return rc, nil
+	}
+	rc.code, err = stagecache.CodeDigest()
+	if err != nil {
+		return nil, fmt.Errorf("stage cache: code digest: %w", err)
+	}
+	rc.rules = stagecache.RulesDigest(reg, appsig.TableRows())
+	rc.store, err = stagecache.Open(cfg.cacheDir, mode, metrics)
+	if err != nil {
+		return nil, fmt.Errorf("stage cache: %w", err)
+	}
+	return rc, nil
+}
+
+// statsKey derives the stats stage's cache key: everything that can move
+// a byte of the finalized Dataset or the ground-truth map enters the
+// digest; knobs that provably cannot (shard count, output paths, progress
+// and report options) deliberately do not. logsDigest is the replayed
+// dataset's TreeDigest ("" in generator mode); noPandemic selects the
+// counterfactual baseline world (the -yoy second pipeline).
+func (rc *runCache) statsKey(cfg config, logsDigest stagecache.Digest, noPandemic bool) stagecache.Digest {
+	h := stagecache.NewHasher("lockdown/stats")
+	h.Digest("code", rc.code)
+	h.Digest("rules", rc.rules)
+	h.Int("dataset_codec", core.DatasetCodecVersion)
+	h.Bytes("key", cfg.key)
+	h.Float("scale", cfg.scale)
+	h.Int("seed", cfg.seed)
+	h.Bool("no_pandemic", noPandemic)
+	if logsDigest != "" {
+		h.String("source", "logs")
+		h.Digest("dataset", logsDigest)
+		// The fault layer shapes which records survive replay, so every
+		// knob is key material — a replay under a different policy or
+		// injection rate is a different dataset.
+		h.String("fault_policy", cfg.faultPolicy)
+		h.Float("fault_budget", cfg.faultBudget)
+		h.Float("fault_inject", cfg.faultInject)
+		h.Int("fault_seed", cfg.faultSeed)
+	} else {
+		h.String("source", "generate")
+	}
+	return h.Sum()
+}
+
+// figuresKey derives the figures stage's cache key. The stage is chained
+// on the *content* of its inputs (the encoded dataset, truth map and
+// optional counterfactual baseline), buildkit-style: two configurations
+// that produce byte-identical stats share one figures entry. Figure-only
+// knobs (here -fig-workers, conservatively keyed even though the pool
+// size is output-neutral) invalidate figures without touching stats —
+// that asymmetry is what makes a figure-only change replay from cached
+// stats in milliseconds.
+func (rc *runCache) figuresKey(cfg config, dsDigest, truthDigest, yoyDigest stagecache.Digest) stagecache.Digest {
+	h := stagecache.NewHasher("lockdown/figures")
+	h.Digest("code", rc.code)
+	h.Digest("rules", rc.rules)
+	h.Digest("dataset", dsDigest)
+	h.Digest("truth", truthDigest)
+	h.Bool("yoy", yoyDigest != "")
+	if yoyDigest != "" {
+		h.Digest("yoy_baseline", yoyDigest)
+	}
+	h.Float("scale", cfg.scale)
+	h.Int("seed", cfg.seed)
+	h.Int("fig_workers", int64(cfg.figWorkers))
+	return h.Sum()
+}
+
+// reportName is the figures-stage artifact holding the ASCII report; the
+// figure CSVs use their figset names.
+const reportName = "report.txt"
+
+// artifactNames is the figures stage's complete payload listing.
+func artifactNames() []string {
+	return append(figset.FigureNames(), reportName)
+}
+
+// validateArtifacts rejects a figures entry that lacks any expected
+// artifact (e.g. one written by a build with a different figure set that
+// somehow shared a key).
+func validateArtifacts(files map[string][]byte) error {
+	for _, name := range artifactNames() {
+		if _, ok := files[name]; !ok {
+			return fmt.Errorf("figures entry missing %s", name)
+		}
+	}
+	return nil
+}
+
+// renderArtifacts renders every figure CSV and the report into memory —
+// the single render path for both the output directory and the cache, so
+// the two can never diverge.
+func renderArtifacts(res *figset.Results) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(figset.FigureNames())+1)
+	for _, name := range figset.FigureNames() {
+		var buf writerBuf
+		if err := res.WriteFigure(&buf, name); err != nil {
+			return nil, err
+		}
+		out[name] = buf.b
+	}
+	var buf writerBuf
+	if err := res.Report(&buf); err != nil {
+		return nil, err
+	}
+	out[reportName] = buf.b
+	return out, nil
+}
+
+// writerBuf is a minimal append-only io.Writer (bytes.Buffer without the
+// reader half).
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

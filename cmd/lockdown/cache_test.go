@@ -1,0 +1,480 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/logsink"
+	"repro/internal/obs"
+	"repro/internal/stagecache"
+	"repro/internal/trace"
+	"repro/internal/universe"
+)
+
+var cacheTestKey = []byte("cache-parity-key-0123456789abcdef")
+
+func cacheTestConfig(t *testing.T, cacheDir string) config {
+	t.Helper()
+	scale := 0.05
+	if testing.Short() {
+		scale = 0.01
+	}
+	return config{
+		scale:     scale,
+		seed:      1,
+		shards:    1,
+		quiet:     true,
+		key:       cacheTestKey,
+		cacheDir:  cacheDir,
+		cacheMode: "readwrite",
+		statusW:   io.Discard,
+	}
+}
+
+// runCached runs the harness with status capture and returns the status
+// transcript.
+func runCached(t *testing.T, cfg config) string {
+	t.Helper()
+	var status bytes.Buffer
+	cfg.statusW = &status
+	if err := run(cfg); err != nil {
+		t.Fatalf("run: %v\nstatus:\n%s", err, status.String())
+	}
+	return status.String()
+}
+
+// readOutputs loads every artifact the harness writes (figure CSVs +
+// report) keyed by name.
+func readOutputs(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	for _, name := range artifactNames() {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing artifact %s: %v", name, err)
+		}
+		out[name] = b
+	}
+	if len(out) < 11 {
+		t.Fatalf("only %d artifacts, expected every figure + report", len(out))
+	}
+	return out
+}
+
+func wantIdenticalOutputs(t *testing.T, label string, want, got map[string][]byte) {
+	t.Helper()
+	for name, w := range want {
+		if !bytes.Equal(w, got[name]) {
+			t.Errorf("%s: %s differs from the cold run", label, name)
+		}
+	}
+}
+
+func statusHas(t *testing.T, label, status, frag string) {
+	t.Helper()
+	if !strings.Contains(status, frag) {
+		t.Errorf("%s: status missing %q:\n%s", label, frag, status)
+	}
+}
+
+// TestCacheColdWarmPartialParity is the acceptance walk from the ISSUE:
+// a cold run populates the cache; a warm run hits every stage and must be
+// byte-identical; a warm run at a different shard count still hits (shard
+// count is not key material — sharded output is proven byte-identical);
+// and a figure-only knob change reuses the cached stats, recomputes only
+// figures, and still produces identical bytes (-fig-workers is
+// output-neutral by design).
+func TestCacheColdWarmPartialParity(t *testing.T) {
+	cacheDir := t.TempDir()
+	base := cacheTestConfig(t, cacheDir)
+
+	coldDir := t.TempDir()
+	cold := base
+	cold.out = coldDir
+	coldStatus := runCached(t, cold)
+	statusHas(t, "cold", coldStatus, "stats=miss figures=miss")
+	want := readOutputs(t, coldDir)
+
+	warmDir := t.TempDir()
+	benchPath := filepath.Join(t.TempDir(), "bench.json")
+	warm := base
+	warm.out = warmDir
+	warm.benchJSON = benchPath
+	warmStatus := runCached(t, warm)
+	statusHas(t, "warm", warmStatus, "stats=hit figures=hit")
+	statusHas(t, "warm", warmStatus, "replayed from stats cache")
+	wantIdenticalOutputs(t, "warm full-hit", want, readOutputs(t, warmDir))
+
+	// The bench report carries the cache counters (hit counters are the
+	// proof the stages were skipped, not recomputed), and a replayed run
+	// must not report a fake ingest throughput.
+	br, err := obs.LoadBench(benchPath)
+	if err != nil {
+		t.Fatalf("bench report: %v", err)
+	}
+	if br.Cache == nil || br.Cache.Hits != 2 || br.Cache.Misses != 0 {
+		t.Errorf("warm bench cache section = %+v, want 2 hits 0 misses", br.Cache)
+	}
+	if br.Ingest.FlowsPerSec != 0 {
+		t.Errorf("warm run reports ingest throughput %v from cached stats", br.Ingest.FlowsPerSec)
+	}
+
+	shardDir := t.TempDir()
+	sharded := base
+	sharded.out = shardDir
+	sharded.shards = 4
+	shardStatus := runCached(t, sharded)
+	statusHas(t, "4-shard warm", shardStatus, "stats=hit figures=hit")
+	wantIdenticalOutputs(t, "4-shard warm", want, readOutputs(t, shardDir))
+
+	partialDir := t.TempDir()
+	partial := base
+	partial.out = partialDir
+	partial.figWorkers = 2
+	partialStatus := runCached(t, partial)
+	statusHas(t, "figure-only change", partialStatus, "stats=hit figures=miss")
+	wantIdenticalOutputs(t, "figure-only change", want, readOutputs(t, partialDir))
+
+	// And the figures entry for the new knob is now cached too.
+	againDir := t.TempDir()
+	again := partial
+	again.out = againDir
+	statusHas(t, "figure-only rerun", runCached(t, again), "stats=hit figures=hit")
+}
+
+// TestCacheCorruptionRecovery damages cached stats payloads after a cold
+// run and requires the next run to detect the damage (verify-failure
+// counters), silently recompute, and emit byte-identical outputs — a
+// corrupt cache may cost time, never results.
+func TestCacheCorruptionRecovery(t *testing.T) {
+	cacheDir := t.TempDir()
+	base := cacheTestConfig(t, cacheDir)
+
+	coldDir := t.TempDir()
+	cold := base
+	cold.out = coldDir
+	runCached(t, cold)
+	want := readOutputs(t, coldDir)
+
+	// Find the stats entry's dataset payload and flip one bit.
+	matches, err := filepath.Glob(filepath.Join(cacheDir, "stats", "*", "dataset.bin"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("stats entries = %v (err %v), want exactly one", matches, err)
+	}
+	payload := matches[0]
+	b, err := os.ReadFile(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/3] ^= 0x10
+	if err := os.WriteFile(payload, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recoverDir := t.TempDir()
+	rec := base
+	rec.out = recoverDir
+	status := runCached(t, rec)
+	statusHas(t, "recovery", status, "stats=miss")
+	statusHas(t, "recovery", status, "verify_failures=1")
+	wantIdenticalOutputs(t, "recovery", want, readOutputs(t, recoverDir))
+
+	// The recompute healed the entry: the next run is a clean full hit.
+	healDir := t.TempDir()
+	heal := base
+	heal.out = healDir
+	healStatus := runCached(t, heal)
+	statusHas(t, "healed", healStatus, "stats=hit figures=hit")
+	statusHas(t, "healed", healStatus, "verify_failures=0")
+	wantIdenticalOutputs(t, "healed", want, readOutputs(t, healDir))
+
+	// Manifest damage is caught the same way.
+	manifests, err := filepath.Glob(filepath.Join(cacheDir, "figures", "*", "manifest.json"))
+	if err != nil || len(manifests) == 0 {
+		t.Fatalf("no figures manifests (err %v)", err)
+	}
+	if err := os.WriteFile(manifests[0], []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manifestDir := t.TempDir()
+	man := base
+	man.out = manifestDir
+	manStatus := runCached(t, man)
+	statusHas(t, "manifest damage", manStatus, "verify_failures=1")
+	wantIdenticalOutputs(t, "manifest damage", want, readOutputs(t, manifestDir))
+}
+
+// TestCacheRandomKeyStaysOff pins the privacy interlock: without a fixed
+// -key the pseudonyms in a cached dataset are unlinkable, so the cache
+// must refuse to engage (with a visible note) rather than serve
+// meaningless reuse.
+func TestCacheRandomKeyStaysOff(t *testing.T) {
+	cfg := cacheTestConfig(t, t.TempDir())
+	cfg.scale = 0.002
+	cfg.key = nil
+	cfg.out = t.TempDir()
+	status := runCached(t, cfg)
+	statusHas(t, "random key", status, "cache: disabled: -key required")
+	if strings.Contains(status, "stats=") {
+		t.Errorf("cache engaged without a fixed key:\n%s", status)
+	}
+}
+
+// TestFaultGuardLineAlwaysPrinted is the regression fix that rode along
+// with caching: every -logs replay must end with a fault-guard audit line,
+// including a replay that offered zero events to the guard because the
+// whole stats stage was served from cache — silence is indistinguishable
+// from "the guard never ran".
+func TestFaultGuardLineAlwaysPrinted(t *testing.T) {
+	logsDir := writeTestLogs(t)
+	cacheDir := t.TempDir()
+	base := cacheTestConfig(t, cacheDir)
+	base.logs = logsDir
+
+	coldDir := t.TempDir()
+	cold := base
+	cold.out = coldDir
+	coldStatus := runCached(t, cold)
+	statusHas(t, "cold replay", coldStatus, "fault guard: policy=strict offered=")
+	if strings.Contains(coldStatus, "offered=0") {
+		t.Errorf("cold replay offered no events to the guard:\n%s", coldStatus)
+	}
+
+	warmDir := t.TempDir()
+	warm := base
+	warm.out = warmDir
+	warmStatus := runCached(t, warm)
+	statusHas(t, "warm replay", warmStatus, "stats=hit")
+	statusHas(t, "warm replay", warmStatus, "fault guard: policy=strict offered=0 accepted=0 dropped=0 []")
+	wantIdenticalOutputs(t, "warm replay", readOutputs(t, coldDir), readOutputs(t, warmDir))
+}
+
+// writeTestLogs generates a small Zeek-style log directory for replay
+// tests (narrow window, tiny scale — replay cost, not coverage, is the
+// point here).
+func writeTestLogs(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	reg, err := universe.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.Scale = 0.002
+	g, err := trace.New(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := logsink.NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RunDays(w, 40, 45); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestStageKeySensitivity drives the stats and figures key derivations
+// across the config surface, table-style: every knob that can move an
+// output byte must move its stage key, and the deliberate exclusions
+// (shard count, output paths, observability) must not.
+func TestStageKeySensitivity(t *testing.T) {
+	reg, err := universe.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := obs.NewMetrics()
+	base := cacheTestConfig(t, t.TempDir())
+	rc, err := openRunCache(base, reg, metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.store == nil {
+		t.Fatalf("cache did not engage: %s", rc.note)
+	}
+
+	logsDigest := stagecache.Digest(strings.Repeat("a", 64))
+	statsKeyOf := func(mut func(*config)) stagecache.Digest {
+		cfg := base
+		mut(&cfg)
+		return rc.statsKey(cfg, "", false)
+	}
+	baseStats := statsKeyOf(func(*config) {})
+
+	mustMove := map[string]func(*config){
+		"scale": func(c *config) { c.scale = 0.051 },
+		"seed":  func(c *config) { c.seed = 2 },
+		"key":   func(c *config) { c.key = append([]byte{}, bytes.ToUpper(cacheTestKey)...) },
+	}
+	for name, mut := range mustMove {
+		if statsKeyOf(mut) == baseStats {
+			t.Errorf("stats key ignores %s", name)
+		}
+	}
+	mustNotMove := map[string]func(*config){
+		"shards":       func(c *config) { c.shards = 8 },
+		"out":          func(c *config) { c.out = "elsewhere" },
+		"quiet":        func(c *config) { c.quiet = false },
+		"progress":     func(c *config) { c.progressEvery = 1; c.progressFormat = "json" },
+		"bench":        func(c *config) { c.benchJSON = "bench.json" },
+		"fig-workers":  func(c *config) { c.figWorkers = 7 },
+		"cache-dir":    func(c *config) { c.cacheDir = "other" },
+		"fault knobs (generate mode)": func(c *config) {
+			c.faultPolicy = "skip"
+			c.faultInject = 0.5
+		},
+	}
+	for name, mut := range mustNotMove {
+		if statsKeyOf(mut) != baseStats {
+			t.Errorf("stats key moves with %s, which cannot change stats bytes", name)
+		}
+	}
+
+	// Source mode and the replayed tree are key material.
+	if rc.statsKey(base, logsDigest, false) == baseStats {
+		t.Error("stats key ignores the logs source")
+	}
+	if rc.statsKey(base, stagecache.Digest(strings.Repeat("b", 64)), false) == rc.statsKey(base, logsDigest, false) {
+		t.Error("stats key ignores the replayed dataset digest")
+	}
+	if rc.statsKey(base, "", true) == baseStats {
+		t.Error("stats key ignores the counterfactual (no-pandemic) world")
+	}
+	// In logs mode every fault knob shapes which records survive replay.
+	logsBase := rc.statsKey(base, logsDigest, false)
+	for name, mut := range map[string]func(*config){
+		"fault-policy": func(c *config) { c.faultPolicy = "skip" },
+		"fault-budget": func(c *config) { c.faultBudget = 0.25 },
+		"fault-inject": func(c *config) { c.faultInject = 0.01 },
+		"fault-seed":   func(c *config) { c.faultSeed = 9 },
+	} {
+		cfg := base
+		mut(&cfg)
+		if rc.statsKey(cfg, logsDigest, false) == logsBase {
+			t.Errorf("logs-mode stats key ignores %s", name)
+		}
+	}
+
+	dsD := stagecache.Digest(strings.Repeat("c", 64))
+	truthD := stagecache.Digest(strings.Repeat("d", 64))
+	figKeyOf := func(mut func(*config)) stagecache.Digest {
+		cfg := base
+		mut(&cfg)
+		return rc.figuresKey(cfg, dsD, truthD, "")
+	}
+	baseFig := figKeyOf(func(*config) {})
+	if figKeyOf(func(c *config) { c.figWorkers = 2 }) == baseFig {
+		t.Error("figures key ignores -fig-workers")
+	}
+	if figKeyOf(func(c *config) { c.shards = 8 }) != baseFig {
+		t.Error("figures key moves with the shard count")
+	}
+	if rc.figuresKey(base, stagecache.Digest(strings.Repeat("e", 64)), truthD, "") == baseFig {
+		t.Error("figures key ignores the dataset content")
+	}
+	if rc.figuresKey(base, dsD, stagecache.Digest(strings.Repeat("f", 64)), "") == baseFig {
+		t.Error("figures key ignores the truth content")
+	}
+	if rc.figuresKey(base, dsD, truthD, stagecache.Digest(strings.Repeat("9", 64))) == baseFig {
+		t.Error("figures key ignores the counterfactual baseline")
+	}
+
+	// Stats and figures keys live in different domains: identical material
+	// can never alias across stages.
+	if baseStats == baseFig {
+		t.Error("stats and figures keys alias")
+	}
+}
+
+// TestStatsKeyStableAcrossProcesses re-derives the stats key in a child
+// process (same binary, same inputs) and requires the same digest —
+// process identity, ASLR, map ordering and environment must not leak into
+// keys, or a daemon and a CLI could never share a cache.
+func TestStatsKeyStableAcrossProcesses(t *testing.T) {
+	if os.Getenv("LOCKDOWN_PRINT_STATS_KEY") == "1" {
+		// Child mode: print the key and exit inside the test process.
+		key, err := deriveStableStatsKey(t)
+		if err != nil {
+			fmt.Println("ERROR:", err)
+		} else {
+			fmt.Println("STATSKEY:", key)
+		}
+		return
+	}
+	want, err := deriveStableStatsKey(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestStatsKeyStableAcrossProcesses$", "-test.v")
+		cmd.Env = append(os.Environ(), "LOCKDOWN_PRINT_STATS_KEY=1")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("child process: %v\n%s", err, out)
+		}
+		_, after, found := strings.Cut(string(out), "STATSKEY: ")
+		if !found {
+			t.Fatalf("child printed no key:\n%s", out)
+		}
+		got := stagecache.Digest(strings.TrimSpace(strings.SplitN(after, "\n", 2)[0]))
+		if got != want {
+			t.Fatalf("child %d derived %s, parent derived %s", i, got, want)
+		}
+	}
+}
+
+func deriveStableStatsKey(t *testing.T) (stagecache.Digest, error) {
+	reg, err := universe.New()
+	if err != nil {
+		return "", err
+	}
+	cfg := config{
+		scale:     0.05,
+		seed:      1,
+		key:       cacheTestKey,
+		cacheDir:  t.TempDir(),
+		cacheMode: "readwrite",
+	}
+	rc, err := openRunCache(cfg, reg, nil)
+	if err != nil {
+		return "", err
+	}
+	if rc.store == nil {
+		return "", fmt.Errorf("cache did not engage: %s", rc.note)
+	}
+	return rc.statsKey(cfg, "", false), nil
+}
+
+// TestCacheReadMode proves a populated cache is sufficient on its own: a
+// read-only pass over a warm cache hits every stage and writes nothing
+// new.
+func TestCacheReadMode(t *testing.T) {
+	cacheDir := t.TempDir()
+	base := cacheTestConfig(t, cacheDir)
+	base.scale = 0.002
+
+	coldDir := t.TempDir()
+	cold := base
+	cold.out = coldDir
+	runCached(t, cold)
+	want := readOutputs(t, coldDir)
+
+	roDir := t.TempDir()
+	ro := base
+	ro.out = roDir
+	ro.cacheMode = "read"
+	status := runCached(t, ro)
+	statusHas(t, "read-only warm", status, "mode=read ")
+	statusHas(t, "read-only warm", status, "stats=hit figures=hit")
+	wantIdenticalOutputs(t, "read-only warm", want, readOutputs(t, roDir))
+}

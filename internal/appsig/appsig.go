@@ -49,6 +49,32 @@ var (
 	}
 )
 
+// TableRows enumerates every signature-table entry as a canonical
+// "table\tdomain" row in declaration order — the stable serialization the
+// stage cache digests so that a table edit (even one entry) changes every
+// downstream cache key.
+func TableRows() []string {
+	tables := []struct {
+		name    string
+		domains []string
+	}{
+		{"zoom", zoomDomains},
+		{"facebook-shared", facebookShared},
+		{"instagram-only", instagramOnly},
+		{"tiktok", tiktokDomains},
+		{"steam", steamDomains},
+		{"nintendo-gameplay", nintendoGameplay},
+		{"nintendo-other", nintendoOther},
+	}
+	var rows []string
+	for _, t := range tables {
+		for _, d := range t.domains {
+			rows = append(rows, t.name+"\t"+d)
+		}
+	}
+	return rows
+}
+
 // Matcher labels flows with applications by domain suffix, with an IP-list
 // fallback for Zoom.
 type Matcher struct {

@@ -2,6 +2,7 @@ package appsig
 
 import (
 	"net/netip"
+	"strings"
 	"testing"
 	"time"
 )
@@ -314,5 +315,38 @@ func TestVisitOpenMatchesFlushWithoutClosing(t *testing.T) {
 	}
 	if (*out)[0].App != AppInstagram {
 		t.Fatalf("disambiguation: got %q, want %q", (*out)[0].App, AppInstagram)
+	}
+}
+
+// TestTableRows pins the canonical serialization the stage cache digests:
+// stable across calls, one "table\tdomain" row per signature entry in
+// declaration order, covering every table the matcher is built from.
+func TestTableRows(t *testing.T) {
+	rows := TableRows()
+	if len(rows) == 0 {
+		t.Fatal("no signature rows")
+	}
+	again := TableRows()
+	if len(again) != len(rows) {
+		t.Fatalf("TableRows is unstable: %d then %d rows", len(rows), len(again))
+	}
+	tables := make(map[string]bool)
+	for i, row := range rows {
+		if row != again[i] {
+			t.Fatalf("TableRows is unstable at row %d: %q vs %q", i, row, again[i])
+		}
+		name, domain, ok := strings.Cut(row, "\t")
+		if !ok || name == "" || domain == "" {
+			t.Fatalf("row %d = %q, want table\\tdomain", i, row)
+		}
+		tables[name] = true
+	}
+	for _, want := range []string{"zoom", "facebook-shared", "instagram-only", "tiktok", "steam", "nintendo-gameplay", "nintendo-other"} {
+		if !tables[want] {
+			t.Errorf("no rows for table %q", want)
+		}
+	}
+	if rows[0] != "zoom\tzoom.us" {
+		t.Errorf("first row = %q, want the zoom table head (declaration order)", rows[0])
 	}
 }

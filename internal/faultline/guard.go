@@ -197,7 +197,10 @@ func (g *Guard) dropTotalLocked() int64 {
 // e.g. "policy=skip offered=102400 accepted=102311 dropped=89 [truncated=41 malformed=48]".
 func (g *Guard) Summary() string {
 	if g == nil {
-		return "policy=strict"
+		// A nil guard is PolicyStrict with nothing offered; render the
+		// full accounting shape so status-line consumers always see a
+		// complete audit line.
+		return "policy=strict offered=0 accepted=0 dropped=0 []"
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()

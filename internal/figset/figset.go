@@ -29,6 +29,10 @@ type Params struct {
 	// experiment and IoT threshold sweep; nil skips neither (they just
 	// score zero devices).
 	Truth map[anonymize.DeviceID]devclass.Type
+	// Workers bounds the figure pool (0 = GOMAXPROCS). Every figure is an
+	// independent pure function writing its own Results slot, so the pool
+	// size changes scheduling only, never output bytes.
+	Workers int
 }
 
 // Results bundles every computed experiment for rendering.
@@ -85,7 +89,7 @@ func Compute(ds *core.Dataset, p Params) (*Results, map[string]float64, float64)
 		{Name: "zoom_weekend", Run: func() { r.ZoomWknd = experiments.ZoomWeekend(ds) }},
 		{Name: "convergence", Run: func() { r.Convergence = experiments.DiurnalConvergence(ds) }},
 	}
-	figMS, figWallMS := obs.RunTimedParallel(0, tasks)
+	figMS, figWallMS := obs.RunTimedParallel(p.Workers, tasks)
 	return r, figMS, figWallMS
 }
 

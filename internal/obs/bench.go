@@ -41,6 +41,16 @@ type IngestBench struct {
 	ScalingEfficiency      float64 `json:"scaling_efficiency,omitempty"`
 }
 
+// CacheBench summarizes the stage cache's accounting for one run (runs
+// with -cache-dir only; omitted otherwise, with the same ≤0-skip
+// baseline compatibility as the optional ingest fields).
+type CacheBench struct {
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Invalidations  int64 `json:"invalidations,omitempty"`
+	VerifyFailures int64 `json:"verify_failures,omitempty"`
+}
+
 // BenchReport is the machine-readable record one `cmd/lockdown -bench-json`
 // run writes (BENCH_<date>.json). CI archives these and diffs consecutive
 // runs with cmd/benchdiff to catch throughput and per-figure regressions.
@@ -67,6 +77,8 @@ type BenchReport struct {
 	FiguresMS     map[string]float64 `json:"figures_ms"`
 	FiguresWallMS float64            `json:"figures_wall_ms,omitempty"`
 	Stages        []StageSnapshot    `json:"stages,omitempty"`
+	// Cache is the stage-cache accounting (runs with -cache-dir only).
+	Cache *CacheBench `json:"cache,omitempty"`
 }
 
 // BenchPath resolves where a bench report lands: a path ending in .json is

@@ -149,6 +149,16 @@ type Metrics struct {
 	epochPins       atomic.Int64
 	snapshotBytes   atomic.Int64
 
+	// Stage-cache counters (populated only when a run uses
+	// internal/stagecache): verified entry reuses, recomputes, misses
+	// caused by a changed key, and entries rejected by checksum/version
+	// verification. hits + misses == stage lookups; verify failures are a
+	// subset of misses.
+	cacheHits           atomic.Int64
+	cacheMisses         atomic.Int64
+	cacheInvalidations  atomic.Int64
+	cacheVerifyFailures atomic.Int64
+
 	mu sync.Mutex // serializes SetShards
 }
 
@@ -384,6 +394,73 @@ func (m *Metrics) QueueCapacity() int {
 	return int(m.queueCap.Load())
 }
 
+// CacheHit counts one verified stage-cache reuse.
+func (m *Metrics) CacheHit() {
+	if m == nil {
+		return
+	}
+	m.cacheHits.Add(1)
+}
+
+// CacheMiss counts one stage-cache lookup that fell through to a
+// recompute.
+func (m *Metrics) CacheMiss() {
+	if m == nil {
+		return
+	}
+	m.cacheMisses.Add(1)
+}
+
+// CacheInvalidation counts one miss on a stage that had committed entries
+// under a different key — an input moved since the last run.
+func (m *Metrics) CacheInvalidation() {
+	if m == nil {
+		return
+	}
+	m.cacheInvalidations.Add(1)
+}
+
+// CacheVerifyFailure counts one cache entry rejected by checksum, size,
+// manifest or version verification (corruption detected and contained).
+func (m *Metrics) CacheVerifyFailure() {
+	if m == nil {
+		return
+	}
+	m.cacheVerifyFailures.Add(1)
+}
+
+// CacheHits returns the verified stage-cache reuse count.
+func (m *Metrics) CacheHits() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.cacheHits.Load()
+}
+
+// CacheMisses returns the stage-cache miss count.
+func (m *Metrics) CacheMisses() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.cacheMisses.Load()
+}
+
+// CacheInvalidations returns the changed-key miss count.
+func (m *Metrics) CacheInvalidations() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.cacheInvalidations.Load()
+}
+
+// CacheVerifyFailures returns the rejected-entry count.
+func (m *Metrics) CacheVerifyFailures() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.cacheVerifyFailures.Load()
+}
+
 // StageCounters returns one stage's current counts (for tests and ad-hoc
 // inspection; Snapshot covers the full set).
 func (m *Metrics) StageCounters(s Stage) StageSnapshot {
@@ -487,5 +564,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.EpochsPublished = m.epochsPublished.Load()
 	s.EpochPins = m.epochPins.Load()
 	s.SnapshotBytes = m.snapshotBytes.Load()
+	s.CacheHits = m.cacheHits.Load()
+	s.CacheMisses = m.cacheMisses.Load()
+	s.CacheInvalidations = m.cacheInvalidations.Load()
+	s.CacheVerifyFailures = m.cacheVerifyFailures.Load()
 	return s
 }

@@ -76,6 +76,12 @@ type Snapshot struct {
 	EpochsPublished int64 `json:"epochs_published,omitempty"`
 	EpochPins       int64 `json:"epoch_pins,omitempty"`
 	SnapshotBytes   int64 `json:"snapshot_bytes,omitempty"`
+	// Stage-cache counters (runs with -cache-dir only); verify failures
+	// are entries rejected by checksum/version verification.
+	CacheHits           int64 `json:"cache_hits,omitempty"`
+	CacheMisses         int64 `json:"cache_misses,omitempty"`
+	CacheInvalidations  int64 `json:"cache_invalidations,omitempty"`
+	CacheVerifyFailures int64 `json:"cache_verify_failures,omitempty"`
 }
 
 // siCount formats an event count or rate with k/M/G suffixes.

@@ -1,0 +1,247 @@
+package stagecache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/appsig"
+	"repro/internal/universe"
+)
+
+// TestHasherDeterminism pins the basic contract: the same field sequence
+// always produces the same digest, in this process and (because the
+// encoding has no pointers, maps or time in it) in any other.
+func TestHasherDeterminism(t *testing.T) {
+	mk := func() Digest {
+		h := NewHasher("test/stage")
+		h.String("name", "value")
+		h.Int("count", 42)
+		h.Bool("flag", true)
+		h.Float("scale", 0.05)
+		h.Bytes("key", []byte{1, 2, 3})
+		h.Digest("input", "abc123")
+		return h.Sum()
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Fatalf("same field sequence produced %s and %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("digest %q is not sha256 hex", a)
+	}
+}
+
+// TestHasherFieldSeparation proves no two distinct field sequences collide
+// by concatenation: every variation below — shifting a byte between a name
+// and a value, splitting one field into two, changing a type tag or the
+// domain — must land on a distinct digest.
+func TestHasherFieldSeparation(t *testing.T) {
+	variants := map[string]func() Digest{
+		"base": func() Digest {
+			h := NewHasher("d")
+			h.String("ab", "cd")
+			return h.Sum()
+		},
+		"name/value boundary shifted": func() Digest {
+			h := NewHasher("d")
+			h.String("abc", "d")
+			return h.Sum()
+		},
+		"one field split into two": func() Digest {
+			h := NewHasher("d")
+			h.String("a", "b")
+			h.String("c", "d")
+			return h.Sum()
+		},
+		"field order swapped": func() Digest {
+			h := NewHasher("d")
+			h.String("c", "d")
+			h.String("a", "b")
+			return h.Sum()
+		},
+		"string vs bytes tag": func() Digest {
+			h := NewHasher("d")
+			h.Bytes("ab", []byte("cd"))
+			return h.Sum()
+		},
+		"string vs digest tag": func() Digest {
+			h := NewHasher("d")
+			h.Digest("ab", "cd")
+			return h.Sum()
+		},
+		"different domain": func() Digest {
+			h := NewHasher("d2")
+			h.String("ab", "cd")
+			return h.Sum()
+		},
+		"domain/field boundary shifted": func() Digest {
+			h := NewHasher("dab")
+			h.String("", "cd")
+			return h.Sum()
+		},
+		"int 1": func() Digest {
+			h := NewHasher("d")
+			h.Int("ab", 1)
+			return h.Sum()
+		},
+		"bool true": func() Digest {
+			h := NewHasher("d")
+			h.Bool("ab", true)
+			return h.Sum()
+		},
+		"float 1": func() Digest {
+			h := NewHasher("d")
+			h.Float("ab", 1)
+			return h.Sum()
+		},
+		"empty": func() Digest {
+			return NewHasher("d").Sum()
+		},
+	}
+	seen := make(map[Digest]string, len(variants))
+	for name, mk := range variants {
+		d := mk()
+		if prev, ok := seen[d]; ok {
+			t.Errorf("%q and %q collide on %s", name, prev, d)
+		}
+		seen[d] = name
+	}
+}
+
+// TestHasherNilEmptyBytes pins the documented exception: a nil byte slice
+// and an empty one hash identically (there is no observable difference
+// between the two for key material).
+func TestHasherNilEmptyBytes(t *testing.T) {
+	mk := func(v []byte) Digest {
+		h := NewHasher("d")
+		h.Bytes("k", v)
+		return h.Sum()
+	}
+	if mk(nil) != mk([]byte{}) {
+		t.Error("nil and empty byte fields hash differently")
+	}
+}
+
+// TestTreeDigest builds a small tree and checks the digest moves on every
+// kind of input change — a flipped byte, a renamed file, an added file —
+// and nowhere else (an identical tree under a different root matches).
+func TestTreeDigest(t *testing.T) {
+	write := func(dir, name, content string) {
+		t.Helper()
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkTree := func() string {
+		dir := t.TempDir()
+		write(dir, "conn.log", "flow 1\nflow 2\n")
+		write(dir, "sub/dns.log", "query a\n")
+		return dir
+	}
+
+	base := mkTree()
+	baseDigest, baseBytes, err := TreeDigest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len("flow 1\nflow 2\n") + len("query a\n")); baseBytes != want {
+		t.Errorf("total bytes = %d, want %d", baseBytes, want)
+	}
+
+	same, _, err := TreeDigest(mkTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != baseDigest {
+		t.Error("identical tree under a different root digests differently")
+	}
+
+	flipped := mkTree()
+	write(flipped, "conn.log", "flow 1\nflow 3\n") // one byte differs
+	if d, _, _ := TreeDigest(flipped); d == baseDigest {
+		t.Error("single flipped byte did not change the tree digest")
+	}
+
+	renamed := mkTree()
+	if err := os.Rename(filepath.Join(renamed, "conn.log"), filepath.Join(renamed, "conn2.log")); err != nil {
+		t.Fatal(err)
+	}
+	if d, _, _ := TreeDigest(renamed); d == baseDigest {
+		t.Error("renamed file did not change the tree digest")
+	}
+
+	extra := mkTree()
+	write(extra, "http.log", "")
+	if d, _, _ := TreeDigest(extra); d == baseDigest {
+		t.Error("added (empty) file did not change the tree digest")
+	}
+
+	// Moving a byte from one file's tail to another's head must not
+	// cancel out — the per-file length framing prevents concatenation
+	// ambiguity.
+	shifted := mkTree()
+	write(shifted, "conn.log", "flow 1\nflow 2\nq")
+	write(shifted, "sub/dns.log", "uery a\n")
+	if d, _, _ := TreeDigest(shifted); d == baseDigest {
+		t.Error("byte moved across a file boundary did not change the tree digest")
+	}
+}
+
+// TestRulesDigestRowSensitivity drives RulesDigest over the full appsig
+// signature surface: flipping any single table row — every row the tables
+// expose — must change the digest, and dropping a row must too.
+func TestRulesDigestRowSensitivity(t *testing.T) {
+	reg, err := universe.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := appsig.TableRows()
+	if len(rows) == 0 {
+		t.Fatal("appsig.TableRows returned no rows")
+	}
+	base := RulesDigest(reg, rows)
+	if base == RulesDigest(reg, rows[:len(rows)-1]) {
+		t.Error("dropping a signature row did not change the rules digest")
+	}
+	for i, row := range rows {
+		mutated := make([]string, len(rows))
+		copy(mutated, rows)
+		mutated[i] = row + "x"
+		if RulesDigest(reg, mutated) == base {
+			t.Errorf("mutating appsig row %d (%q) did not change the rules digest", i, row)
+		}
+	}
+}
+
+// TestCodeDigestStable checks the process-wide code digest is computed
+// once, is well-formed, and is obviously the digest of this binary (it
+// matches a direct hash of os.Executable).
+func TestCodeDigestStable(t *testing.T) {
+	a, err := CodeDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CodeDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || len(a) != 64 {
+		t.Fatalf("CodeDigest unstable or malformed: %s vs %s", a, b)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	content, err := os.ReadFile(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ContentDigest(content) != a {
+		t.Error("CodeDigest does not match a direct hash of the executable")
+	}
+}

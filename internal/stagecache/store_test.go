@@ -1,0 +1,361 @@
+package stagecache
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testStore(t *testing.T, mode Mode) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), mode, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func wantCounters(t *testing.T, s *Store, want Counters) {
+	t.Helper()
+	if got := s.Counters(); got != want {
+		t.Errorf("counters = %+v, want %+v", got, want)
+	}
+}
+
+const testKey = Digest("0000000000000000000000000000000000000000000000000000000000000001")
+const otherKey = Digest("0000000000000000000000000000000000000000000000000000000000000002")
+
+func testFiles() map[string][]byte {
+	return map[string][]byte{
+		"dataset.bin": []byte("columnar payload bytes"),
+		"truth.bin":   []byte("truth payload"),
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := testStore(t, ModeReadWrite)
+	if err := s.PutBytes("stats", testKey, map[string]Digest{"code": "abc"}, testFiles()); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetBytes("stats", testKey, nil)
+	if !ok {
+		t.Fatal("round trip missed")
+	}
+	want := testFiles()
+	if len(got) != len(want) {
+		t.Fatalf("got %d files, want %d", len(got), len(want))
+	}
+	for name, b := range want {
+		if string(got[name]) != string(b) {
+			t.Errorf("%s = %q, want %q", name, got[name], b)
+		}
+	}
+	wantCounters(t, s, Counters{Hits: 1})
+}
+
+func TestMissAndInvalidation(t *testing.T) {
+	s := testStore(t, ModeReadWrite)
+	// A miss on a stage with no committed entries is cold, not an
+	// invalidation.
+	if _, ok := s.GetBytes("stats", testKey, nil); ok {
+		t.Fatal("empty store served a hit")
+	}
+	wantCounters(t, s, Counters{Misses: 1})
+	if err := s.PutBytes("stats", testKey, nil, testFiles()); err != nil {
+		t.Fatal(err)
+	}
+	// A miss on a different key for the same stage means an input moved:
+	// that is an invalidation.
+	if _, ok := s.GetBytes("stats", otherKey, nil); ok {
+		t.Fatal("wrong key served a hit")
+	}
+	wantCounters(t, s, Counters{Misses: 2, Invalidations: 1})
+}
+
+func TestValidateRejectionCountsAsVerifyFailure(t *testing.T) {
+	s := testStore(t, ModeReadWrite)
+	if err := s.PutBytes("stats", testKey, nil, testFiles()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetBytes("stats", testKey, func(map[string][]byte) error {
+		return errors.New("payload codec skew")
+	}); ok {
+		t.Fatal("rejected payload still counted as a hit")
+	}
+	wantCounters(t, s, Counters{Misses: 1, VerifyFailures: 1})
+	// The entry itself is intact: a permissive reader still hits.
+	if _, ok := s.GetBytes("stats", testKey, nil); !ok {
+		t.Fatal("entry lost after validate rejection")
+	}
+}
+
+// TestCorruptionMatrix damages a committed entry every way the ISSUE
+// names — payload bit flip, truncation, deletion, manifest damage, store
+// version skew, manifest/key mismatch — and requires each to read as a
+// verify failure (counted) plus a miss, after which a recompute (re-Put)
+// fully heals the entry.
+func TestCorruptionMatrix(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, entryDir string)
+	}{
+		{"payload bit flip", func(t *testing.T, dir string) {
+			p := filepath.Join(dir, "dataset.bin")
+			b, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)/2] ^= 0x40
+			if err := os.WriteFile(p, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"payload truncation", func(t *testing.T, dir string) {
+			p := filepath.Join(dir, "truth.bin")
+			if err := os.Truncate(p, 3); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"payload deleted", func(t *testing.T, dir string) {
+			if err := os.Remove(filepath.Join(dir, "dataset.bin")); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"manifest not JSON", func(t *testing.T, dir string) {
+			if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{torn"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"store version skew", func(t *testing.T, dir string) {
+			rewriteManifest(t, dir, func(m *manifest) { m.Version = StoreVersion + 1 })
+		}},
+		{"manifest names another key", func(t *testing.T, dir string) {
+			rewriteManifest(t, dir, func(m *manifest) { m.Key = string(otherKey) })
+		}},
+		{"manifest checksum edited", func(t *testing.T, dir string) {
+			rewriteManifest(t, dir, func(m *manifest) {
+				m.Files[0].SHA256 = strings.Repeat("0", 64)
+			})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := testStore(t, ModeReadWrite)
+			if err := s.PutBytes("stats", testKey, nil, testFiles()); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, filepath.Join(s.Dir(), "stats", string(testKey)))
+			if _, ok := s.GetBytes("stats", testKey, nil); ok {
+				t.Fatal("corrupted entry served as a hit")
+			}
+			c := s.Counters()
+			if c.VerifyFailures != 1 || c.Misses != 1 || c.Hits != 0 {
+				t.Fatalf("corruption accounting = %+v, want 1 verify failure + 1 miss", c)
+			}
+			// Recompute path: a fresh Put replaces the damaged entry and
+			// the next read hits and round-trips the new payload.
+			if err := s.PutBytes("stats", testKey, nil, testFiles()); err != nil {
+				t.Fatalf("re-put over corrupt entry: %v", err)
+			}
+			got, ok := s.GetBytes("stats", testKey, nil)
+			if !ok {
+				t.Fatal("entry not healed by recompute")
+			}
+			if string(got["dataset.bin"]) != string(testFiles()["dataset.bin"]) {
+				t.Error("healed entry returned wrong payload")
+			}
+		})
+	}
+}
+
+func rewriteManifest(t *testing.T, entryDir string, mutate func(*manifest)) {
+	t.Helper()
+	p := filepath.Join(entryDir, "manifest.json")
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&m)
+	out, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornWriteIsInvisible plants the two artifacts a crash mid-Put can
+// leave — an entry directory without a manifest, and a staging directory
+// under tmp/ — and requires the first to read as a plain miss (no verify
+// failure: nothing claimed to be valid) and the second to be swept on the
+// next writable Open.
+func TestTornWriteIsInvisible(t *testing.T) {
+	s := testStore(t, ModeReadWrite)
+	entry := filepath.Join(s.Dir(), "stats", string(testKey))
+	if err := os.MkdirAll(entry, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(entry, "dataset.bin"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetBytes("stats", testKey, nil); ok {
+		t.Fatal("manifest-less entry served as a hit")
+	}
+	wantCounters(t, s, Counters{Misses: 1})
+
+	staging := filepath.Join(s.Dir(), "tmp", "put-leftover")
+	if err := os.MkdirAll(staging, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(staging, "dataset.bin"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(s.Dir(), ModeReadWrite, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(staging); !errors.Is(err, os.ErrNotExist) {
+		t.Error("writable Open did not sweep the torn staging directory")
+	}
+}
+
+func TestModeRead(t *testing.T) {
+	rw := testStore(t, ModeReadWrite)
+	if err := rw.PutBytes("stats", testKey, nil, testFiles()); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Open(rw.Dir(), ModeRead, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Writable() {
+		t.Error("read-only store claims to be writable")
+	}
+	if _, ok := ro.GetBytes("stats", testKey, nil); !ok {
+		t.Error("read-only store missed a committed entry")
+	}
+	if err := ro.PutBytes("stats", otherKey, nil, testFiles()); err != nil {
+		t.Fatalf("read-only Put should be a silent no-op, got %v", err)
+	}
+	if _, ok := ro.GetBytes("stats", otherKey, nil); ok {
+		t.Error("read-only Put persisted an entry")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for spelling, want := range map[string]Mode{"off": ModeOff, "read": ModeRead, "readwrite": ModeReadWrite} {
+		got, err := ParseMode(spelling)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v", spelling, got, err)
+		}
+	}
+	if _, err := ParseMode("rw"); err == nil {
+		t.Error("ParseMode accepted an unknown spelling")
+	}
+}
+
+func TestOpenModeOffIsNilStore(t *testing.T) {
+	s, err := Open(t.TempDir(), ModeOff, nil)
+	if err != nil || s != nil {
+		t.Fatalf("Open(ModeOff) = %v, %v; want nil, nil", s, err)
+	}
+}
+
+// TestNilStore pins the nil-receiver contract: every method is safe and
+// behaves as ModeOff.
+func TestNilStore(t *testing.T) {
+	var s *Store
+	if _, ok := s.GetBytes("stats", testKey, nil); ok {
+		t.Error("nil store served a hit")
+	}
+	if s.GetDir("dataset", testKey, t.TempDir()) {
+		t.Error("nil store served a dir hit")
+	}
+	if err := s.PutBytes("stats", testKey, nil, testFiles()); err != nil {
+		t.Error("nil store PutBytes errored")
+	}
+	if err := s.PutDir("dataset", testKey, nil, t.TempDir()); err != nil {
+		t.Error("nil store PutDir errored")
+	}
+	if s.Writable() || s.Mode() != ModeOff || s.Dir() != "" {
+		t.Error("nil store is not ModeOff-shaped")
+	}
+	if s.Counters() != (Counters{}) {
+		t.Error("nil store has nonzero counters")
+	}
+	if s.Summary() != "mode=off" {
+		t.Errorf("nil store summary = %q", s.Summary())
+	}
+}
+
+func TestPutDirGetDir(t *testing.T) {
+	s := testStore(t, ModeReadWrite)
+	src := t.TempDir()
+	files := map[string]string{
+		"conn.log":     "flow 1\nflow 2\n",
+		"sub/dns.log":  "query a\n",
+		"sub/http.log": "",
+	}
+	for name, content := range files {
+		p := filepath.Join(src, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.PutDir("dataset", testKey, nil, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(t.TempDir(), "restored")
+	if !s.GetDir("dataset", testKey, dst) {
+		t.Fatal("GetDir missed a committed tree")
+	}
+	for name, content := range files {
+		b, err := os.ReadFile(filepath.Join(dst, filepath.FromSlash(name)))
+		if err != nil {
+			t.Fatalf("restored tree missing %s: %v", name, err)
+		}
+		if string(b) != content {
+			t.Errorf("%s = %q, want %q", name, b, content)
+		}
+	}
+	wantCounters(t, s, Counters{Hits: 1})
+
+	// Corrupt one cached payload: GetDir must fail verification, remove
+	// the partial copy, and count the failure.
+	cached := filepath.Join(s.Dir(), "dataset", string(testKey), "conn.log")
+	if err := os.WriteFile(cached, []byte("flow 1\nflow X\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dst2 := filepath.Join(t.TempDir(), "restored2")
+	if s.GetDir("dataset", testKey, dst2) {
+		t.Fatal("GetDir served a corrupted tree")
+	}
+	if _, err := os.Stat(dst2); !errors.Is(err, os.ErrNotExist) {
+		t.Error("GetDir left a partial copy behind after verification failure")
+	}
+	c := s.Counters()
+	if c.VerifyFailures != 1 {
+		t.Errorf("verify failures = %d, want 1", c.VerifyFailures)
+	}
+}
+
+func TestSummaryShape(t *testing.T) {
+	s := testStore(t, ModeReadWrite)
+	s.GetBytes("stats", testKey, nil)
+	sum := s.Summary()
+	for _, frag := range []string{"mode=readwrite", "hits=0", "misses=1", "invalidations=0", "verify_failures=0"} {
+		if !strings.Contains(sum, frag) {
+			t.Errorf("summary %q missing %q", sum, frag)
+		}
+	}
+}
