@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race lint lint-golangci lint-custom fuzz-smoke fault-smoke daemon-smoke cache-smoke ci bench cover figures figures-full examples clean
+.PHONY: all build vet test test-short race lint lint-golangci lint-custom fuzz-smoke fault-smoke daemon-smoke cache-smoke append-smoke ci bench cover figures figures-full examples clean
 
 BENCH_JSON ?= BENCH_$(shell date +%F).json
 BENCH_SHARDED_JSON ?= BENCH_shards4_$(shell date +%F).json
@@ -106,6 +106,19 @@ cache-smoke:
 	sh scripts/cache_smoke.sh bin/lockdown cache-smoke-work \
 		6c6f636b646f776e2d6661756c742d736d6f6b65 0.05
 
+# One-day-append smoke: seed per-day checkpoints with a cached run over a
+# 15-day dataset's 14-day prefix, append the final day, and require the
+# rerun to replay exactly one day (statsday: replayed=1 misses=1 hits=1),
+# emit outputs byte-identical to a cache-free full run, and land within a
+# fixed multiple of the full run's single-day cost (see
+# scripts/append_smoke.sh and the ci append-smoke job; the go test variant
+# is cmd/lockdown/statsday_test.go).
+append-smoke:
+	$(GO) build -o bin/lockdown ./cmd/lockdown
+	$(GO) build -o bin/tracegen ./cmd/tracegen
+	sh scripts/append_smoke.sh bin/lockdown bin/tracegen append-smoke-work \
+		6c6f636b646f776e2d6661756c742d736d6f6b65 0.05
+
 ci: build vet test race lint
 
 # Go micro-benchmarks plus machine-readable end-to-end bench reports
@@ -151,4 +164,5 @@ examples:
 clean:
 	rm -rf results results_full results-bench results-bench-sharded \
 		results-bench-sharded-p2 results-bench-p4 faultlogs fault-skip \
-		fault-skip-sharded daemonlogs daemon-batch cache-smoke-work bin
+		fault-skip-sharded daemonlogs daemon-batch cache-smoke-work \
+		append-smoke-work bin

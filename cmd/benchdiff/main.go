@@ -6,14 +6,21 @@
 // Usage:
 //
 //	benchdiff -old BENCH_2026-08-01.json -new BENCH_2026-08-05.json [-max-regress 0.10]
-//	          [-min-efficiency 0.4]   absolute floor on ingest.scaling_efficiency
-//	          [-summary summary.md]   also write a markdown summary table
+//	          [-min-efficiency 0.4]       absolute floor on ingest.scaling_efficiency
+//	          [-max-figures-wall-ms 500]  absolute ceiling on figures_wall_ms
+//	          [-summary summary.md]       also write a markdown summary table
 //
 // Throughput metrics (flows/sec, bytes/sec, scaling_efficiency) regress by
 // dropping; timing metrics (wall seconds, per-figure milliseconds) regress
 // by growing. Metrics present in only one report are skipped, so figures
 // can be added or retired — and scaling fields can appear — without
 // breaking the gate against an older baseline.
+//
+// -max-figures-wall-ms is an absolute ceiling on the candidate's figure
+// phase: relative gates drift with their baseline, so the incremental-stats
+// contract (figures must stay cheap enough to recompute at every day seal)
+// gets a fixed bound instead. Skipped with a note when the candidate report
+// lacks figures_wall_ms.
 //
 // -min-efficiency is an absolute floor, not a relative tolerance: it fails
 // the candidate run whenever its scaling_efficiency falls below the floor,
@@ -39,13 +46,14 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 0.10, "tolerated fractional slowdown (0.10 = 10%)")
 	minEfficiency := flag.Float64("min-efficiency", 0, "absolute floor on the candidate's ingest.scaling_efficiency (0 = no floor); skipped when the candidate ran with maxprocs or hardware CPUs < shards")
 	maxEffRegress := flag.Float64("max-eff-regress", 0, "tighter tolerated fractional drop for ingest.scaling_efficiency alone (0 = use -max-regress)")
+	maxFigWallMS := flag.Float64("max-figures-wall-ms", 0, "absolute ceiling on the candidate's figures_wall_ms (0 = no ceiling); skipped when the candidate report lacks the metric")
 	summaryPath := flag.String("summary", "", "also write a markdown per-metric summary table to this path (append mode — suitable for $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
 		os.Exit(2)
 	}
-	code, err := run(os.Stdout, *oldPath, *newPath, *maxRegress, *minEfficiency, *maxEffRegress, *summaryPath)
+	code, err := run(os.Stdout, *oldPath, *newPath, *maxRegress, *minEfficiency, *maxEffRegress, *maxFigWallMS, *summaryPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
@@ -53,7 +61,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(w io.Writer, oldPath, newPath string, maxRegress, minEfficiency, maxEffRegress float64, summaryPath string) (int, error) {
+func run(w io.Writer, oldPath, newPath string, maxRegress, minEfficiency, maxEffRegress, maxFigWallMS float64, summaryPath string) (int, error) {
 	oldR, err := obs.LoadBench(oldPath)
 	if err != nil {
 		return 0, err
@@ -118,17 +126,32 @@ func run(w io.Writer, oldPath, newPath string, maxRegress, minEfficiency, maxEff
 		fmt.Fprintln(w, floorNote)
 	}
 
+	ceilingFailed := false
+	var ceilingNote string
+	if maxFigWallMS > 0 {
+		switch wall := newR.FiguresWallMS; {
+		case wall <= 0:
+			ceilingNote = fmt.Sprintf("note: candidate has no figures_wall_ms (figures replayed from cache); ceiling %.0fms not applied", maxFigWallMS)
+		case wall > maxFigWallMS:
+			ceilingFailed = true
+			ceilingNote = fmt.Sprintf("figures_wall_ms %.1f above ceiling %.0fms", wall, maxFigWallMS)
+		default:
+			ceilingNote = fmt.Sprintf("figures_wall_ms %.1f meets ceiling %.0fms", wall, maxFigWallMS)
+		}
+		fmt.Fprintln(w, ceilingNote)
+	}
+
 	if newR.Cache != nil {
 		fmt.Fprintf(w, "%s\n", cacheLine(newR.Cache))
 	}
 
 	if summaryPath != "" {
-		if err := writeSummary(summaryPath, oldR, newR, deltas, floorNote, floorFailed); err != nil {
+		if err := writeSummary(summaryPath, oldR, newR, deltas, floorNote, floorFailed, ceilingNote, ceilingFailed); err != nil {
 			return 0, err
 		}
 	}
 
-	if regressions > 0 || floorFailed {
+	if regressions > 0 || floorFailed || ceilingFailed {
 		if regressions > 0 {
 			fmt.Fprintf(w, "\n%d metric(s) regressed beyond %.0f%% (baseline %s, candidate %s)\n",
 				regressions, maxRegress*100, oldR.Date, newR.Date)
@@ -142,7 +165,7 @@ func run(w io.Writer, oldPath, newPath string, maxRegress, minEfficiency, maxEff
 // writeSummary appends a GitHub-flavored markdown table of every compared
 // metric — appending (not truncating) so several benchdiff invocations in
 // one job can share $GITHUB_STEP_SUMMARY.
-func writeSummary(path string, oldR, newR *obs.BenchReport, deltas []obs.BenchDelta, floorNote string, floorFailed bool) error {
+func writeSummary(path string, oldR, newR *obs.BenchReport, deltas []obs.BenchDelta, floorNote string, floorFailed bool, ceilingNote string, ceilingFailed bool) error {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
@@ -163,6 +186,13 @@ func writeSummary(path string, oldR, newR *obs.BenchReport, deltas []obs.BenchDe
 			fmt.Fprintf(f, "\n**FLOOR FAILED:** %s\n", floorNote)
 		} else {
 			fmt.Fprintf(f, "\n%s\n", floorNote)
+		}
+	}
+	if ceilingNote != "" {
+		if ceilingFailed {
+			fmt.Fprintf(f, "\n**CEILING FAILED:** %s\n", ceilingNote)
+		} else {
+			fmt.Fprintf(f, "\n%s\n", ceilingNote)
 		}
 	}
 	if newR.Cache != nil {

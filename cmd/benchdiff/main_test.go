@@ -57,16 +57,16 @@ func TestBenchdiff(t *testing.T) {
 	defer devnull.Close()
 
 	okP := writeReport(t, dir, "ok.json", 97000, 10.4)
-	if code, err := run(devnull, oldP, okP, 0.10, 0, 0, ""); err != nil || code != 0 {
+	if code, err := run(devnull, oldP, okP, 0.10, 0, 0, 0, ""); err != nil || code != 0 {
 		t.Errorf("within-tolerance diff: code %d, err %v", code, err)
 	}
 
 	badP := writeReport(t, dir, "bad.json", 70000, 10)
-	if code, err := run(devnull, oldP, badP, 0.10, 0, 0, ""); err != nil || code != 1 {
+	if code, err := run(devnull, oldP, badP, 0.10, 0, 0, 0, ""); err != nil || code != 1 {
 		t.Errorf("regressed diff: code %d, err %v; want 1, nil", code, err)
 	}
 
-	if _, err := run(devnull, oldP, filepath.Join(dir, "missing.json"), 0.10, 0, 0, ""); err == nil {
+	if _, err := run(devnull, oldP, filepath.Join(dir, "missing.json"), 0.10, 0, 0, 0, ""); err == nil {
 		t.Error("missing report should error")
 	}
 }
@@ -82,20 +82,20 @@ func TestBenchdiffEfficiencyFloor(t *testing.T) {
 
 	// Meets the floor on a 4-core runner: pass.
 	goodP := writeScalingReport(t, dir, "good.json", 4, 4, 0.52)
-	if code, err := run(devnull, oldP, goodP, 0.30, 0.4, 0, ""); err != nil || code != 0 {
+	if code, err := run(devnull, oldP, goodP, 0.30, 0.4, 0, 0, ""); err != nil || code != 0 {
 		t.Errorf("efficiency above floor: code %d, err %v; want 0", code, err)
 	}
 
 	// Below the floor with enough cores: fail.
 	lowP := writeScalingReport(t, dir, "low.json", 4, 4, 0.25)
-	if code, err := run(devnull, oldP, lowP, 0.99, 0.4, 0, ""); err != nil || code != 1 {
+	if code, err := run(devnull, oldP, lowP, 0.99, 0.4, 0, 0, ""); err != nil || code != 1 {
 		t.Errorf("efficiency below floor: code %d, err %v; want 1", code, err)
 	}
 
 	// Below the floor but maxprocs < shards: the floor is advisory-skipped
 	// (shards time-slice one core; the quotient is not a scaling measure).
 	slicedP := writeScalingReport(t, dir, "sliced.json", 4, 1, 0.25)
-	if code, err := run(devnull, oldP, slicedP, 0.99, 0.4, 0, ""); err != nil || code != 0 {
+	if code, err := run(devnull, oldP, slicedP, 0.99, 0.4, 0, 0, ""); err != nil || code != 0 {
 		t.Errorf("floor under maxprocs<shards: code %d, err %v; want 0 (skipped)", code, err)
 	}
 
@@ -117,14 +117,14 @@ func TestBenchdiffEfficiencyFloor(t *testing.T) {
 	if err := starved.WriteFile(starvedP); err != nil {
 		t.Fatal(err)
 	}
-	if code, err := run(devnull, oldP, starvedP, 0.99, 0.4, 0, ""); err != nil || code != 0 {
+	if code, err := run(devnull, oldP, starvedP, 0.99, 0.4, 0, 0, ""); err != nil || code != 0 {
 		t.Errorf("floor under cpus<shards: code %d, err %v; want 0 (skipped)", code, err)
 	}
 
 	// Candidate without scaling fields at all (old-format report): floor
 	// not applied, comparison still runs.
 	plainP := writeReport(t, dir, "plain.json", 100000, 10)
-	if code, err := run(devnull, oldP, plainP, 0.99, 0.4, 0, ""); err != nil || code != 0 {
+	if code, err := run(devnull, oldP, plainP, 0.99, 0.4, 0, 0, ""); err != nil || code != 0 {
 		t.Errorf("floor with no scaling fields: code %d, err %v; want 0", code, err)
 	}
 }
@@ -142,16 +142,16 @@ func TestBenchdiffEffRegressGate(t *testing.T) {
 
 	// A 20% efficiency drop passes the blanket 30% tolerance...
 	dropP := writeScalingReport(t, dir, "drop.json", 4, 4, 0.48)
-	if code, err := run(devnull, oldP, dropP, 0.30, 0, 0, ""); err != nil || code != 0 {
+	if code, err := run(devnull, oldP, dropP, 0.30, 0, 0, 0, ""); err != nil || code != 0 {
 		t.Errorf("20%% drop under blanket 30%%: code %d, err %v; want 0", code, err)
 	}
 	// ...but fails the dedicated 10% efficiency gate.
-	if code, err := run(devnull, oldP, dropP, 0.30, 0, 0.10, ""); err != nil || code != 1 {
+	if code, err := run(devnull, oldP, dropP, 0.30, 0, 0.10, 0, ""); err != nil || code != 1 {
 		t.Errorf("20%% drop under -max-eff-regress 0.10: code %d, err %v; want 1", code, err)
 	}
 	// A 5% drop clears both.
 	okP := writeScalingReport(t, dir, "ok.json", 4, 4, 0.57)
-	if code, err := run(devnull, oldP, okP, 0.30, 0, 0.10, ""); err != nil || code != 0 {
+	if code, err := run(devnull, oldP, okP, 0.30, 0, 0.10, 0, ""); err != nil || code != 0 {
 		t.Errorf("5%% drop under -max-eff-regress 0.10: code %d, err %v; want 0", code, err)
 	}
 }
@@ -169,12 +169,56 @@ func TestBenchdiffOldBaselineCompat(t *testing.T) {
 	defer devnull.Close()
 	oldP := writeReport(t, dir, "old.json", 100000, 10)
 	newP := writeScalingReport(t, dir, "new.json", 4, 4, 0.5)
-	if code, err := run(devnull, oldP, newP, 0.30, 0, 0, ""); err != nil || code != 0 {
+	if code, err := run(devnull, oldP, newP, 0.30, 0, 0, 0, ""); err != nil || code != 0 {
 		t.Errorf("old baseline vs scaling candidate: code %d, err %v; want 0", code, err)
 	}
 	// Reversed: scaling baseline against a plain candidate also skips.
-	if code, err := run(devnull, newP, oldP, 0.99, 0, 0, ""); err != nil || code != 0 {
+	if code, err := run(devnull, newP, oldP, 0.99, 0, 0, 0, ""); err != nil || code != 0 {
 		t.Errorf("scaling baseline vs plain candidate: code %d, err %v; want 0", code, err)
+	}
+}
+
+// TestBenchdiffFiguresWallCeiling: -max-figures-wall-ms is an absolute
+// ceiling on the candidate's figure phase, independent of the baseline;
+// candidates without the metric (figures replayed from cache) skip it with
+// a note instead of failing.
+func TestBenchdiffFiguresWallCeiling(t *testing.T) {
+	dir := t.TempDir()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	write := func(name string, wallMS float64) string {
+		r := &obs.BenchReport{
+			Date: "2026-08-09", Scale: 0.05, Shards: 1, Seed: 1, WallSeconds: 20,
+			Ingest:        obs.IngestBench{Flows: 1000000, FlowsPerSec: 100000, BytesPerSec: 5e8, Seconds: 18, Bytes: 9e9},
+			FiguresMS:     map[string]float64{"fig1": 10},
+			FiguresWallMS: wallMS,
+		}
+		path := filepath.Join(dir, name)
+		if err := r.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldP := write("old.json", 120)
+
+	okP := write("ok.json", 130)
+	if code, err := run(devnull, oldP, okP, 0.30, 0, 0, 500, ""); err != nil || code != 0 {
+		t.Errorf("under ceiling: code %d, err %v; want 0", code, err)
+	}
+
+	// Over the ceiling fails even when the relative tolerance would pass.
+	slowP := write("slow.json", 900)
+	if code, err := run(devnull, oldP, slowP, 9.99, 0, 0, 500, ""); err != nil || code != 1 {
+		t.Errorf("over ceiling: code %d, err %v; want 1", code, err)
+	}
+
+	// Candidate without the metric (warm figures cache): ceiling skipped.
+	plainP := writeReport(t, dir, "plain.json", 100000, 10)
+	if code, err := run(devnull, oldP, plainP, 9.99, 0, 0, 500, ""); err != nil || code != 0 {
+		t.Errorf("ceiling with no figures_wall_ms: code %d, err %v; want 0", code, err)
 	}
 }
 
@@ -192,10 +236,10 @@ func TestBenchdiffSummary(t *testing.T) {
 	oldP := writeScalingReport(t, dir, "old.json", 4, 4, 0.55)
 	lowP := writeScalingReport(t, dir, "low.json", 4, 4, 0.25)
 
-	if code, err := run(devnull, oldP, lowP, 0.99, 0.4, 0, sum); err != nil || code != 1 {
+	if code, err := run(devnull, oldP, lowP, 0.99, 0.4, 0, 0, sum); err != nil || code != 1 {
 		t.Fatalf("run: code %d, err %v", code, err)
 	}
-	if code, err := run(devnull, oldP, lowP, 0.99, 0, 0, sum); err != nil || code != 0 {
+	if code, err := run(devnull, oldP, lowP, 0.99, 0, 0, 0, sum); err != nil || code != 0 {
 		t.Fatalf("second run: code %d, err %v", code, err)
 	}
 	data, err := os.ReadFile(sum)

@@ -379,6 +379,38 @@ func TestDaemonGrowsWithDatasetAndMatchesBatch(t *testing.T) {
 		t.Fatalf("unknown figure: status %d, want 404", code)
 	}
 
+	// Historical epochs stay queryable after finalize: epoch 1's metadata
+	// comes back pinned by path, and ?epoch=1 pins artifacts to the first
+	// seal (header and bytes both from epoch 1, not the final one).
+	code, eh, body := get(t, base+"/v1/epoch/1")
+	if code != http.StatusOK || eh != 1 {
+		t.Fatalf("/v1/epoch/1: status %d, header epoch %d", code, eh)
+	}
+	var h1 epochInfo
+	if err := json.Unmarshal(body, &h1); err != nil {
+		t.Fatalf("/v1/epoch/1: %v in %s", err, body)
+	}
+	if h1.Epoch != 1 || h1.Final || h1.Day != dayNames[0] {
+		t.Fatalf("/v1/epoch/1 = %+v, want epoch 1, non-final, day %s", h1, dayNames[0])
+	}
+	code, eh, fig1old := get(t, base+"/v1/figures/fig1_active_devices.csv?epoch=1")
+	if code != http.StatusOK || eh != 1 {
+		t.Fatalf("epoch-pinned figure: status %d, header epoch %d", code, eh)
+	}
+	_, _, fig1cur := get(t, base+"/v1/figures/fig1_active_devices.csv")
+	if bytes.Equal(fig1old, fig1cur) {
+		t.Fatal("epoch-1 figure identical to final figure; historical pin not honored")
+	}
+	if code, eh, _ := get(t, base+"/v1/report?epoch=1"); code != http.StatusOK || eh != 1 {
+		t.Fatalf("epoch-pinned report: status %d, header epoch %d", code, eh)
+	}
+	if code, _, _ := get(t, base+"/v1/epoch/99"); code != http.StatusNotFound {
+		t.Fatalf("out-of-range epoch: status %d, want 404", code)
+	}
+	if code, _, _ := get(t, base+"/v1/report?epoch=zero"); code != http.StatusBadRequest {
+		t.Fatalf("malformed epoch selector: status %d, want 400", code)
+	}
+
 	// Clean shutdown on SIGTERM with exit code 0.
 	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)

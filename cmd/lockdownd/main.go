@@ -7,13 +7,26 @@
 // one epoch — while ingest runs hot; the X-Lockdown-Epoch header names
 // the epoch a response came from.
 //
+// Each epoch is sealed incrementally: the pipeline closes the day into a
+// mergeable partial aggregate, re-renders only the devices that day
+// touched on top of the previous epoch's copy-on-write snapshot, and
+// recomputes the figures from the delta snapshot (figset.Incremental,
+// which also cross-checks the merged partials against the snapshot's
+// cumulative stats on every seal). Every published epoch is retained, so
+// the full seal history stays queryable.
+//
 // Endpoints (on -addr, sharing the port with expvar/pprof under /debug/):
 //
 //	/v1/epoch              current epoch metadata (503 until the first seal)
+//	/v1/epoch/<n>          historical epoch n's metadata
 //	/v1/figures            list of figure CSV names
 //	/v1/figures/<name>     one figure CSV, byte-identical to cmd/lockdown's file
 //	/v1/report             the ASCII report
 //	/v1/devices            aggregate device counts (never per-device records)
+//
+// /v1/figures, /v1/figures/<name>, /v1/report and /v1/devices accept an
+// ?epoch=n selector to answer from a historical epoch; with or without it,
+// the X-Lockdown-Epoch response header names the epoch served.
 //
 // Once the dataset's COMPLETE sentinel appears and the final day is
 // ingested, the daemon finalizes the pipeline — the last published epoch
@@ -36,6 +49,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -67,11 +81,13 @@ type config struct {
 }
 
 // snapshotPipeline is the pipeline surface the daemon needs: streaming
-// ingest, mid-stream snapshots at epoch seals, and the final seal.
+// ingest, per-day seals with copy-on-write delta snapshots (the
+// figset.Sealer contract), and the final seal.
 type snapshotPipeline interface {
 	trace.Sink
 	DeviceID(m packet.MAC) anonymize.DeviceID
-	Snapshot() *core.Dataset
+	SealDay(label string) *core.DayPartial
+	SnapshotDelta(prev *core.Dataset, dp *core.DayPartial) *core.Dataset
 	Finalize() *core.Dataset
 }
 
@@ -157,11 +173,13 @@ func run(cfg config) error {
 	}
 
 	stop := make(chan struct{})
+	var stopOnce sync.Once
+	stopFn := func() { stopOnce.Do(func() { close(stop) }) }
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigc
-		close(stop)
+		stopFn()
 	}()
 
 	state := newServerState()
@@ -174,6 +192,8 @@ func run(cfg config) error {
 	fmt.Printf("lockdownd: serving on http://%s (following %s)\n", dbg.Addr(), cfg.root)
 
 	epoch := 0
+	inc := figset.NewIncremental(pipe, figParams, core.Stats{})
+	var sealErr error
 	tailErr := logsink.TailRotated(cfg.root, pipe, logsink.TailOptions{
 		ReplayOptions: replayOpts,
 		Poll:          cfg.poll,
@@ -186,21 +206,34 @@ func run(cfg config) error {
 				// accumulators for serving-only life.
 				return
 			}
-			ds := pipe.Snapshot()
-			res, _, _ := figset.Compute(ds, figParams)
-			state.publish(&epochSnapshot{epoch: epoch, day: day, ds: ds, res: res})
+			ep, err := inc.Seal(day)
+			if err != nil {
+				// A merge-consistency failure means the published figures
+				// could drift from the ingested data — stop rather than
+				// keep serving.
+				sealErr = err
+				stopFn()
+				return
+			}
+			state.publish(&epochSnapshot{epoch: epoch, day: day, res: ep.Results,
+				stats: ep.Dataset.Stats, devices: summarizeDevices(ep.Dataset), partial: ep.Partial})
 			metrics.EpochPublish()
-			fmt.Fprintf(os.Stderr, "lockdownd: epoch %d sealed (%s): %d flows, %d devices\n",
-				epoch, day, ds.Stats.FlowsProcessed, len(ds.Devices))
+			fmt.Fprintf(os.Stderr, "lockdownd: epoch %d sealed (%s): %d flows, %d devices (day: %d flows, %d touched)\n",
+				epoch, day, ep.Dataset.Stats.FlowsProcessed, len(ep.Dataset.Devices),
+				ep.Partial.Stats.FlowsProcessed, len(ep.Partial.Touched))
 		},
 	})
+	if sealErr != nil {
+		return sealErr
+	}
 	if tailErr != nil && !errors.Is(tailErr, logsink.ErrTailStopped) {
 		return tailErr
 	}
 	if tailErr == nil {
 		ds := pipe.Finalize()
 		res, _, _ := figset.Compute(ds, figParams)
-		state.publish(&epochSnapshot{epoch: epoch, day: lastDay(cfg.root), final: true, ds: ds, res: res})
+		state.publish(&epochSnapshot{epoch: epoch, day: lastDay(cfg.root), final: true,
+			res: res, stats: ds.Stats, devices: summarizeDevices(ds)})
 		metrics.EpochPublish()
 		if guard != nil {
 			fmt.Fprintf(os.Stderr, "lockdownd: fault guard: %s\n", guard.Summary())

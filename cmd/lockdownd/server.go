@@ -6,41 +6,112 @@ import (
 	"net/http"
 	"path"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/figset"
 )
 
-// epochSnapshot is one published epoch: an immutable dataset snapshot and
-// its computed figure set. Handlers only ever read it.
-type epochSnapshot struct {
-	epoch int
-	day   string // last sealed day
-	final bool   // dataset complete; snapshot equals the batch finalize
-	ds    *core.Dataset
-	res   *figset.Results
+// deviceSummary is the aggregate device accounting an epoch serves —
+// precomputed at publish time so retained historical epochs hold no
+// dataset (and the daemon still never exposes per-device records).
+type deviceSummary struct {
+	total    int
+	resident int
+	post     int
+	switches int
+	byType   map[string]int
 }
 
-// serverState holds the atomically swapped current epoch. Each request
-// loads the pointer exactly once, so every response is assembled from a
-// single epoch even while the next one is being published.
+func summarizeDevices(ds *core.Dataset) deviceSummary {
+	sum := deviceSummary{total: len(ds.Devices), byType: map[string]int{}}
+	for _, d := range ds.Devices {
+		sum.byType[d.Type.String()]++
+		if d.Resident {
+			sum.resident++
+		}
+		if d.PostShutdown {
+			sum.post++
+		}
+		if d.IsSwitch {
+			sum.switches++
+		}
+	}
+	return sum
+}
+
+// epochSnapshot is one published epoch: the figure set computed at its
+// seal, the cumulative stats, the precomputed device summary and — for
+// incrementally sealed epochs — the day's partial aggregate. Handlers only
+// ever read it.
+type epochSnapshot struct {
+	epoch   int
+	day     string // last sealed day
+	final   bool   // dataset complete; snapshot equals the batch finalize
+	res     *figset.Results
+	stats   core.Stats
+	devices deviceSummary
+	partial *core.DayPartial // nil on the final epoch (published from Finalize)
+}
+
+// serverState holds every published epoch. The current epoch is an
+// atomically swapped pointer — each request loads it exactly once, so a
+// response is assembled from a single epoch even while the next one is
+// being published — and the history answers ?epoch=n / /v1/epoch/<n>
+// queries for any earlier seal.
 type serverState struct {
-	cur atomic.Pointer[epochSnapshot]
+	cur  atomic.Pointer[epochSnapshot]
+	mu   sync.RWMutex
+	hist []*epochSnapshot // hist[n-1] = epoch n
 }
 
 func newServerState() *serverState { return &serverState{} }
 
-func (s *serverState) publish(snap *epochSnapshot) { s.cur.Store(snap) }
+func (s *serverState) publish(snap *epochSnapshot) {
+	s.mu.Lock()
+	s.hist = append(s.hist, snap)
+	s.mu.Unlock()
+	s.cur.Store(snap)
+}
 
-// snap loads the current epoch for one request, answering 503 (with a
-// Retry-After) itself when nothing is sealed yet.
-func (s *serverState) snap(w http.ResponseWriter) (*epochSnapshot, bool) {
-	snap := s.cur.Load()
-	if snap == nil {
+func (s *serverState) epochCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.hist)
+}
+
+func (s *serverState) at(n int) *epochSnapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if n < 1 || n > len(s.hist) {
+		return nil
+	}
+	return s.hist[n-1]
+}
+
+// snap resolves the epoch a request addresses — the current one, or the
+// historical one an ?epoch=n selector names — writing the X-Lockdown-Epoch
+// header on success and handling 503/400/404 responses itself.
+func (s *serverState) snap(w http.ResponseWriter, r *http.Request) (*epochSnapshot, bool) {
+	cur := s.cur.Load()
+	if cur == nil {
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "no epoch sealed yet", http.StatusServiceUnavailable)
 		return nil, false
+	}
+	snap := cur
+	if sel := r.URL.Query().Get("epoch"); sel != "" {
+		n, err := strconv.Atoi(sel)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad epoch %q", sel), http.StatusBadRequest)
+			return nil, false
+		}
+		if snap = s.at(n); snap == nil {
+			http.Error(w, fmt.Sprintf("epoch %d not sealed (have 1..%d)", n, cur.epoch), http.StatusNotFound)
+			return nil, false
+		}
 	}
 	w.Header().Set("X-Lockdown-Epoch", strconv.Itoa(snap.epoch))
 	return snap, true
@@ -56,6 +127,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 func (s *serverState) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/epoch", s.handleEpoch)
+	mux.HandleFunc("/v1/epoch/", s.handleEpochAt)
 	mux.HandleFunc("/v1/figures", s.handleFigureIndex)
 	mux.HandleFunc("/v1/figures/", s.handleFigure)
 	mux.HandleFunc("/v1/report", s.handleReport)
@@ -64,22 +136,40 @@ func (s *serverState) mux() *http.ServeMux {
 }
 
 func (s *serverState) handleEpoch(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.snap(w)
+	snap, ok := s.snap(w, r)
 	if !ok {
 		return
 	}
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"epoch":   snap.epoch,
+		"epochs":  s.epochCount(),
 		"day":     snap.day,
 		"final":   snap.final,
-		"flows":   snap.ds.Stats.FlowsProcessed,
-		"bytes":   snap.ds.Stats.BytesProcessed,
-		"devices": len(snap.ds.Devices),
-	})
+		"flows":   snap.stats.FlowsProcessed,
+		"bytes":   snap.stats.BytesProcessed,
+		"devices": snap.devices.total,
+	}
+	if snap.partial != nil {
+		resp["day_flows"] = snap.partial.Stats.FlowsProcessed
+		resp["day_bytes"] = snap.partial.Stats.BytesProcessed
+		resp["day_touched"] = len(snap.partial.Touched)
+	}
+	writeJSON(w, resp)
+}
+
+// handleEpochAt serves /v1/epoch/<n>: the path segment is the epoch
+// selector, resolved through the same ?epoch= machinery (and the same
+// X-Lockdown-Epoch contract).
+func (s *serverState) handleEpochAt(w http.ResponseWriter, r *http.Request) {
+	sel := strings.TrimPrefix(r.URL.Path, "/v1/epoch/")
+	q := r.URL.Query()
+	q.Set("epoch", sel)
+	r.URL.RawQuery = q.Encode()
+	s.handleEpoch(w, r)
 }
 
 func (s *serverState) handleFigureIndex(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.snap(w)
+	snap, ok := s.snap(w, r)
 	if !ok {
 		return
 	}
@@ -90,7 +180,7 @@ func (s *serverState) handleFigureIndex(w http.ResponseWriter, r *http.Request) 
 }
 
 func (s *serverState) handleFigure(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.snap(w)
+	snap, ok := s.snap(w, r)
 	if !ok {
 		return
 	}
@@ -105,7 +195,7 @@ func (s *serverState) handleFigure(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *serverState) handleReport(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.snap(w)
+	snap, ok := s.snap(w, r)
 	if !ok {
 		return
 	}
@@ -116,30 +206,16 @@ func (s *serverState) handleReport(w http.ResponseWriter, r *http.Request) {
 // handleDevices serves aggregate counts only — the daemon never exposes
 // per-device records, pseudonymous or not.
 func (s *serverState) handleDevices(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.snap(w)
+	snap, ok := s.snap(w, r)
 	if !ok {
 		return
 	}
-	byType := map[string]int{}
-	resident, post, switches := 0, 0, 0
-	for _, d := range snap.ds.Devices {
-		byType[d.Type.String()]++
-		if d.Resident {
-			resident++
-		}
-		if d.PostShutdown {
-			post++
-		}
-		if d.IsSwitch {
-			switches++
-		}
-	}
 	writeJSON(w, map[string]any{
 		"epoch":         snap.epoch,
-		"total":         len(snap.ds.Devices),
-		"resident":      resident,
-		"post_shutdown": post,
-		"switches":      switches,
-		"by_type":       byType,
+		"total":         snap.devices.total,
+		"resident":      snap.devices.resident,
+		"post_shutdown": snap.devices.post,
+		"switches":      snap.devices.switches,
+		"by_type":       snap.devices.byType,
 	})
 }

@@ -1,6 +1,10 @@
 package anonymize
 
-import "repro/internal/campus"
+import (
+	"sort"
+
+	"repro/internal/campus"
+)
 
 // MinResidentDays is the presence threshold separating residents from
 // campus visitors: the study discards devices that appear on the network
@@ -128,6 +132,38 @@ func (p *PresenceTracker) CountResidents() int {
 		}
 	}
 	return n
+}
+
+// PresenceRecord is one device's externalized day bitmap (two 64-bit
+// words cover the study's 121 days).
+type PresenceRecord struct {
+	Device DeviceID
+	Days   [2]uint64
+}
+
+// Export returns every device's bitmap in ascending pseudonym order.
+func (p *PresenceTracker) Export() []PresenceRecord {
+	devs := make([]DeviceID, 0, len(p.days))
+	for dev := range p.days {
+		devs = append(devs, dev)
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	out := make([]PresenceRecord, 0, len(devs))
+	for _, dev := range devs {
+		out = append(out, PresenceRecord{Device: dev, Days: p.days[dev].bits})
+	}
+	return out
+}
+
+// Restore reinstates bitmaps exported by Export into an empty tracker
+// (panics otherwise).
+func (p *PresenceTracker) Restore(recs []PresenceRecord) {
+	if len(p.days) != 0 {
+		panic("anonymize: Restore on a PresenceTracker with state")
+	}
+	for _, r := range recs {
+		p.days[r.Device] = &dayBitmap{bits: r.Days}
+	}
 }
 
 // CountPostShutdown returns the size of the post-shutdown population.

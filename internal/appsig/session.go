@@ -136,6 +136,69 @@ func (st *Stitcher) Flush() {
 // Open returns the number of sessions currently open.
 func (st *Stitcher) Open() int { return len(st.open) }
 
+// OpenSession is the externalized form of one in-flight session, raw
+// (no Facebook/Instagram disambiguation): everything needed to rebuild
+// the stitcher's open-session table bit-exactly across a checkpoint
+// round trip.
+type OpenSession struct {
+	Device    uint64
+	Family    string
+	Start     time.Time
+	End       time.Time
+	Bytes     int64
+	Flows     int
+	Instagram bool
+}
+
+// ExportOpen returns every open session's raw state in deterministic
+// (device, family) order, leaving the stitcher untouched. Checkpoint
+// serialization uses this; VisitOpen remains the view for consumers that
+// want emit-shaped Sessions.
+func (st *Stitcher) ExportOpen() []OpenSession {
+	keys := make([]sessionKey, 0, len(st.open))
+	for k := range st.open {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].device != keys[j].device {
+			return keys[i].device < keys[j].device
+		}
+		return keys[i].family < keys[j].family
+	})
+	out := make([]OpenSession, 0, len(keys))
+	for _, k := range keys {
+		s := st.open[k]
+		out = append(out, OpenSession{
+			Device:    k.device,
+			Family:    k.family,
+			Start:     s.start,
+			End:       s.end,
+			Bytes:     s.bytes,
+			Flows:     s.flows,
+			Instagram: s.instagram,
+		})
+	}
+	return out
+}
+
+// RestoreOpen reinstates sessions exported by ExportOpen into an empty
+// stitcher (panics otherwise: restoring over live state would silently
+// drop sessions).
+func (st *Stitcher) RestoreOpen(sessions []OpenSession) {
+	if len(st.open) != 0 {
+		panic("appsig: RestoreOpen on a stitcher with open sessions")
+	}
+	for _, s := range sessions {
+		st.open[sessionKey{s.Device, s.Family}] = &openSession{
+			start:     s.Start,
+			end:       s.End,
+			bytes:     s.Bytes,
+			flows:     s.Flows,
+			instagram: s.Instagram,
+		}
+	}
+}
+
 // VisitOpen calls fn for every open session, exactly as Flush would emit
 // it (same deterministic order, same Facebook/Instagram disambiguation),
 // but leaves the stitcher untouched: the sessions stay open and later

@@ -74,3 +74,38 @@ func (d *SwitchDetector) GameplayBytes(device uint64) int64 {
 
 // Devices returns the number of devices observed.
 func (d *SwitchDetector) Devices() int { return len(d.totals) }
+
+// SwitchRecord is one device's externalized byte counters, the unit of
+// checkpoint serialization for the detector.
+type SwitchRecord struct {
+	Device   uint64
+	Total    int64
+	Nintendo int64
+	Gameplay int64
+}
+
+// Export returns every device's counters in ascending device order.
+func (d *SwitchDetector) Export() []SwitchRecord {
+	devs := make([]uint64, 0, len(d.totals))
+	for dev := range d.totals {
+		devs = append(devs, dev)
+	}
+	slices.Sort(devs)
+	out := make([]SwitchRecord, 0, len(devs))
+	for _, dev := range devs {
+		c := d.totals[dev]
+		out = append(out, SwitchRecord{Device: dev, Total: c.total, Nintendo: c.nintendo, Gameplay: c.gameplay})
+	}
+	return out
+}
+
+// Restore reinstates counters exported by Export into an empty detector
+// (panics otherwise).
+func (d *SwitchDetector) Restore(recs []SwitchRecord) {
+	if len(d.totals) != 0 {
+		panic("appsig: Restore on a SwitchDetector with state")
+	}
+	for _, r := range recs {
+		d.totals[r.Device] = &switchCounters{total: r.Total, nintendo: r.Nintendo, gameplay: r.Gameplay}
+	}
+}

@@ -64,16 +64,23 @@ func (e *enc) f32slice(s []float32) {
 }
 
 // dec is the matching cursor with error latching: after the first
-// malformed read every subsequent read fails fast.
+// malformed read every subsequent read fails fast. scope names the payload
+// kind in error messages ("dataset" when empty — the original format; the
+// checkpoint codec sets its own).
 type dec struct {
-	b   []byte
-	off int
-	err error
+	b     []byte
+	off   int
+	err   error
+	scope string
 }
 
 func (d *dec) fail(format string, args ...any) {
 	if d.err == nil {
-		d.err = fmt.Errorf("core: decode dataset: "+format, args...)
+		scope := d.scope
+		if scope == "" {
+			scope = "dataset"
+		}
+		d.err = fmt.Errorf("core: decode "+scope+": "+format, args...)
 	}
 }
 

@@ -182,67 +182,175 @@ func (p *Pipeline) buildDataset(snapshot bool) *Dataset {
 		byID:  make(map[anonymize.DeviceID]*DeviceData, len(p.devices)),
 	}
 	for id, st := range p.devices {
-		uas := make([]string, 0, len(st.uas))
-		for ua := range st.uas {
-			uas = append(uas, ua)
-		}
-		sort.Strings(uas)
-		ty, by := p.classifier.Classify(devclass.Evidence{
-			MAC:        st.mac,
-			UserAgents: uas,
-			Domains:    st.sigDomains,
-		})
-		iotScore, iotPlatform := p.iotDet.Score(st.sigDomains)
-		var ouiHint devclass.Type
-		if v, ok := devclass.LookupOUI(st.mac); ok {
-			ouiHint = v.Hint
-		}
-		daily, zoom, gameplay, hourWeek := st.daily, st.zoom, st.gameplay, st.hourWeek
-		social := st.social
-		if snapshot {
-			daily = cloneF32(daily)
-			zoom = cloneF32(zoom)
-			gameplay = cloneF32(gameplay)
-			for w := range hourWeek {
-				hourWeek[w] = cloneF32(hourWeek[w])
-			}
-			if cell := pending[id]; cell != nil {
-				for m := range social {
-					for i := range social[m] {
-						social[m][i].Duration += cell[m][i].Duration
-						social[m][i].Sessions += cell[m][i].Sessions
-					}
-				}
-			}
-		}
-		d := &DeviceData{
-			ID:             id,
-			Type:           ty,
-			ClassifiedBy:   by,
-			Geo:            p.geoCls.Classify(uint64(id)),
-			GeoCDNAblation: p.geoClsAblate.Classify(uint64(id)),
-			IoTScore:       iotScore,
-			IoTPlatform:    iotPlatform,
-			UAType:         devclass.UAVote(uas),
-			OUIHint:        ouiHint,
-			Resident:       p.presence.Resident(id),
-			PostShutdown:   p.presence.PostShutdownUser(id),
-			IsSwitch:       p.switchDet.IsSwitch(uint64(id)),
-			Daily:          daily,
-			ZoomDaily:      zoom,
-			GameplayDaily:  gameplay,
-			HourWeek:       hourWeek,
-			SitesFeb:       st.sitesFeb.count(),
-			SitesAprMay:    st.sitesAprMay.count(),
-			Social:         social,
-			Steam:          st.steam,
-			GroupBytes:     st.groupBytes,
-			ZoomHourly:     st.zoomHourly,
-			Flows:          st.flows,
-		}
+		d := p.renderDevice(id, st, snapshot, pending[id])
 		ds.Devices = append(ds.Devices, d)
 		ds.byID[id] = d
 	}
 	sort.Slice(ds.Devices, func(i, j int) bool { return ds.Devices[i].ID < ds.Devices[j].ID })
 	return ds
+}
+
+// renderDevice renders one device's accumulated state as an immutable
+// record: classification, population and geolocation verdicts are computed
+// from the current evidence, and in snapshot mode the mutable accumulator
+// slices are deep-copied and the pending open-session overlay (cell, from
+// Stitcher.VisitOpen) is folded into Social. All reads are side-effect
+// free, so rendering never perturbs later ingest or the eventual Finalize.
+func (p *Pipeline) renderDevice(id anonymize.DeviceID, st *deviceState, snapshot bool, cell *[campus.NumMonths][3]SocialMonth) *DeviceData {
+	uas := make([]string, 0, len(st.uas))
+	for ua := range st.uas {
+		uas = append(uas, ua)
+	}
+	sort.Strings(uas)
+	ty, by := p.classifier.Classify(devclass.Evidence{
+		MAC:        st.mac,
+		UserAgents: uas,
+		Domains:    st.sigDomains,
+	})
+	iotScore, iotPlatform := p.iotDet.Score(st.sigDomains)
+	var ouiHint devclass.Type
+	if v, ok := devclass.LookupOUI(st.mac); ok {
+		ouiHint = v.Hint
+	}
+	daily, zoom, gameplay, hourWeek := st.daily, st.zoom, st.gameplay, st.hourWeek
+	social := st.social
+	if snapshot {
+		daily = cloneF32(daily)
+		zoom = cloneF32(zoom)
+		gameplay = cloneF32(gameplay)
+		for w := range hourWeek {
+			hourWeek[w] = cloneF32(hourWeek[w])
+		}
+		if cell != nil {
+			for m := range social {
+				for i := range social[m] {
+					social[m][i].Duration += cell[m][i].Duration
+					social[m][i].Sessions += cell[m][i].Sessions
+				}
+			}
+		}
+	}
+	return &DeviceData{
+		ID:             id,
+		Type:           ty,
+		ClassifiedBy:   by,
+		Geo:            p.geoCls.Classify(uint64(id)),
+		GeoCDNAblation: p.geoClsAblate.Classify(uint64(id)),
+		IoTScore:       iotScore,
+		IoTPlatform:    iotPlatform,
+		UAType:         devclass.UAVote(uas),
+		OUIHint:        ouiHint,
+		Resident:       p.presence.Resident(id),
+		PostShutdown:   p.presence.PostShutdownUser(id),
+		IsSwitch:       p.switchDet.IsSwitch(uint64(id)),
+		Daily:          daily,
+		ZoomDaily:      zoom,
+		GameplayDaily:  gameplay,
+		HourWeek:       hourWeek,
+		SitesFeb:       st.sitesFeb.count(),
+		SitesAprMay:    st.sitesAprMay.count(),
+		Social:         social,
+		Steam:          st.steam,
+		GroupBytes:     st.groupBytes,
+		ZoomHourly:     st.zoomHourly,
+		Flows:          st.flows,
+	}
+}
+
+// renderTouched renders the current state of the given devices (ascending
+// IDs; IDs unknown to this pipeline — other shards' devices — are skipped)
+// as immutable snapshot records. The open-session overlay is restricted to
+// the requested set: an untouched device's open sessions cannot have
+// changed since its last render, so its previous record already reflects
+// them.
+func (p *Pipeline) renderTouched(ids []anonymize.DeviceID) []*DeviceData {
+	want := make(map[anonymize.DeviceID]bool, len(ids))
+	for _, id := range ids {
+		if p.devices[id] != nil {
+			want[id] = true
+		}
+	}
+	pending := make(map[anonymize.DeviceID]*[campus.NumMonths][3]SocialMonth)
+	p.stitcher.VisitOpen(func(s appsig.Session) {
+		month, idx, ok := sessionCell(s)
+		if !ok {
+			return
+		}
+		id := anonymize.DeviceID(s.Device)
+		if !want[id] {
+			return
+		}
+		cell := pending[id]
+		if cell == nil {
+			cell = new([campus.NumMonths][3]SocialMonth)
+			pending[id] = cell
+		}
+		cell[month][idx].Duration += s.Duration()
+		cell[month][idx].Sessions++
+	})
+	out := make([]*DeviceData, 0, len(want))
+	for _, id := range ids {
+		st := p.devices[id]
+		if st == nil {
+			continue
+		}
+		out = append(out, p.renderDevice(id, st, true, pending[id]))
+	}
+	return out
+}
+
+// mergeDelta overlays freshly rendered device records (ascending IDs) onto
+// a previous immutable snapshot: untouched devices keep their previous
+// records (copy-on-write — no re-render, no re-classification), touched
+// ones are replaced, new ones inserted. prev is never mutated.
+func mergeDelta(prev *Dataset, fresh []*DeviceData, st Stats) *Dataset {
+	ds := &Dataset{
+		Stats: st,
+		byID:  make(map[anonymize.DeviceID]*DeviceData, len(prev.Devices)+len(fresh)),
+	}
+	ds.Devices = make([]*DeviceData, 0, len(prev.Devices)+len(fresh))
+	i, j := 0, 0
+	for i < len(prev.Devices) || j < len(fresh) {
+		var d *DeviceData
+		switch {
+		case i == len(prev.Devices):
+			d = fresh[j]
+			j++
+		case j == len(fresh):
+			d = prev.Devices[i]
+			i++
+		case prev.Devices[i].ID < fresh[j].ID:
+			d = prev.Devices[i]
+			i++
+		case prev.Devices[i].ID > fresh[j].ID:
+			d = fresh[j]
+			j++
+		default: // same device: the fresh render supersedes
+			d = fresh[j]
+			i++
+			j++
+		}
+		ds.Devices = append(ds.Devices, d)
+		ds.byID[d.ID] = d
+	}
+	return ds
+}
+
+// SnapshotDelta produces the same immutable Dataset Snapshot would, in
+// O(touched) instead of O(devices): only the devices dp (the partial the
+// preceding SealDay returned) marks as touched are re-rendered; every
+// other device reuses its record from prev, the snapshot published at the
+// previous seal. Correctness rests on renders being pure functions of
+// per-device state: a device with no events since its last render
+// classifies, geolocates and aggregates identically, so reusing the old
+// record is exact (the delta-vs-full parity test pins this). With a nil
+// prev it falls back to a full Snapshot.
+func (p *Pipeline) SnapshotDelta(prev *Dataset, dp *DayPartial) *Dataset {
+	if p.finalized {
+		panic("core: SnapshotDelta after Finalize")
+	}
+	if prev == nil {
+		return p.Snapshot()
+	}
+	return mergeDelta(prev, p.renderTouched(dp.Touched), p.stats)
 }

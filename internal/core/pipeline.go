@@ -35,6 +35,7 @@ import (
 	"repro/internal/httplog"
 	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/stats"
 	"repro/internal/universe"
 )
 
@@ -109,6 +110,15 @@ type Pipeline struct {
 	// om is the observability sink (nil when disabled; see Options.Obs).
 	om *obs.Metrics
 
+	// Incremental day-seal state (see partial.go): dayAccum collects the
+	// current day's mergeable summary, touched the devices mutated since
+	// the last seal (a device is on the list iff its sealEpoch equals
+	// curSeal), lastSealStats the cumulative Stats at the last seal.
+	dayAccum      *stats.Partial
+	touched       []anonymize.DeviceID
+	curSeal       int
+	lastSealStats Stats
+
 	stats     Stats
 	finalized bool
 }
@@ -180,6 +190,10 @@ type deviceState struct {
 	social      [campus.NumMonths][3]SocialMonth
 	steam       [campus.NumMonths]SteamMonth
 	flows       int64
+	// sealEpoch marks the seal generation that last mutated this device;
+	// equal to the pipeline's curSeal iff the device is on the touched
+	// list for the day in progress.
+	sealEpoch int
 }
 
 // SocialMonth is one device's monthly usage of one social platform.
@@ -290,6 +304,10 @@ func newPipeline(reg *universe.Registry, opts Options, join joinState) (*Pipelin
 	for i, anchor := range campus.FigureWeeks {
 		p.weeks[i] = weekWindow{start: anchor, end: anchor.Add(7 * 24 * time.Hour)}
 	}
+	// Seal generations start at 1 so a freshly allocated deviceState
+	// (sealEpoch 0) always registers as touched.
+	p.curSeal = 1
+	p.dayAccum = newDayAccum()
 	return p, nil
 }
 
@@ -304,6 +322,12 @@ func (p *Pipeline) DeviceID(m packet.MAC) anonymize.DeviceID {
 	return id
 }
 
+// device returns (allocating on first sight) the mutable state for a
+// pseudonym. Every state mutation goes through here — the flow path, the
+// HTTP path, and session accounting — so it doubles as the touched-device
+// hook: the first access per seal generation records the device on the
+// day's touched list, which is exactly the set a delta snapshot must
+// re-render.
 func (p *Pipeline) device(id anonymize.DeviceID) *deviceState {
 	d := p.devices[id]
 	if d == nil {
@@ -312,6 +336,10 @@ func (p *Pipeline) device(id anonymize.DeviceID) *deviceState {
 			zoom:  make([]float32, campus.NumDays),
 		}
 		p.devices[id] = d
+	}
+	if d.sealEpoch != p.curSeal {
+		d.sealEpoch = p.curSeal
+		p.touched = append(p.touched, id)
 	}
 	return d
 }
@@ -438,6 +466,8 @@ func (p *Pipeline) Flow(r flow.Record) {
 	m.Add(obs.StageAggregate, bytes)
 	t = m.Lap(obs.StageDHCPNormalize, t)
 	p.presence.Observe(id, day)
+	p.dayAccum.Observe(uint64(id), bytes)
+	p.dayAccum.Hours.Add(uint64(id), campus.HourOfWeek(r.Start), float64(bytes))
 	d := p.device(id)
 	d.mac = mac
 	d.flows++

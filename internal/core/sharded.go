@@ -112,6 +112,10 @@ type ShardedPipeline struct {
 	dispStats Stats
 	om        *obs.Metrics
 	finalized bool
+
+	// lastSealStats is the merged cumulative Stats at the last SealDay —
+	// the baseline the next day's Stats delta is taken against.
+	lastSealStats Stats
 }
 
 // batchCap is the fixed event capacity of one shard batch: large enough
@@ -570,6 +574,27 @@ func (sp *ShardedPipeline) Snapshot() *Dataset {
 	}
 	sp.Quiesce()
 	return sp.merge((*Pipeline).Snapshot)
+}
+
+// SnapshotDelta is the sharded counterpart of Pipeline.SnapshotDelta:
+// quiesce, have each shard re-render the touched devices it owns (devices
+// are shard-disjoint, so the union covers the touched set exactly once),
+// and overlay them onto the previous snapshot. Must be called from the
+// ingest goroutine; ingest may resume immediately afterwards.
+func (sp *ShardedPipeline) SnapshotDelta(prev *Dataset, dp *DayPartial) *Dataset {
+	if sp.finalized {
+		panic("core: SnapshotDelta after Finalize")
+	}
+	if prev == nil {
+		return sp.Snapshot()
+	}
+	sp.Quiesce()
+	var fresh []*DeviceData
+	for _, p := range sp.shards {
+		fresh = append(fresh, p.renderTouched(dp.Touched)...)
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].ID < fresh[j].ID })
+	return mergeDelta(prev, fresh, sp.statsNow())
 }
 
 // merge combines per-shard datasets (rendered by get — Finalize or

@@ -146,3 +146,52 @@ func (l *Labeler) Label(server netip.Addr, t time.Time) (string, bool) {
 
 // Addresses returns the number of distinct server addresses indexed.
 func (l *Labeler) Addresses() int { return len(l.byAddr) }
+
+// LabelSpan is one externalized span: from Start (until superseded) the
+// address resolved to Domain.
+type LabelSpan struct {
+	Start  time.Time
+	Domain string
+}
+
+// AddrSpans pairs one server address with its ordered spans.
+type AddrSpans struct {
+	Addr  netip.Addr
+	Spans []LabelSpan
+}
+
+// ExportSpans returns the whole index in ascending address order, spans in
+// observation order — the checkpoint serialization surface.
+func (l *Labeler) ExportSpans() []AddrSpans {
+	addrs := make([]netip.Addr, 0, len(l.byAddr))
+	for a := range l.byAddr {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	out := make([]AddrSpans, 0, len(addrs))
+	for _, a := range addrs {
+		spans := l.byAddr[a]
+		exp := make([]LabelSpan, len(spans))
+		for i, s := range spans {
+			exp[i] = LabelSpan{Start: s.start, Domain: s.domain}
+		}
+		out = append(out, AddrSpans{Addr: a, Spans: exp})
+	}
+	return out
+}
+
+// RestoreSpans reinstates an index exported by ExportSpans into an empty
+// labeler (panics otherwise). Domains are re-interned so restored spans
+// regain the pointer-equal-key property.
+func (l *Labeler) RestoreSpans(index []AddrSpans) {
+	if len(l.byAddr) != 0 {
+		panic("dnssim: RestoreSpans on a labeler with state")
+	}
+	for _, as := range index {
+		spans := make([]labelSpan, len(as.Spans))
+		for i, s := range as.Spans {
+			spans[i] = labelSpan{start: s.Start, domain: l.interner.Intern(s.Domain)}
+		}
+		l.byAddr[as.Addr] = spans
+	}
+}

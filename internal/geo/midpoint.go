@@ -3,6 +3,7 @@ package geo
 import (
 	"math"
 	"net/netip"
+	"sort"
 )
 
 // Midpoint computes the weighted geographic midpoint of a set of locations:
@@ -144,3 +145,40 @@ func (c *Classifier) MidpointOf(device uint64) (Location, bool) {
 
 // Devices returns the number of devices with at least one geolocated flow.
 func (c *Classifier) Devices() int { return len(c.points) }
+
+// MidpointRecord is one device's raw accumulator state. The vector
+// components are transported as exact float64 values (checkpoint codecs
+// persist their bit patterns), so a restored classifier reproduces every
+// later Classify verdict bit-for-bit.
+type MidpointRecord struct {
+	Device  uint64
+	X, Y, Z float64
+	Weight  float64
+	N       int
+}
+
+// Export returns every device's accumulator in ascending device order.
+func (c *Classifier) Export() []MidpointRecord {
+	devs := make([]uint64, 0, len(c.points))
+	for dev := range c.points {
+		devs = append(devs, dev)
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	out := make([]MidpointRecord, 0, len(devs))
+	for _, dev := range devs {
+		mp := c.points[dev]
+		out = append(out, MidpointRecord{Device: dev, X: mp.x, Y: mp.y, Z: mp.z, Weight: mp.weight, N: mp.n})
+	}
+	return out
+}
+
+// Restore reinstates accumulators exported by Export into an empty
+// classifier (panics otherwise).
+func (c *Classifier) Restore(recs []MidpointRecord) {
+	if len(c.points) != 0 {
+		panic("geo: Restore on a Classifier with state")
+	}
+	for _, r := range recs {
+		c.points[r.Device] = &Midpoint{x: r.X, y: r.Y, z: r.Z, weight: r.Weight, n: r.N}
+	}
+}

@@ -161,3 +161,51 @@ func ReplayRotatedWithOptions(root string, sink trace.Sink, opts ReplayOptions) 
 type leaseless struct{ trace.Sink }
 
 func (l *leaseless) Lease(dhcp.Lease) {}
+
+// DayDirs returns the dataset's day directory names under root in date
+// order (YYYY-MM-DD sorts chronologically) — the unit the per-day stats
+// cache keys and replays.
+func DayDirs(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var days []string
+	for _, e := range entries {
+		if e.IsDir() {
+			days = append(days, e.Name())
+		}
+	}
+	if len(days) == 0 {
+		return nil, fmt.Errorf("logsink: no day directories under %s", root)
+	}
+	sort.Strings(days)
+	return days, nil
+}
+
+// ReplayRotatedDay replays exactly one day directory: its lease log first,
+// then its merged traffic (with leases filtered out of the merged pass,
+// mirroring ReplayRotatedWithOptions). Injection sub-seeds per day the
+// same way the whole-dataset replay does, so a given day's stream is
+// byte-for-byte the one ReplayRotatedWithOptions would feed for that day.
+//
+// Replaying days one at a time (day d's leases immediately before day d's
+// traffic) is equivalent to the whole-dataset order (all leases, then all
+// traffic) for every lookup the pipeline performs: a lease can only match
+// timestamps at or after its start, so leases from later days are
+// invisible to earlier traffic, and a renewal that coalesces with a span
+// from an earlier day only extends its end — affecting only lookups at or
+// after the renewal day. The daemon's live tail ingests in exactly this
+// per-day order and its CI parity check pins the equivalence end to end.
+func ReplayRotatedDay(root, day string, sink trace.Sink, opts ReplayOptions) error {
+	o := opts
+	if opts.Inject != nil {
+		sub := opts.Inject.Sub(day)
+		o.Inject = &sub
+	}
+	dir := filepath.Join(root, day)
+	if err := replayLeases(dir, sink, o); err != nil {
+		return err
+	}
+	return replayMerged(dir, &leaseless{sink}, o)
+}

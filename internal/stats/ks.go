@@ -20,6 +20,12 @@ type KSResult struct {
 // reproduction uses to quantify the paper's claims that sub-populations
 // behave differently (e.g. Figure 6's domestic vs international session
 // distributions). Empty samples yield D=0, P=1.
+//
+// Determinism contract (audited for the incremental-stats refactor): the
+// inputs are copied and sorted before use, so the result is independent
+// of input order — samples assembled from merged per-day partials score
+// identically to samples from a monolithic pass regardless of assembly
+// order (TestKSTwoSampleOrderIndependent).
 func KSTwoSample(a, b []float64) KSResult {
 	r := KSResult{N1: len(a), N2: len(b), P: 1}
 	if len(a) == 0 || len(b) == 0 {

@@ -1,0 +1,104 @@
+package stats
+
+import "math/bits"
+
+// logHistBuckets is one bucket per possible bit length of a non-negative
+// int64 (bucket 0 holds values <= 0).
+const logHistBuckets = 64
+
+// LogHist is a log2-bucketed histogram of non-negative int64 observations
+// (flow sizes, per-day byte counts). Bucket b holds values whose bit
+// length is b, i.e. values in [2^(b-1), 2^b); values <= 0 land in bucket
+// 0. Unlike the single-shot Reservoir, a LogHist is exactly mergeable:
+// Merge is integer bucket addition, so it is associative and commutative
+// bit-for-bit regardless of merge order — the property stats.Partial
+// needs from its quantile sketch where per-day aggregates are combined.
+type LogHist struct {
+	counts [logHistBuckets]int64
+	n      int64
+	sum    int64
+}
+
+// NewLogHist returns an empty histogram.
+func NewLogHist() *LogHist { return &LogHist{} }
+
+// Observe records one value.
+func (h *LogHist) Observe(v int64) {
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+	}
+	h.counts[b]++
+	h.n++
+	if v > 0 {
+		h.sum += v
+	}
+}
+
+// N returns the number of observations.
+func (h *LogHist) N() int64 { return h.n }
+
+// Sum returns the exact sum of all positive observations.
+func (h *LogHist) Sum() int64 { return h.sum }
+
+// Merge folds other into h by bucket addition. Integer addition is
+// associative and commutative, so any merge order yields identical state.
+func (h *LogHist) Merge(other *LogHist) {
+	if other == nil {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+}
+
+// Clone returns a deep copy of h.
+func (h *LogHist) Clone() *LogHist {
+	cp := *h
+	return &cp
+}
+
+// Equal reports whether two histograms hold identical state.
+func (h *LogHist) Equal(other *LogHist) bool {
+	if other == nil {
+		return h.n == 0
+	}
+	return *h == *other
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the
+// exclusive upper edge of the bucket holding the ceil(q*n)-th smallest
+// observation. The bound is exact to within the 2x bucket resolution and,
+// because buckets merge exactly, identical however the histogram was
+// assembled. An empty histogram yields 0.
+func (h *LogHist) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var seen int64
+	for b, c := range h.counts {
+		seen += c
+		if seen > rank {
+			if b == 0 {
+				return 0
+			}
+			if b >= 63 {
+				return int64(^uint64(0) >> 1)
+			}
+			return int64(1) << b
+		}
+	}
+	return 0
+}

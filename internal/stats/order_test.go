@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestReservoirDeterministicByOrder pins the Reservoir determinism
+// contract: identical (seed, offer order) reproduce the sample exactly,
+// and a permuted offer order is allowed to (and here does) change it —
+// which is why consumers must offer in ascending-DeviceID order and why
+// reservoirs are never merged across partials.
+func TestReservoirDeterministicByOrder(t *testing.T) {
+	stream := make([]int, 500)
+	for i := range stream {
+		stream[i] = i
+	}
+	sample := func(items []int) []int {
+		r := NewReservoir[int](20, 99)
+		for _, v := range items {
+			r.Offer(v)
+		}
+		return r.Snapshot()
+	}
+	a, b := sample(stream), sample(stream)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed and order produced different samples")
+	}
+	shuffled := append([]int(nil), stream...)
+	rand.New(rand.NewSource(1)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	if reflect.DeepEqual(a, sample(shuffled)) {
+		t.Fatal("order-sensitivity sentinel: permuted stream reproduced the sample exactly (expected divergence)")
+	}
+}
+
+// TestKSTwoSampleOrderIndependent pins that the KS test sorts internally:
+// any permutation of either sample yields bit-identical D and P.
+func TestKSTwoSampleOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := make([]float64, 200)
+	b := make([]float64, 150)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64() + 0.3
+	}
+	want := KSTwoSample(a, b)
+	for trial := 0; trial < 5; trial++ {
+		ap := append([]float64(nil), a...)
+		bp := append([]float64(nil), b...)
+		rng.Shuffle(len(ap), func(i, j int) { ap[i], ap[j] = ap[j], ap[i] })
+		rng.Shuffle(len(bp), func(i, j int) { bp[i], bp[j] = bp[j], bp[i] })
+		got := KSTwoSample(ap, bp)
+		if got != want {
+			t.Fatalf("trial %d: KS result changed under permutation: %+v != %+v", trial, got, want)
+		}
+	}
+	aBefore := append([]float64(nil), a...)
+	KSTwoSample(a, b)
+	if !reflect.DeepEqual(a, aBefore) {
+		t.Fatal("KSTwoSample mutated its input")
+	}
+}

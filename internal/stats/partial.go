@@ -1,0 +1,112 @@
+package stats
+
+import "fmt"
+
+// Partial is one day's (or one site's) mergeable stats aggregate: flat
+// flow/byte counters, a distinct-device HyperLogLog, a mergeable flow-size
+// sketch, and an optional hour-of-week matrix. Partials are the unit the
+// incremental pipeline seals at each UTC day rollover and the unit a
+// multi-vantage federation would ship between sites — merging N days and
+// merging N sites is the same code path.
+//
+// Merge contract, field by field:
+//
+//   - Flows/Bytes: int64 addition — associative and commutative, exact.
+//   - Devices: HyperLogLog register max via the existing Merged
+//     clone-on-merge semantics — associative, commutative, idempotent;
+//     inputs (which may be sealed snapshots) are never mutated.
+//   - FlowSize: LogHist bucket addition — associative and commutative,
+//     exact.
+//   - Hours: float64 row addition. Float addition is commutative exactly
+//     but associative only up to rounding, so callers that need
+//     bit-for-bit reproducibility merge Hours in a fixed order; the
+//     pipeline merges day partials in day order (and shard partials in
+//     shard order), which pins the result.
+//
+// The zero-valued/nil-fielded Partial is the merge identity.
+type Partial struct {
+	// Flows and Bytes count attributed flows and their byte volume.
+	Flows int64
+	Bytes int64
+	// Devices estimates the distinct devices seen (nil = none).
+	Devices *HyperLogLog
+	// FlowSize is the mergeable flow-size sketch (nil = none).
+	FlowSize *LogHist
+	// Hours is the optional per-device hour-of-week volume matrix
+	// (nil = not tracked).
+	Hours *HourMatrix
+}
+
+// NewPartial returns an empty partial with a device estimator at the
+// given HLL precision and a flow-size sketch allocated.
+func NewPartial(p uint8) (*Partial, error) {
+	hll, err := NewHyperLogLog(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Partial{Devices: hll, FlowSize: NewLogHist()}, nil
+}
+
+// Observe records one attributed flow for a device.
+func (p *Partial) Observe(device uint64, bytes int64) {
+	p.Flows++
+	p.Bytes += bytes
+	if p.Devices != nil {
+		p.Devices.AddUint64(device)
+	}
+	if p.FlowSize != nil {
+		p.FlowSize.Observe(bytes)
+	}
+}
+
+// Merge folds other into p and returns the receiver. Counter and sketch
+// fields merge exactly in any order; Hours merges in call order (see the
+// type comment). Devices merges via HyperLogLog.Merged, so other — which
+// may be a sealed published snapshot — is never mutated.
+func (p *Partial) Merge(other *Partial) error {
+	if other == nil {
+		return nil
+	}
+	p.Flows += other.Flows
+	p.Bytes += other.Bytes
+	if other.Devices != nil {
+		if p.Devices == nil {
+			p.Devices = other.Devices.Clone()
+		} else {
+			m, err := p.Devices.Merged(other.Devices)
+			if err != nil {
+				return fmt.Errorf("stats: partial merge: %w", err)
+			}
+			p.Devices = m
+		}
+	}
+	if other.FlowSize != nil {
+		if p.FlowSize == nil {
+			p.FlowSize = other.FlowSize.Clone()
+		} else {
+			p.FlowSize.Merge(other.FlowSize)
+		}
+	}
+	if other.Hours != nil {
+		if p.Hours == nil {
+			p.Hours = other.Hours.Clone()
+		} else {
+			p.Hours.Merge(other.Hours)
+		}
+	}
+	return nil
+}
+
+// MergePartials reduces parts left to right into a fresh Partial, never
+// mutating any input — the Finalize([]Partial) reduction: feeding every
+// event into one partial and merging per-day partials yield identical
+// counters and sketches (and identical Hours when merged in day order).
+func MergePartials(parts []*Partial) (*Partial, error) {
+	out := &Partial{}
+	for _, part := range parts {
+		if err := out.Merge(part); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

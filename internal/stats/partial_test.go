@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randPartial builds a partial from a seeded stream; hour values are small
+// integers so float sums are exact and associativity can be asserted
+// bit-for-bit.
+func randPartial(seed int64, events int) *Partial {
+	rng := rand.New(rand.NewSource(seed))
+	p, err := NewPartial(12)
+	if err != nil {
+		panic(err)
+	}
+	p.Hours = NewHourMatrix()
+	for i := 0; i < events; i++ {
+		dev := uint64(rng.Intn(200))
+		bytes := int64(rng.Intn(1 << 20))
+		p.Observe(dev, bytes)
+		p.Hours.Add(dev, rng.Intn(HoursPerWeek), float64(rng.Intn(1000)))
+	}
+	return p
+}
+
+// clonePartial deep-copies a partial so merge inputs can be checked for
+// mutation afterwards.
+func clonePartial(p *Partial) *Partial {
+	cp := &Partial{Flows: p.Flows, Bytes: p.Bytes}
+	if p.Devices != nil {
+		cp.Devices = p.Devices.Clone()
+	}
+	if p.FlowSize != nil {
+		cp.FlowSize = p.FlowSize.Clone()
+	}
+	if p.Hours != nil {
+		cp.Hours = p.Hours.Clone()
+	}
+	return cp
+}
+
+func samePartial(a, b *Partial) bool {
+	if a.Flows != b.Flows || a.Bytes != b.Bytes {
+		return false
+	}
+	ar, br := []uint8(nil), []uint8(nil)
+	if a.Devices != nil {
+		ar = a.Devices.regs
+	}
+	if b.Devices != nil {
+		br = b.Devices.regs
+	}
+	if !reflect.DeepEqual(ar, br) {
+		return false
+	}
+	switch {
+	case a.FlowSize == nil && b.FlowSize == nil:
+	case a.FlowSize == nil || b.FlowSize == nil:
+		return false
+	case !a.FlowSize.Equal(b.FlowSize):
+		return false
+	}
+	switch {
+	case a.Hours == nil && b.Hours == nil:
+	case a.Hours == nil || b.Hours == nil:
+		return false
+	default:
+		if !reflect.DeepEqual(a.Hours.byDevice, b.Hours.byDevice) {
+			return false
+		}
+	}
+	return true
+}
+
+func mergeAll(t *testing.T, parts ...*Partial) *Partial {
+	t.Helper()
+	out, err := MergePartials(parts)
+	if err != nil {
+		t.Fatalf("MergePartials: %v", err)
+	}
+	return out
+}
+
+// TestPartialMergeAssociative pins (a⊕b)⊕c == a⊕(b⊕c) bit-for-bit. The
+// hour rows use integer-valued floats so even the float field is exact.
+func TestPartialMergeAssociative(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a := randPartial(seed*3+0, 400)
+		b := randPartial(seed*3+1, 300)
+		c := randPartial(seed*3+2, 500)
+
+		left := mergeAll(t, mergeAll(t, a, b), c)
+		right := mergeAll(t, a, mergeAll(t, b, c))
+		if !samePartial(left, right) {
+			t.Fatalf("seed %d: (a+b)+c != a+(b+c)", seed)
+		}
+	}
+}
+
+// TestPartialMergeCommutative pins a⊕b == b⊕a (float addition is
+// commutative exactly; HLL register max and LogHist buckets trivially so).
+func TestPartialMergeCommutative(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a := randPartial(seed*2+0, 350)
+		b := randPartial(seed*2+1, 450)
+		if !samePartial(mergeAll(t, a, b), mergeAll(t, b, a)) {
+			t.Fatalf("seed %d: a+b != b+a", seed)
+		}
+	}
+}
+
+// TestPartialMergeOfSplitsEqualsMonolithic feeds one event stream both
+// into a single partial and into per-chunk partials merged in order; the
+// results must be identical field by field, at several split widths.
+func TestPartialMergeOfSplitsEqualsMonolithic(t *testing.T) {
+	const events = 2000
+	type ev struct {
+		dev   uint64
+		bytes int64
+		hour  int
+		hv    float64
+	}
+	rng := rand.New(rand.NewSource(42))
+	stream := make([]ev, events)
+	for i := range stream {
+		stream[i] = ev{
+			dev:   uint64(rng.Intn(300)),
+			bytes: int64(rng.Intn(1 << 22)),
+			hour:  rng.Intn(HoursPerWeek),
+			hv:    float64(rng.Intn(5000)),
+		}
+	}
+	feed := func(p *Partial, evs []ev) {
+		for _, e := range evs {
+			p.Observe(e.dev, e.bytes)
+			p.Hours.Add(e.dev, e.hour, e.hv)
+		}
+	}
+	mono, _ := NewPartial(12)
+	mono.Hours = NewHourMatrix()
+	feed(mono, stream)
+
+	for _, chunk := range []int{1, 7, events} {
+		var parts []*Partial
+		for off := 0; off < events; off += chunk {
+			end := off + chunk
+			if end > events {
+				end = events
+			}
+			p, _ := NewPartial(12)
+			p.Hours = NewHourMatrix()
+			feed(p, stream[off:end])
+			parts = append(parts, p)
+		}
+		merged := mergeAll(t, parts...)
+		if !samePartial(mono, merged) {
+			t.Fatalf("chunk %d: merged splits != monolithic", chunk)
+		}
+		if got, want := merged.FlowSize.Quantile(0.5), mono.FlowSize.Quantile(0.5); got != want {
+			t.Fatalf("chunk %d: median sketch %d != %d", chunk, got, want)
+		}
+	}
+}
+
+// TestPartialMergeLeavesInputsIntact: merging must never mutate an input
+// (a sealed published HLL snapshot in particular).
+func TestPartialMergeLeavesInputsIntact(t *testing.T) {
+	a := randPartial(7, 300)
+	b := randPartial(8, 300)
+	b.Devices.Seal()
+	aBefore, bBefore := clonePartial(a), clonePartial(b)
+	out := mergeAll(t, a, b)
+	if !samePartial(a, aBefore) || !samePartial(b, bBefore) {
+		t.Fatal("MergePartials mutated an input")
+	}
+	if out.Devices.Sealed() {
+		t.Fatal("merged Devices estimator is sealed; want unsealed working copy")
+	}
+	if out.Flows != a.Flows+b.Flows || out.Bytes != a.Bytes+b.Bytes {
+		t.Fatal("merged counters wrong")
+	}
+}
+
+// TestPartialMergeIdentity: the zero Partial is the merge identity.
+func TestPartialMergeIdentity(t *testing.T) {
+	a := randPartial(9, 250)
+	out := mergeAll(t, &Partial{}, a, &Partial{}, nil)
+	if !samePartial(out, a) {
+		t.Fatal("zero partial is not the merge identity")
+	}
+}
+
+func TestLogHistMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mono := NewLogHist()
+	var parts []*LogHist
+	cur := NewLogHist()
+	for i := 0; i < 1000; i++ {
+		v := int64(rng.Intn(1 << 30))
+		if i%5 == 0 {
+			v = 0 // exercise the <=0 bucket
+		}
+		mono.Observe(v)
+		cur.Observe(v)
+		if (i+1)%137 == 0 {
+			parts = append(parts, cur)
+			cur = NewLogHist()
+		}
+	}
+	parts = append(parts, cur)
+	merged := NewLogHist()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if !merged.Equal(mono) {
+		t.Fatal("merged LogHist != monolithic")
+	}
+	if merged.N() != 1000 || merged.Sum() != mono.Sum() {
+		t.Fatalf("merged N=%d Sum=%d, want N=1000 Sum=%d", merged.N(), merged.Sum(), mono.Sum())
+	}
+	if q50, q99 := merged.Quantile(0.5), merged.Quantile(0.99); q50 > q99 {
+		t.Fatalf("quantiles not monotone: q50=%d q99=%d", q50, q99)
+	}
+}

@@ -61,6 +61,16 @@ func NormalizeByMin(series ...[]float64) ([][]float64, float64) {
 // stream of items (Vitter's algorithm R). The paper's classifier-accuracy
 // check "manually reviewed 100 random devices"; the reproduction samples
 // devices the same way.
+//
+// Determinism contract (audited for the incremental-stats refactor): the
+// sample is a pure function of (seed, offer order) — there is no hidden
+// global or time-dependent state — but it IS order-sensitive, as any
+// single-pass sampler must be. Reservoirs therefore stay single-shot and
+// are never merged across partials: every consumer offers items from a
+// finalized Dataset in ascending-DeviceID order, and the incremental path
+// produces Datasets byte-identical to the monolithic pass, so report.txt
+// accuracy samples match under a pinned key. TestReservoirDeterministicByOrder
+// pins both halves of the contract.
 type Reservoir[T any] struct {
 	capacity int
 	seen     int

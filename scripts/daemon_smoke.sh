@@ -64,6 +64,19 @@ curl -fsS "http://$ADDR/v1/report" -o "$OUT/report.txt" || fail "GET /v1/report 
 cmp "$OUT/report.txt" "$BATCH/report.txt" || fail "report.txt differs from batch output"
 echo "daemon-smoke: figure CSVs and report byte-identical to batch run"
 
+# Historical epochs: the first seal stays queryable after finalize, pinned
+# both by path (/v1/epoch/1) and by selector (?epoch=1), with the header
+# naming the epoch actually served.
+curl -fsS "http://$ADDR/v1/epoch/1" | grep -q '"epoch": 1' || fail "/v1/epoch/1 missing epoch 1"
+curl -fsS "http://$ADDR/v1/epoch/1" | grep -q '"final": false' || fail "/v1/epoch/1 claims final"
+curl -fsS -D "$OUT/h1" "http://$ADDR/v1/figures/fig1_active_devices.csv?epoch=1" -o "$OUT/fig1_e1.csv" \
+    || fail "epoch-pinned figure fetch failed"
+grep -qi '^x-lockdown-epoch: 1' "$OUT/h1" || fail "epoch-pinned figure served wrong epoch header"
+cmp -s "$OUT/fig1_e1.csv" "$BATCH/fig1_active_devices.csv" && fail "epoch-1 figure identical to final (pin not honored)"
+curl -fsS "http://$ADDR/v1/report?epoch=1" -o "$OUT/report_e1.txt" || fail "epoch-pinned report fetch failed"
+curl -fsS "http://$ADDR/v1/epoch/9999" >/dev/null 2>&1 && fail "out-of-range epoch served instead of 404"
+echo "daemon-smoke: historical epoch 1 queryable and pinned"
+
 # Clean shutdown: SIGTERM must exit 0.
 kill -TERM "$PID"
 RC=0
